@@ -1,0 +1,97 @@
+"""Ablation A3 — LRU buffer pool in front of the IR2-Tree.
+
+The paper measures cold-cache disk accesses.  Real deployments cache hot
+blocks (the root and upper tree levels are touched by every query); this
+ablation quantifies how many of the paper's block accesses a small LRU
+pool absorbs, without changing any result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit_text
+from repro.bench import format_table
+from repro.bench.workloads import WorkloadGenerator
+from repro.core import Corpus, IR2Index
+from repro.datasets import DatasetConfig, SpatialTextDatasetGenerator
+from repro.storage import BufferPoolDevice, InMemoryBlockDevice
+
+N_OBJECTS = 1_500
+N_QUERIES = 24
+POOL_BLOCKS = (0, 8, 64, 512)
+
+
+def _setup(pool_blocks: int):
+    config = DatasetConfig(
+        name="cache-ablation",
+        n_objects=N_OBJECTS,
+        vocabulary_size=3_000,
+        avg_unique_words=25,
+        seed=17,
+    )
+    objects = SpatialTextDatasetGenerator(config).generate()
+    corpus = Corpus()
+    corpus.add_all(objects)
+    inner = InMemoryBlockDevice(name="ir2-disk")
+    device = BufferPoolDevice(inner, pool_blocks) if pool_blocks else inner
+    index = IR2Index(corpus, 16, device=device)
+    index.build()
+    if pool_blocks:
+        device.clear()
+    index.reset_io()
+    return corpus, objects, index, device
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    rows = []
+    measured = {}
+    for pool in POOL_BLOCKS:
+        corpus, objects, index, device = _setup(pool)
+        workload = WorkloadGenerator(objects, corpus.analyzer, seed=6)
+        queries = workload.queries(N_QUERIES, 2, 10)
+        answers = [index.execute(q).oids for q in queries]
+        disk_reads = index.device.stats.total_reads
+        if pool:
+            disk_reads = device.inner.stats.total_reads
+            hit_rate = device.hit_rate
+        else:
+            hit_rate = 0.0
+        rows.append((pool, round(disk_reads / N_QUERIES, 1), round(hit_rate, 3)))
+        measured[pool] = (answers, disk_reads)
+    text = format_table(
+        ("Pool blocks", "Tree disk reads/query", "Hit rate"),
+        rows,
+        title=f"Ablation A3: LRU buffer pool over the IR2-Tree ({N_OBJECTS} objects)",
+    )
+    emit_text("ablation_cache", text)
+    return measured
+
+
+def test_cache_preserves_results(comparison):
+    """Caching must never change query answers."""
+    reference = comparison[0][0]
+    for pool in POOL_BLOCKS[1:]:
+        assert comparison[pool][0] == reference
+
+
+def test_cache_reduces_disk_reads(comparison):
+    """A big pool must absorb a substantial share of tree reads."""
+    cold = comparison[0][1]
+    warm = comparison[POOL_BLOCKS[-1]][1]
+    assert warm < cold
+
+
+@pytest.mark.parametrize("pool", POOL_BLOCKS, ids=[f"pool{p}" for p in POOL_BLOCKS])
+def test_cache_query_wallclock(benchmark, comparison, pool):
+    """Wall-clock of the query batch at each pool size."""
+    corpus, objects, index, _ = _setup(pool)
+    workload = WorkloadGenerator(objects, corpus.analyzer, seed=6)
+    queries = workload.queries(8, 2, 10)
+
+    def run():
+        for query in queries:
+            index.execute(query)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

@@ -1,0 +1,85 @@
+"""Ablation A8 — compressed posting lists for IIO ([NMN+00], cited §7).
+
+Delta + varint compression shrinks the inverted file and with it the
+blocks a retrieval must read — the standard engineering upgrade to the
+paper's IIO baseline.  This ablation measures the structure size and the
+per-query I/O of raw vs. compressed postings on both datasets, verifying
+answers stay identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit_text
+from repro.bench import format_table, queries_per_point
+from repro.core import IIOIndex
+
+
+@pytest.fixture(scope="module")
+def comparison(hotels, restaurants):
+    rows = []
+    data = {}
+    for dataset_name, context in (("Hotels", hotels), ("Restaurants", restaurants)):
+        queries = context.workload.queries(queries_per_point(), 2, 10)
+        per_codec = {}
+        for compression in ("raw", "varint"):
+            index = IIOIndex(context.corpus, compression=compression)
+            index.build()
+            index.reset_io()
+            answers = []
+            reads = 0.0
+            for query in queries:
+                execution = index.execute(query)
+                answers.append(execution.oids)
+                reads += execution.io.total_reads
+            rows.append(
+                (
+                    dataset_name,
+                    compression,
+                    round(index.size_mb, 3),
+                    round(reads / len(queries), 1),
+                )
+            )
+            per_codec[compression] = {
+                "answers": answers,
+                "size_mb": index.size_mb,
+                "reads": reads,
+            }
+        data[dataset_name] = per_codec
+    text = format_table(
+        ("Dataset", "Postings codec", "IIO size (MB)", "Block reads/query"),
+        rows,
+        title="Ablation A8: posting-list compression for IIO [NMN+00]",
+    )
+    emit_text("ablation_compression", text)
+    return data
+
+
+def test_compression_preserves_answers(comparison):
+    for dataset, per_codec in comparison.items():
+        assert per_codec["raw"]["answers"] == per_codec["varint"]["answers"], dataset
+
+
+def test_compression_shrinks_structure(comparison):
+    for dataset, per_codec in comparison.items():
+        assert per_codec["varint"]["size_mb"] < per_codec["raw"]["size_mb"], dataset
+
+
+def test_compression_does_not_increase_reads(comparison):
+    for dataset, per_codec in comparison.items():
+        assert per_codec["varint"]["reads"] <= per_codec["raw"]["reads"] * 1.05, dataset
+
+
+@pytest.mark.parametrize("compression", ["raw", "varint"])
+def test_compression_wallclock(benchmark, restaurants, comparison, compression):
+    """Wall-clock of an IIO query batch per codec."""
+    index = IIOIndex(restaurants.corpus, compression=compression)
+    index.build()
+    queries = restaurants.workload.queries(4, 2, 10)
+
+    def run():
+        for query in queries:
+            index.execute(query)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

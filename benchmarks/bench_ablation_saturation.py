@@ -1,0 +1,62 @@
+"""Ablation A7 — signature saturation per tree level (Section IV).
+
+Measures the structural fact that motivates the MIR2-Tree: with one
+signature length everywhere, upper IR2-Tree levels superimpose so many
+words that most bits are set ("more 1's") and the level stops pruning;
+the MIR2-Tree's per-level optimal lengths hold every level near the
+half-full design point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit_text
+from repro.bench import format_table
+from repro.core.diagnostics import estimated_false_positive_rates, signature_saturation
+
+
+@pytest.fixture(scope="module")
+def saturation(hotels):
+    rows = []
+    data = {}
+    for name in ("IR2", "MIR2"):
+        tree = hotels.indexes[name].tree
+        report = signature_saturation(tree)
+        rates = estimated_false_positive_rates(tree, bits_per_word=3)
+        data[name] = (report, rates)
+        for row in report:
+            rows.append(
+                (
+                    name,
+                    row.level,
+                    row.nodes,
+                    row.signature_bits,
+                    round(row.mean_fill, 3),
+                    round(rates[row.level], 4),
+                )
+            )
+    text = format_table(
+        ("Tree", "Level", "Nodes", "Sig bits", "Mean fill", "Est. FP rate"),
+        rows,
+        title="Ablation A7: per-level signature saturation (Hotels, 189 B leaves)",
+    )
+    emit_text("ablation_saturation", text)
+    return data
+
+
+def test_ir2_upper_levels_saturate(hotels, saturation):
+    report, _ = saturation["IR2"]
+    assert report[-1].mean_fill > report[0].mean_fill
+
+
+def test_mir2_counters_saturation(hotels, saturation):
+    ir2_report, _ = saturation["IR2"]
+    mir2_report, _ = saturation["MIR2"]
+    assert mir2_report[-1].mean_fill < ir2_report[-1].mean_fill
+
+
+def test_saturation_wallclock(benchmark, hotels, saturation):
+    """Wall-clock of computing the saturation report on the IR2-Tree."""
+    tree = hotels.indexes["IR2"].tree
+    benchmark.pedantic(lambda: signature_saturation(tree), rounds=3, iterations=1)

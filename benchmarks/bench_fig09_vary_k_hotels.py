@@ -1,0 +1,61 @@
+"""Figure 9 — varying k (top-k), Hotels dataset.
+
+Paper setup: 2 query keywords, 189-byte signatures, k swept; reports
+(a) execution time (log scale) and (b) disk block accesses with random
+accesses as thick bars and sequential accesses as thin lines.
+
+Expected shape (paper Section VI): IR2 and MIR2 beat R-Tree at every k;
+MIR2 performs fewer *random* accesses than IR2 but more *sequential* ones
+(longer top-level signatures span more blocks); IIO is flat in k.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit_sweep
+from repro.bench import ALGORITHMS, get_context, queries_per_point, run_sweep
+from repro.bench.workloads import with_k
+
+K_VALUES = (1, 5, 10, 20, 50)
+NUM_KEYWORDS = 2
+
+
+@pytest.fixture(scope="module")
+def sweep(hotels):
+    """Run the whole k sweep once; every wall-clock benchmark reuses it."""
+    base = hotels.workload.queries(queries_per_point(), NUM_KEYWORDS, 10)
+    result = run_sweep(
+        hotels,
+        "Figure 9 (Hotels): vary k, 2 keywords, 189-byte signatures",
+        "k",
+        K_VALUES,
+        lambda k: with_k(base, k),
+        algorithms=ALGORITHMS,
+    )
+    emit_sweep("fig09_vary_k_hotels", result)
+    return result
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig09_query_wallclock(benchmark, hotels, sweep, algorithm):
+    """Wall-clock time of a k=10 query batch per algorithm."""
+    queries = with_k(hotels.workload.queries(queries_per_point(), NUM_KEYWORDS, 10), 10)
+    benchmark.pedantic(
+        lambda: hotels.run_queries(algorithm, queries), rounds=3, iterations=1
+    )
+
+
+def test_fig09_shape_ir2_beats_rtree(hotels, sweep):
+    """IR2/MIR2 must beat the R-Tree baseline at every k (paper's claim)."""
+    rtree = sweep.table("simulated_ms").column("RTREE")
+    ir2 = sweep.table("simulated_ms").column("IR2")
+    mir2 = sweep.table("simulated_ms").column("MIR2")
+    assert all(i <= r for i, r in zip(ir2, rtree))
+    assert all(m <= r for m, r in zip(mir2, rtree))
+
+
+def test_fig09_shape_iio_flat(hotels, sweep):
+    """IIO's cost must be independent of k (same queries, varying k)."""
+    iio = sweep.table("random_accesses").column("IIO")
+    assert max(iio) - min(iio) < 1e-9

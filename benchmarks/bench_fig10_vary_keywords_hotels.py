@@ -1,0 +1,56 @@
+"""Figure 10 — varying the number of query keywords, Hotels dataset.
+
+Paper setup: k=10, 189-byte signatures, 1-5 keywords.  More keywords
+shrink the conjunctive answer set, so IIO *improves* (shorter inverted
+lists to intersect and fewer objects to fetch) while the R-Tree baseline
+degrades (more neighbors fail the filter before k matches are found).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit_sweep
+from repro.bench import ALGORITHMS, queries_per_point, run_sweep
+from repro.bench.workloads import truncate_keywords
+
+KEYWORD_COUNTS = (1, 2, 3, 4, 5)
+K = 10
+
+
+@pytest.fixture(scope="module")
+def sweep(hotels):
+    base = hotels.workload.queries(queries_per_point(), max(KEYWORD_COUNTS), K)
+    result = run_sweep(
+        hotels,
+        "Figure 10 (Hotels): vary #keywords, k=10, 189-byte signatures",
+        "keywords",
+        KEYWORD_COUNTS,
+        lambda m: truncate_keywords(base, m),
+        algorithms=ALGORITHMS,
+    )
+    emit_sweep("fig10_vary_keywords_hotels", result)
+    return result
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig10_query_wallclock(benchmark, hotels, sweep, algorithm):
+    """Wall-clock time of a 2-keyword query batch per algorithm."""
+    base = hotels.workload.queries(queries_per_point(), max(KEYWORD_COUNTS), K)
+    queries = truncate_keywords(base, 2)
+    benchmark.pedantic(
+        lambda: hotels.run_queries(algorithm, queries), rounds=3, iterations=1
+    )
+
+
+def test_fig10_shape_iio_improves_with_keywords(hotels, sweep):
+    """IIO inspects no more objects at 5 keywords than at 1 (Section VI)."""
+    iio = sweep.table("object_accesses").column("IIO")
+    assert iio[-1] <= iio[0]
+
+
+def test_fig10_shape_ir2_beats_rtree(hotels, sweep):
+    """Signature pruning must pay off at every keyword count."""
+    rtree = sweep.table("simulated_ms").column("RTREE")
+    ir2 = sweep.table("simulated_ms").column("IR2")
+    assert all(i <= r for i, r in zip(ir2, rtree))

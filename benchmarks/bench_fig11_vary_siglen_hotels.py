@@ -1,0 +1,78 @@
+"""Figure 11 — varying the signature length, Hotels dataset.
+
+Paper setup: k=10, 2 keywords, signature length swept around the 189-byte
+operating point; reports (a) execution time and (b) *object* accesses.
+Longer signatures cut false positives (fewer object accesses) but inflate
+the tree (more blocks per node), so "there is no clear trend" in time —
+the trade-off the paper discusses in Section VI.B.
+
+The IR2- and MIR2-Trees are rebuilt per length; the two baselines carry no
+signatures, so their columns are flat by construction and measured once
+from the shared context for reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit_sweep
+from repro.bench import get_context, queries_per_point, run_sweep
+from repro.bench.reporting import SeriesTable
+from repro.bench.workloads import with_k
+
+SIGNATURE_BYTES = (47, 94, 189, 378)
+K = 10
+NUM_KEYWORDS = 2
+
+
+@pytest.fixture(scope="module")
+def sweep(hotels):
+    base = with_k(hotels.workload.queries(queries_per_point(), NUM_KEYWORDS, K), K)
+    from repro.bench import SweepResult
+    from repro.bench.harness import MetricsRow
+
+    result = SweepResult()
+    names = ["RTREE", "IIO", "IR2", "MIR2"]
+    for metric, label in MetricsRow.METRICS.items():
+        result.tables[metric] = SeriesTable(
+            title=(
+                "Figure 11 (Hotels): vary signature length (bytes), "
+                f"k={K}, {NUM_KEYWORDS} keywords — {label}"
+            ),
+            parameter="sig_bytes",
+            algorithms=names,
+        )
+    baseline_rows = {
+        name: hotels.measure(name, base) for name in ("RTREE", "IIO")
+    }
+    for length in SIGNATURE_BYTES:
+        context = get_context(
+            "hotels", signature_bytes=length, algorithms=("IR2", "MIR2")
+        )
+        rows = dict(baseline_rows)
+        rows["IR2"] = context.measure("IR2", base)
+        rows["MIR2"] = context.measure("MIR2", base)
+        for metric in MetricsRow.METRICS:
+            result.tables[metric].add(
+                length, {name: getattr(rows[name], metric) for name in names}
+            )
+    emit_sweep("fig11_vary_siglen_hotels", result)
+    return result
+
+
+@pytest.mark.parametrize("sig_bytes", SIGNATURE_BYTES)
+def test_fig11_ir2_wallclock(benchmark, hotels, sweep, sig_bytes):
+    """Wall-clock of the IR2 query batch at each signature length."""
+    context = get_context(
+        "hotels", signature_bytes=sig_bytes, algorithms=("IR2", "MIR2")
+    )
+    queries = with_k(hotels.workload.queries(queries_per_point(), NUM_KEYWORDS, K), K)
+    benchmark.pedantic(
+        lambda: context.run_queries("IR2", queries), rounds=3, iterations=1
+    )
+
+
+def test_fig11_shape_longer_signatures_fewer_object_accesses(hotels, sweep):
+    """Longest signatures must not inspect more objects than shortest."""
+    ir2 = sweep.table("object_accesses").column("IR2")
+    assert ir2[-1] <= ir2[0]

@@ -1,0 +1,57 @@
+"""Figure 12 — varying k (top-k), Restaurants dataset.
+
+Paper setup: 2 keywords, 8-byte signatures (short documents need short
+signatures: ~14 unique words per object), k swept.  Same expected shape
+as Figure 9 on the second dataset: IR2/MIR2 dominate the R-Tree baseline,
+IIO is k-independent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit_sweep
+from repro.bench import ALGORITHMS, queries_per_point, run_sweep
+from repro.bench.workloads import with_k
+
+K_VALUES = (1, 5, 10, 20, 50)
+NUM_KEYWORDS = 2
+
+
+@pytest.fixture(scope="module")
+def sweep(restaurants):
+    base = restaurants.workload.queries(queries_per_point(), NUM_KEYWORDS, 10)
+    result = run_sweep(
+        restaurants,
+        "Figure 12 (Restaurants): vary k, 2 keywords, 8-byte signatures",
+        "k",
+        K_VALUES,
+        lambda k: with_k(base, k),
+        algorithms=ALGORITHMS,
+    )
+    emit_sweep("fig12_vary_k_restaurants", result)
+    return result
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig12_query_wallclock(benchmark, restaurants, sweep, algorithm):
+    """Wall-clock time of a k=10 query batch per algorithm."""
+    queries = with_k(
+        restaurants.workload.queries(queries_per_point(), NUM_KEYWORDS, 10), 10
+    )
+    benchmark.pedantic(
+        lambda: restaurants.run_queries(algorithm, queries), rounds=3, iterations=1
+    )
+
+
+def test_fig12_shape_ir2_beats_rtree(restaurants, sweep):
+    """IR2/MIR2 must beat the R-Tree baseline at every k."""
+    rtree = sweep.table("simulated_ms").column("RTREE")
+    ir2 = sweep.table("simulated_ms").column("IR2")
+    assert all(i <= r for i, r in zip(ir2, rtree))
+
+
+def test_fig12_shape_iio_flat(restaurants, sweep):
+    """IIO's cost must be independent of k."""
+    iio = sweep.table("random_accesses").column("IIO")
+    assert max(iio) - min(iio) < 1e-9

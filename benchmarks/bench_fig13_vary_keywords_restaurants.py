@@ -1,0 +1,48 @@
+"""Figure 13 — varying the number of query keywords, Restaurants dataset.
+
+Paper setup: k=10, 8-byte signatures, 1-5 keywords.  With short documents
+the conjunction empties quickly, so IIO improves steeply with keyword
+count while the R-Tree baseline must walk ever farther to find k matches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit_sweep
+from repro.bench import ALGORITHMS, queries_per_point, run_sweep
+from repro.bench.workloads import truncate_keywords
+
+KEYWORD_COUNTS = (1, 2, 3, 4, 5)
+K = 10
+
+
+@pytest.fixture(scope="module")
+def sweep(restaurants):
+    base = restaurants.workload.queries(queries_per_point(), max(KEYWORD_COUNTS), K)
+    result = run_sweep(
+        restaurants,
+        "Figure 13 (Restaurants): vary #keywords, k=10, 8-byte signatures",
+        "keywords",
+        KEYWORD_COUNTS,
+        lambda m: truncate_keywords(base, m),
+        algorithms=ALGORITHMS,
+    )
+    emit_sweep("fig13_vary_keywords_restaurants", result)
+    return result
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig13_query_wallclock(benchmark, restaurants, sweep, algorithm):
+    """Wall-clock time of a 2-keyword query batch per algorithm."""
+    base = restaurants.workload.queries(queries_per_point(), max(KEYWORD_COUNTS), K)
+    queries = truncate_keywords(base, 2)
+    benchmark.pedantic(
+        lambda: restaurants.run_queries(algorithm, queries), rounds=3, iterations=1
+    )
+
+
+def test_fig13_shape_iio_improves_with_keywords(restaurants, sweep):
+    """IIO inspects no more objects at 5 keywords than at 1."""
+    iio = sweep.table("object_accesses").column("IIO")
+    assert iio[-1] <= iio[0]

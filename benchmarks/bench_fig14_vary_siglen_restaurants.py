@@ -1,0 +1,76 @@
+"""Figure 14 — varying the signature length, Restaurants dataset.
+
+Paper setup: k=10, 2 keywords, short signatures (2-32 bytes) because a
+restaurant object carries only ~14 unique words.  As in Figure 11, longer
+signatures reduce false positives (object accesses) at the price of a
+larger tree; there is no universally best length.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit_sweep
+from repro.bench import get_context, queries_per_point
+from repro.bench.harness import MetricsRow
+from repro.bench.reporting import SeriesTable
+from repro.bench import SweepResult
+from repro.bench.workloads import with_k
+
+SIGNATURE_BYTES = (2, 4, 8, 16, 32)
+K = 10
+NUM_KEYWORDS = 2
+
+
+@pytest.fixture(scope="module")
+def sweep(restaurants):
+    base = with_k(
+        restaurants.workload.queries(queries_per_point(), NUM_KEYWORDS, K), K
+    )
+    result = SweepResult()
+    names = ["RTREE", "IIO", "IR2", "MIR2"]
+    for metric, label in MetricsRow.METRICS.items():
+        result.tables[metric] = SeriesTable(
+            title=(
+                "Figure 14 (Restaurants): vary signature length (bytes), "
+                f"k={K}, {NUM_KEYWORDS} keywords — {label}"
+            ),
+            parameter="sig_bytes",
+            algorithms=names,
+        )
+    baseline_rows = {
+        name: restaurants.measure(name, base) for name in ("RTREE", "IIO")
+    }
+    for length in SIGNATURE_BYTES:
+        context = get_context(
+            "restaurants", signature_bytes=length, algorithms=("IR2", "MIR2")
+        )
+        rows = dict(baseline_rows)
+        rows["IR2"] = context.measure("IR2", base)
+        rows["MIR2"] = context.measure("MIR2", base)
+        for metric in MetricsRow.METRICS:
+            result.tables[metric].add(
+                length, {name: getattr(rows[name], metric) for name in names}
+            )
+    emit_sweep("fig14_vary_siglen_restaurants", result)
+    return result
+
+
+@pytest.mark.parametrize("sig_bytes", SIGNATURE_BYTES)
+def test_fig14_ir2_wallclock(benchmark, restaurants, sweep, sig_bytes):
+    """Wall-clock of the IR2 query batch at each signature length."""
+    context = get_context(
+        "restaurants", signature_bytes=sig_bytes, algorithms=("IR2", "MIR2")
+    )
+    queries = with_k(
+        restaurants.workload.queries(queries_per_point(), NUM_KEYWORDS, K), K
+    )
+    benchmark.pedantic(
+        lambda: context.run_queries("IR2", queries), rounds=3, iterations=1
+    )
+
+
+def test_fig14_shape_longer_signatures_fewer_object_accesses(restaurants, sweep):
+    """Longest signatures must not inspect more objects than shortest."""
+    ir2 = sweep.table("object_accesses").column("IR2")
+    assert ir2[-1] <= ir2[0]

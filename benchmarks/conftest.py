@@ -1,0 +1,41 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Experiment scale is laptop-sized by default (``REPRO_SCALE=0.02`` of the
+paper's object counts) — set the environment variable higher for closer
+absolute numbers; the *shapes* (who wins, by what factor) hold at every
+scale.  Every sweep prints its paper-style tables to stdout (run pytest
+with ``-s`` to see them live) and writes Markdown copies under
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SweepResult, get_context, save_markdown
+
+
+@pytest.fixture(scope="session")
+def hotels():
+    """Hotels context: paper signature length 189 bytes, all algorithms."""
+    return get_context("hotels")
+
+
+@pytest.fixture(scope="session")
+def restaurants():
+    """Restaurants context: paper signature length 8 bytes, all algorithms."""
+    return get_context("restaurants")
+
+
+def emit_sweep(name: str, result: SweepResult) -> None:
+    """Print a sweep's tables (plus the time chart) and persist them."""
+    text = result.render()
+    chart = result.table("simulated_ms").render_chart()
+    print(f"\n{'=' * 72}\n{text}\n\n{chart}\n{'=' * 72}")
+    save_markdown(name, result.render_markdown() + "\n\n```\n" + chart + "\n```")
+
+
+def emit_text(name: str, text: str) -> None:
+    """Print a free-form result block and persist it."""
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+    save_markdown(name, text)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's running example, end to end.
+
+Builds an IR2-Tree over the Figure-1 hotel dataset and runs the query from
+the paper's Examples 2/3 — "top-2 hotels from point [30.5, 100.0]
+containing the keywords {internet, pool}" — then shows a ranked (general)
+query and live index maintenance.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SpatialKeywordEngine
+from repro.datasets import figure1_hotels
+
+
+def main() -> None:
+    # 1. Create an engine backed by an IR2-Tree with 16-byte signatures.
+    engine = SpatialKeywordEngine(index="ir2", signature_bytes=16)
+
+    # 2. Load the paper's Figure-1 hotels and build the index.
+    engine.add_all(figure1_hotels())
+    engine.build()
+    print(f"indexed {len(engine)} hotels, "
+          f"index size {engine.index_size_mb() * 1024:.1f} KB")
+
+    # 3. The distance-first query of the paper's Example 3.
+    execution = engine.query(
+        point=(30.5, 100.0), keywords=["internet", "pool"], k=2
+    )
+    print("\ntop-2 hotels with internet AND pool, nearest to [30.5, 100.0]:")
+    for rank, result in enumerate(execution.results, start=1):
+        print(f"  {rank}. H{result.obj.oid}  distance={result.distance:7.1f}  "
+              f"'{result.obj.text}'")
+    print(f"cost: {execution.summary()}")
+    assert execution.oids == [7, 2], "must match the paper's Example 3"
+
+    # 4. A general ranked query: trade distance against text relevance.
+    ranked = engine.query_ranked(
+        point=(30.5, 100.0), keywords=["internet", "pool"], k=3
+    )
+    print("\nranked by f(distance, IRscore):")
+    for rank, result in enumerate(ranked.results, start=1):
+        print(f"  {rank}. H{result.obj.oid}  score={result.score:.4f}  "
+              f"ir={result.ir_score:.4f}  distance={result.distance:.1f}")
+
+    # 5. Live maintenance: a new hotel opens next to the query point...
+    engine.add_object(9, (30.6, 100.1), "Hotel I internet pool rooftop bar")
+    execution = engine.query((30.5, 100.0), ["internet", "pool"], k=2)
+    print(f"\nafter inserting H9: top-2 = {['H%d' % o for o in execution.oids]}")
+    assert execution.oids == [9, 7]
+
+    # ...and closes again.
+    engine.delete(9)
+    execution = engine.query((30.5, 100.0), ["internet", "pool"], k=2)
+    print(f"after deleting H9:  top-2 = {['H%d' % o for o in execution.oids]}")
+    assert execution.oids == [7, 2]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Anatomy of the IR2-Tree's signatures — why the MIR2-Tree exists.
+
+Section IV: with one signature length everywhere, higher IR2-Tree levels
+"have more 1's (since they are the superimpositions of the lower levels)"
+and therefore produce more false positives.  This example builds an
+IR2-Tree and an MIR2-Tree over the same corpus and prints, per level:
+how full the signatures are, the estimated probability a random keyword
+falsely matches, and the per-level lengths the MIR2-Tree chose.
+
+Run:
+    python examples/signature_anatomy.py
+"""
+
+from __future__ import annotations
+
+from repro.core import Corpus, IR2Index, MIR2Index
+from repro.core.diagnostics import estimated_false_positive_rates, signature_saturation
+from repro.datasets import DatasetConfig, SpatialTextDatasetGenerator
+
+N_OBJECTS = 1_200
+SIGNATURE_BYTES = 8
+
+
+def main() -> None:
+    config = DatasetConfig(
+        name="anatomy",
+        n_objects=N_OBJECTS,
+        vocabulary_size=3_000,
+        avg_unique_words=20,
+        seed=99,
+    )
+    corpus = Corpus()
+    corpus.add_all(SpatialTextDatasetGenerator(config).generate())
+    print(f"corpus: {len(corpus)} objects, "
+          f"{corpus.vocabulary.unique_words} distinct words, "
+          f"{SIGNATURE_BYTES}-byte leaf signatures\n")
+
+    for make in (
+        lambda: IR2Index(corpus, SIGNATURE_BYTES, capacity=16),
+        lambda: MIR2Index(corpus, SIGNATURE_BYTES, capacity=16),
+    ):
+        index = make()
+        index.build()
+        tree = index.tree
+        print(f"{index.label}-Tree (height {tree.height}):")
+        print(f"  {'level':>5}  {'nodes':>5}  {'sig bits':>8}  "
+              f"{'mean fill':>9}  {'est. FP rate':>12}")
+        rates = estimated_false_positive_rates(tree, bits_per_word=3)
+        for row in signature_saturation(tree):
+            print(f"  {row.level:>5}  {row.nodes:>5}  {row.signature_bits:>8}  "
+                  f"{row.mean_fill:>9.3f}  {rates[row.level]:>12.4f}")
+        print()
+
+    print(
+        "reading the tables: the IR2-Tree's root-level signatures are "
+        "nearly all 1s — a random keyword 'matches' them almost surely, "
+        "so the top of the tree cannot prune.  The MIR2-Tree grows the "
+        "signature length with the level (right column of its table) and "
+        "keeps every level near the half-full design point, at the price "
+        "of much larger nodes and expensive maintenance."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim: enables `pip install -e . --no-use-pep517` on
+environments without the `wheel` package (offline editable installs)."""
+
+from setuptools import setup
+
+setup()

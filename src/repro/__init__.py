@@ -1,0 +1,49 @@
+"""repro — a from-scratch reproduction of *Keyword Search on Spatial
+Databases* (De Felipe, Hristidis, Rishe; ICDE 2008).
+
+The package implements the paper's complete system in pure Python:
+
+* :mod:`repro.storage` — disk-block simulator with random/sequential
+  access accounting, page store, plain-text object file;
+* :mod:`repro.spatial` — R-Tree [Gut84] with quadratic split and the
+  incremental nearest-neighbor algorithm [HS99];
+* :mod:`repro.text` — signature files [FC84] with optimal-length design
+  [MC94], a disk-resident inverted index, and the IR scoring model;
+* :mod:`repro.core` — the IR2-Tree and MIR2-Tree, the distance-first and
+  general top-k spatial keyword search algorithms, both baselines, and
+  the :class:`~repro.core.engine.SpatialKeywordEngine` facade;
+* :mod:`repro.datasets` — synthetic Hotels/Restaurants generators that
+  stand in for the paper's (defunct) HPDRC datasets, plus the Figure-1
+  running example;
+* :mod:`repro.bench` — the experiment harness regenerating every table
+  and figure of the evaluation section.
+
+Quick start::
+
+    from repro import SpatialKeywordEngine
+
+    engine = SpatialKeywordEngine(index="ir2", signature_bytes=16)
+    engine.add_object(7, (-33.2, -70.4), "internet airport transportation pool")
+    engine.add_object(4, (39.5, 116.2), "sauna pool conference rooms")
+    engine.build()
+    top = engine.query(point=(30.5, 100.0), keywords=["pool"], k=1)
+    assert top.results[0].obj.oid == 4
+"""
+
+from repro.core.engine import SpatialKeywordEngine
+from repro.core.query import QueryExecution, SpatialKeywordQuery
+from repro.core.ranking import DistanceDecayRanking, LinearRanking
+from repro.model import SearchResult, SpatialObject
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DistanceDecayRanking",
+    "LinearRanking",
+    "QueryExecution",
+    "SearchResult",
+    "SpatialKeywordEngine",
+    "SpatialKeywordQuery",
+    "SpatialObject",
+    "__version__",
+]

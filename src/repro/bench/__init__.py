@@ -1,0 +1,41 @@
+"""Benchmark harness: contexts, workloads, paper-style result tables."""
+
+from repro.bench.harness import (
+    ALGORITHMS,
+    DEFAULT_SCALE,
+    PAPER_SIGNATURE_BYTES,
+    ExperimentContext,
+    MetricsRow,
+    SweepResult,
+    bench_scale,
+    get_context,
+    queries_per_point,
+    run_sweep,
+    save_markdown,
+)
+from repro.bench.reporting import (
+    SeriesTable,
+    format_markdown,
+    format_table,
+    render_chart,
+)
+from repro.bench.workloads import WorkloadGenerator
+
+__all__ = [
+    "ALGORITHMS",
+    "DEFAULT_SCALE",
+    "ExperimentContext",
+    "MetricsRow",
+    "PAPER_SIGNATURE_BYTES",
+    "SeriesTable",
+    "SweepResult",
+    "WorkloadGenerator",
+    "bench_scale",
+    "format_markdown",
+    "format_table",
+    "get_context",
+    "queries_per_point",
+    "render_chart",
+    "run_sweep",
+    "save_markdown",
+]

@@ -1,0 +1,184 @@
+"""Result tables in the shape of the paper's figures.
+
+The paper reports, per figure: (a) execution time and (b) disk block
+accesses split into random (thick bars) and sequential (thin lines), plus
+object accesses for the signature-length experiments.  These helpers
+render the measured series as aligned ASCII tables for the terminal and
+as Markdown for ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render an aligned ASCII table.
+
+    Numeric cells are right-aligned; floats print with sensible precision.
+    """
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in rendered), 1)
+        if rendered
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_markdown(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render the same data as a Markdown table (for EXPERIMENTS.md)."""
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(str(h) for h in headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_cell(value) for value in row) + " |")
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_chart(
+    table: "SeriesTable",
+    width: int = 64,
+    height: int = 14,
+    log_scale: bool = True,
+) -> str:
+    """Render a series table as an ASCII chart (the paper's figure form).
+
+    One marker letter per algorithm, a logarithmic y-axis by default
+    (the paper's time figures use log scale "to illustrate the difference
+    more clearly"), parameter values along the x-axis.
+
+    Args:
+        table: the series to plot.
+        width: plot area width in characters.
+        height: plot area height in rows.
+        log_scale: use log10 on the y-axis (falls back to linear when
+            values include zero or negatives).
+    """
+    points: list[tuple[int, str, float]] = []  # (x_index, algorithm, value)
+    for x_index, (_, cells) in enumerate(table.rows):
+        for algorithm in table.algorithms:
+            value = cells.get(algorithm)
+            if value is None or value != value:  # missing / NaN
+                continue
+            points.append((x_index, algorithm, float(value)))
+    if not points:
+        return f"{table.title}\n(no data)"
+    values = [v for _, _, v in points]
+    use_log = log_scale and min(values) > 0
+    transform = (lambda v: math.log10(v)) if use_log else (lambda v: v)
+    low = min(transform(v) for v in values)
+    high = max(transform(v) for v in values)
+    span = (high - low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = {
+        algorithm: algorithm[0] for algorithm in table.algorithms
+    }
+    # Disambiguate duplicate first letters (e.g. IR2/IIO -> I, i).
+    seen: dict[str, int] = {}
+    for algorithm in table.algorithms:
+        letter = algorithm[0]
+        count = seen.get(letter, 0)
+        markers[algorithm] = letter.lower() if count else letter
+        seen[letter] = count + 1
+
+    x_count = len(table.rows)
+    for x_index, algorithm, value in points:
+        x = (
+            int(x_index * (width - 1) / (x_count - 1)) if x_count > 1 else width // 2
+        )
+        y = int(round((transform(value) - low) / span * (height - 1)))
+        row = height - 1 - y
+        cell = grid[row][x]
+        grid[row][x] = "*" if cell not in (" ", markers[algorithm]) else markers[algorithm]
+
+    scale_note = "log10" if use_log else "linear"
+    top_label = f"{(10 ** high if use_log else high):,.0f}"
+    bottom_label = f"{(10 ** low if use_log else low):,.0f}"
+    lines = [table.title + f"  [{scale_note} y-axis]"]
+    for i, row in enumerate(grid):
+        label = top_label if i == 0 else (bottom_label if i == height - 1 else "")
+        lines.append(f"{label:>10} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    x_labels = "  ".join(str(value) for value, _ in table.rows)
+    lines.append(" " * 12 + f"{table.parameter}: {x_labels}")
+    legend = "  ".join(f"{markers[a]}={a}" for a in table.algorithms)
+    lines.append(" " * 12 + f"legend: {legend}  (*=overlap)")
+    return "\n".join(lines)
+
+
+@dataclass
+class SeriesTable:
+    """One paper figure: a swept parameter vs. a metric per algorithm.
+
+    Attributes:
+        title: figure label, e.g. "Figure 9a: execution time vs k (Hotels)".
+        parameter: name of the swept parameter ("k", "keywords", ...).
+        algorithms: column order.
+        rows: parameter value -> {algorithm: metric value}.
+    """
+
+    title: str
+    parameter: str
+    algorithms: list[str]
+    rows: list[tuple[object, dict[str, float]]] = field(default_factory=list)
+
+    def add(self, parameter_value, per_algorithm: dict[str, float]) -> None:
+        """Append one swept point."""
+        self.rows.append((parameter_value, dict(per_algorithm)))
+
+    def as_rows(self) -> list[list]:
+        return [
+            [value] + [cells.get(algorithm, float("nan")) for algorithm in self.algorithms]
+            for value, cells in self.rows
+        ]
+
+    def render(self) -> str:
+        """ASCII rendering (printed by the benchmark harness)."""
+        return format_table(
+            [self.parameter] + self.algorithms, self.as_rows(), title=self.title
+        )
+
+    def render_markdown(self) -> str:
+        """Markdown rendering (pasted into EXPERIMENTS.md)."""
+        return format_markdown(
+            [self.parameter] + self.algorithms, self.as_rows(), title=self.title
+        )
+
+    def column(self, algorithm: str) -> list[float]:
+        """The metric series of one algorithm, in sweep order."""
+        return [cells.get(algorithm, float("nan")) for _, cells in self.rows]
+
+    def render_chart(self, width: int = 64, height: int = 14) -> str:
+        """ASCII chart rendering (the figure form of this table)."""
+        return render_chart(self, width=width, height=height)

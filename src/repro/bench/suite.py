@@ -1,0 +1,190 @@
+"""One-command reproduction of the paper's evaluation section.
+
+``python -m repro.bench.suite [--scale S] [--queries N] [--out DIR]``
+builds both datasets, constructs all four index structures, runs every
+table and figure of Section VI (plus the Section VI.B discussion sweep),
+prints paper-style tables and ASCII figures, and writes Markdown copies
+to the output directory.  It is the pytest-free counterpart of the
+``benchmarks/`` tree for people who just want the paper regenerated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Sequence
+
+from repro.bench.harness import (
+    ALGORITHMS,
+    ExperimentContext,
+    MetricsRow,
+    SweepResult,
+    get_context,
+    run_sweep,
+    save_markdown,
+)
+from repro.bench.reporting import SeriesTable, format_table
+from repro.bench.workloads import truncate_keywords, with_k
+
+K_VALUES = (1, 5, 10, 20, 50)
+KEYWORD_COUNTS = (1, 2, 3, 4, 5)
+SIGNATURE_SWEEPS = {"hotels": (47, 94, 189, 378), "restaurants": (2, 4, 8, 16, 32)}
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.suite",
+        description="Regenerate every table and figure of the paper",
+    )
+    parser.add_argument("--scale", type=float, default=None,
+                        help="fraction of the paper's object counts "
+                             "(default: REPRO_SCALE or 0.02)")
+    parser.add_argument("--queries", type=int, default=None,
+                        help="queries per swept point (default: "
+                             "REPRO_QUERIES or 8)")
+    parser.add_argument("--out", default="benchmarks/results",
+                        help="directory for the Markdown result files")
+    parser.add_argument("--skip-signature-sweeps", action="store_true",
+                        help="skip Figures 11/14 (they rebuild IR2/MIR2 "
+                             "per signature length)")
+    return parser
+
+
+def _emit(name: str, text: str, out_dir: str) -> None:
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+    save_markdown(name, text, directory=out_dir)
+
+
+def _emit_sweep(name: str, result: SweepResult, out_dir: str) -> None:
+    chart = result.table("simulated_ms").render_chart()
+    _emit(name, result.render() + "\n\n" + chart, out_dir)
+
+
+def run_table1(contexts: dict[str, ExperimentContext], out_dir: str) -> None:
+    rows = []
+    for name, context in contexts.items():
+        rows.append((name.capitalize(),) + context.corpus.stats().row())
+    text = format_table(
+        ("Dataset", "Size (MB)", "Objects", "Avg unique words/obj",
+         "Unique words", "Avg blocks/obj"),
+        rows,
+        title="Table 1: dataset details",
+    )
+    _emit("suite_table1", text, out_dir)
+
+
+def run_table2(contexts: dict[str, ExperimentContext], out_dir: str) -> None:
+    order = ("IIO", "RTREE", "IR2", "MIR2")
+    rows = [
+        (name.capitalize(),)
+        + tuple(round(context.indexes[a].size_mb, 3) for a in order)
+        for name, context in contexts.items()
+    ]
+    text = format_table(
+        ("Dataset", "IIO", "R-Tree", "IR2-Tree", "MIR2-Tree"),
+        rows,
+        title="Table 2: index structure sizes (MB)",
+    )
+    _emit("suite_table2", text, out_dir)
+
+
+def run_vary_k(context: ExperimentContext, figure: str, queries: int, out_dir: str) -> None:
+    base = context.workload.queries(queries, 2, 10)
+    result = run_sweep(
+        context,
+        f"{figure} ({context.dataset.capitalize()}): vary k, 2 keywords",
+        "k",
+        K_VALUES,
+        lambda k: with_k(base, k),
+        algorithms=ALGORITHMS,
+    )
+    _emit_sweep(f"suite_{figure.lower().replace(' ', '')}", result, out_dir)
+
+
+def run_vary_keywords(
+    context: ExperimentContext, figure: str, queries: int, out_dir: str
+) -> None:
+    base = context.workload.queries(queries, max(KEYWORD_COUNTS), 10)
+    result = run_sweep(
+        context,
+        f"{figure} ({context.dataset.capitalize()}): vary #keywords, k=10",
+        "keywords",
+        KEYWORD_COUNTS,
+        lambda m: truncate_keywords(base, m),
+        algorithms=ALGORITHMS,
+    )
+    _emit_sweep(f"suite_{figure.lower().replace(' ', '')}", result, out_dir)
+
+
+def run_vary_signature(
+    context: ExperimentContext, figure: str, queries: int, out_dir: str
+) -> None:
+    base = with_k(context.workload.queries(queries, 2, 10), 10)
+    names = list(ALGORITHMS)
+    result = SweepResult()
+    for metric, label in MetricsRow.METRICS.items():
+        result.tables[metric] = SeriesTable(
+            title=(
+                f"{figure} ({context.dataset.capitalize()}): vary signature "
+                f"length (bytes) — {label}"
+            ),
+            parameter="sig_bytes",
+            algorithms=names,
+        )
+    baselines = {name: context.measure(name, base) for name in ("RTREE", "IIO")}
+    for length in SIGNATURE_SWEEPS[context.dataset]:
+        sig_context = get_context(
+            context.dataset,
+            signature_bytes=length,
+            scale=context.scale,
+            algorithms=("IR2", "MIR2"),
+        )
+        rows = dict(baselines)
+        rows["IR2"] = sig_context.measure("IR2", base)
+        rows["MIR2"] = sig_context.measure("MIR2", base)
+        for metric in MetricsRow.METRICS:
+            result.tables[metric].add(
+                length, {name: getattr(rows[name], metric) for name in names}
+            )
+    _emit_sweep(f"suite_{figure.lower().replace(' ', '')}", result, out_dir)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    if args.scale is not None:
+        os.environ["REPRO_SCALE"] = str(args.scale)
+    if args.queries is not None:
+        os.environ["REPRO_QUERIES"] = str(args.queries)
+    from repro.bench.harness import bench_scale, queries_per_point
+
+    queries = queries_per_point()
+    started = time.time()
+    print(
+        f"reproducing the evaluation at scale={bench_scale()} "
+        f"({queries} queries per point); results -> {args.out}"
+    )
+    contexts = {
+        "hotels": get_context("hotels"),
+        "restaurants": get_context("restaurants"),
+    }
+    print(f"datasets + 8 index builds: {time.time() - started:.1f}s")
+
+    run_table1(contexts, args.out)
+    run_vary_k(contexts["hotels"], "Figure 9", queries, args.out)
+    run_vary_keywords(contexts["hotels"], "Figure 10", queries, args.out)
+    run_vary_k(contexts["restaurants"], "Figure 12", queries, args.out)
+    run_vary_keywords(contexts["restaurants"], "Figure 13", queries, args.out)
+    if not args.skip_signature_sweeps:
+        run_vary_signature(contexts["hotels"], "Figure 11", queries, args.out)
+        run_vary_signature(contexts["restaurants"], "Figure 14", queries, args.out)
+    run_table2(contexts, args.out)
+
+    print(f"\ndone in {time.time() - started:.1f}s; "
+          f"Markdown copies in {args.out}/suite_*.md")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Query workload generation for the experiments.
+
+The paper's experiments issue distance-first top-k queries with 1-5
+keywords over each dataset.  Keywords are drawn the way real users pick
+them: from the text of an actual object (so the conjunction is satisfiable
+— an online yellow-pages user searches for amenities that exist), and the
+query point is a uniform location over the dataset extent.
+
+Workloads are deterministic for a given seed so every algorithm answers
+the *same* query list, and benchmark runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.query import SpatialKeywordQuery
+from repro.errors import DatasetError
+from repro.model import SpatialObject
+from repro.text.analyzer import Analyzer
+
+
+class WorkloadGenerator:
+    """Deterministic spatial-keyword query sampler over a corpus.
+
+    Args:
+        objects: the dataset (used for keyword sampling and extent).
+        analyzer: tokenizer matching the one used at index time.
+        seed: RNG seed; one generator per experiment keeps runs aligned.
+    """
+
+    def __init__(
+        self, objects: Sequence[SpatialObject], analyzer: Analyzer, seed: int = 42
+    ) -> None:
+        if not objects:
+            raise DatasetError("workload needs a non-empty object list")
+        self.objects = list(objects)
+        self.analyzer = analyzer
+        self._rng = random.Random(seed)
+        dims = objects[0].dims
+        self._lo = tuple(
+            min(obj.point[d] for obj in objects) for d in range(dims)
+        )
+        self._hi = tuple(
+            max(obj.point[d] for obj in objects) for d in range(dims)
+        )
+
+    def random_point(self) -> tuple[float, ...]:
+        """Uniform point over the dataset's bounding box."""
+        return tuple(
+            self._rng.uniform(lo, hi) for lo, hi in zip(self._lo, self._hi)
+        )
+
+    def sample_keywords(self, count: int) -> list[str]:
+        """Distinct keywords co-occurring in one randomly chosen object.
+
+        Guarantees the conjunctive query has at least one answer.  Objects
+        with fewer than ``count`` distinct terms are skipped (bounded
+        retries, then the largest available subset is used).
+        """
+        if count < 1:
+            raise DatasetError(f"keyword count must be >= 1, got {count}")
+        best: list[str] = []
+        for _ in range(64):
+            obj = self._rng.choice(self.objects)
+            terms = sorted(self.analyzer.terms(obj.text))
+            if len(terms) >= count:
+                return self._rng.sample(terms, count)
+            if len(terms) > len(best):
+                best = terms
+        if not best:
+            raise DatasetError("no object provided any keywords")
+        return best
+
+    def query(self, num_keywords: int, k: int) -> SpatialKeywordQuery:
+        """One query: random location, object-grounded keywords."""
+        return SpatialKeywordQuery.of(
+            self.random_point(), self.sample_keywords(num_keywords), k
+        )
+
+    # -- Frequency-controlled keywords (Section VI.B's discussion) ------------
+
+    def _document_frequencies(self) -> dict[str, int]:
+        if not hasattr(self, "_df_cache"):
+            df: dict[str, int] = {}
+            for obj in self.objects:
+                for term in self.analyzer.terms(obj.text):
+                    df[term] = df.get(term, 0) + 1
+            self._df_cache = df
+        return self._df_cache
+
+    def keywords_in_frequency_band(
+        self, count: int, min_fraction: float, max_fraction: float
+    ) -> list[str]:
+        """Distinct keywords whose document frequency falls in a band.
+
+        Args:
+            count: how many keywords to sample.
+            min_fraction: minimum df as a fraction of the corpus size.
+            max_fraction: maximum df as a fraction of the corpus size.
+
+        Used to reproduce the paper's Section VI.B: "in the rare case
+        where every query keyword appears in very few objects, the IIO
+        method will be faster ... if the query keywords appear in almost
+        all objects, the R-Tree will excel".
+        """
+        n = len(self.objects)
+        candidates = [
+            term
+            for term, df in self._document_frequencies().items()
+            if min_fraction * n <= df <= max_fraction * n
+        ]
+        if len(candidates) < count:
+            raise DatasetError(
+                f"only {len(candidates)} terms have df in "
+                f"[{min_fraction}, {max_fraction}] x {n}"
+            )
+        candidates.sort()
+        return self._rng.sample(candidates, count)
+
+    def frequency_band_queries(
+        self,
+        count: int,
+        num_keywords: int,
+        k: int,
+        min_fraction: float,
+        max_fraction: float,
+    ) -> list[SpatialKeywordQuery]:
+        """Query batch whose keywords all come from one df band.
+
+        Note the keywords are sampled independently, so the conjunction
+        may be empty for rare bands — exactly the regime where the paper
+        says the R-Tree baseline degenerates to a full scan.
+        """
+        return [
+            SpatialKeywordQuery.of(
+                self.random_point(),
+                self.keywords_in_frequency_band(
+                    num_keywords, min_fraction, max_fraction
+                ),
+                k,
+            )
+            for _ in range(count)
+        ]
+
+    def queries(
+        self, count: int, num_keywords: int, k: int
+    ) -> list[SpatialKeywordQuery]:
+        """A reproducible batch of ``count`` queries."""
+        return [self.query(num_keywords, k) for _ in range(count)]
+
+
+def with_k(queries: Sequence[SpatialKeywordQuery], k: int) -> list[SpatialKeywordQuery]:
+    """The same query batch with a different ``k``.
+
+    The paper's vary-k experiments hold the query locations and keywords
+    fixed while sweeping k (that is why IIO's cost is flat there); this
+    helper keeps every algorithm and every k on identical batches.
+    """
+    return [SpatialKeywordQuery(q.point, q.keywords, k) for q in queries]
+
+
+def truncate_keywords(
+    queries: Sequence[SpatialKeywordQuery], num_keywords: int
+) -> list[SpatialKeywordQuery]:
+    """The same batch restricted to each query's first ``num_keywords``.
+
+    Used by the vary-keywords experiments: prefixes of one keyword set
+    keep the sweep monotone (adding a keyword can only shrink the
+    conjunctive answer set, as the paper notes in Section VI).
+    """
+    return [
+        SpatialKeywordQuery(q.point, q.keywords[:num_keywords], q.k) for q in queries
+    ]

@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the typical lifecycle:
+
+``generate``
+    Write a synthetic dataset (Hotels/Restaurants statistics) as a
+    tab-delimited file — or convert nothing: any TSV of
+    ``id <TAB> lat <TAB> lon <TAB> text`` works as input to ``build``.
+
+``build``
+    Index a TSV dataset into a persistent engine directory.
+
+``query``
+    Run a distance-first (or ranked) top-k spatial keyword query against
+    a saved engine and print results plus the paper's cost metrics.
+
+``stats``
+    Print dataset statistics (Table 1 shape) and the index footprint for
+    a saved engine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import SpatialKeywordEngine
+from repro.core.corpus import CorpusStats
+from repro.datasets import (
+    SpatialTextDatasetGenerator,
+    hotels_config,
+    iter_tsv,
+    restaurants_config,
+    save_tsv,
+)
+from repro.errors import ReproError
+from repro.persist import load_engine, save_engine
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema (exposed for tests and docs tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Top-k spatial keyword search (IR2-Tree reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="write a synthetic dataset as a TSV file"
+    )
+    generate.add_argument("--dataset", choices=("hotels", "restaurants"),
+                          default="hotels")
+    generate.add_argument("--scale", type=float, default=0.01,
+                          help="fraction of the paper's object count")
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--out", required=True, help="output TSV path")
+
+    build = commands.add_parser(
+        "build", help="index a TSV dataset into an engine directory"
+    )
+    build.add_argument("--data", required=True, help="input TSV path")
+    build.add_argument("--out", required=True, help="engine directory")
+    build.add_argument("--index",
+                       choices=("rtree", "iio", "ir2", "mir2", "sig"),
+                       default="ir2")
+    build.add_argument("--signature-bytes", type=int, default=16)
+    build.add_argument("--bits-per-word", type=int, default=3)
+    build.add_argument("--block-size", type=int, default=4096)
+    build.add_argument("--compression", choices=("raw", "varint"),
+                       default="raw",
+                       help="IIO posting codec (ignored by other indexes)")
+    build.add_argument("--insert-build", action="store_true",
+                       help="build by repeated insertion instead of bulk load")
+
+    query = commands.add_parser(
+        "query", help="run a top-k spatial keyword query"
+    )
+    query.add_argument("--engine", required=True, help="engine directory")
+    query.add_argument("--point", nargs=2, type=float, required=True,
+                       metavar=("LAT", "LON"))
+    query.add_argument("--keywords", nargs="+", required=True)
+    query.add_argument("-k", type=int, default=10)
+    query.add_argument("--ranked", action="store_true",
+                       help="rank by f(distance, IRscore) instead of "
+                            "conjunctive distance-first")
+
+    stats = commands.add_parser(
+        "stats", help="dataset and index statistics for a saved engine"
+    )
+    stats.add_argument("--engine", required=True, help="engine directory")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "build":
+            return _cmd_build(args)
+        if args.command == "query":
+            return _cmd_query(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0  # pragma: no cover - argparse enforces a command
+
+
+def _cmd_generate(args) -> int:
+    config_factory = hotels_config if args.dataset == "hotels" else restaurants_config
+    config = config_factory(scale=args.scale, seed=args.seed)
+    objects = SpatialTextDatasetGenerator(config).generate()
+    count = save_tsv(args.out, objects)
+    print(f"wrote {count} {args.dataset} objects to {args.out}")
+    return 0
+
+
+def _cmd_build(args) -> int:
+    engine = SpatialKeywordEngine(
+        index=args.index,
+        signature_bytes=args.signature_bytes,
+        bits_per_word=args.bits_per_word,
+        block_size=args.block_size,
+        compression=args.compression,
+    )
+    count = 0
+    for obj in iter_tsv(args.data):
+        engine.add(obj)
+        count += 1
+    engine.build(bulk=not args.insert_build)
+    manifest = save_engine(engine, args.out)
+    print(f"indexed {count} objects with {args.index.upper()}, "
+          f"saved to {manifest}")
+    print(f"index size: {engine.index_size_mb():.2f} MB")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    engine = load_engine(args.engine)
+    if args.ranked:
+        execution = engine.query_ranked(tuple(args.point), args.keywords, k=args.k)
+    else:
+        execution = engine.query(tuple(args.point), args.keywords, k=args.k)
+    if not execution.results:
+        print("no results")
+    for rank, result in enumerate(execution.results, start=1):
+        coords = ", ".join(f"{c:.4f}" for c in result.obj.point)
+        line = f"{rank:3d}. #{result.obj.oid} ({coords}) dist={result.distance:.4f}"
+        if args.ranked:
+            line += f" score={result.score:.4f} ir={result.ir_score:.4f}"
+        snippet = result.obj.text[:70]
+        print(f"{line}  {snippet}")
+    print(execution.summary())
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    engine = load_engine(args.engine)
+    stats: CorpusStats = engine.corpus_stats()
+    print(f"objects             : {stats.total_objects}")
+    print(f"object file         : {stats.size_mb:.2f} MB")
+    print(f"avg unique words/obj: {stats.avg_unique_words_per_object:.1f}")
+    print(f"unique words        : {stats.unique_words}")
+    print(f"avg blocks/object   : {stats.avg_blocks_per_object:.2f}")
+    print(f"index kind          : {engine.index.label}")
+    print(f"index size          : {engine.index_size_mb():.2f} MB")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

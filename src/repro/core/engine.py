@@ -1,0 +1,237 @@
+"""User-facing facade: :class:`SpatialKeywordEngine`.
+
+Bundles a corpus and one index behind the small API most applications
+need::
+
+    engine = SpatialKeywordEngine(index="ir2", signature_bytes=16)
+    engine.add_object(1, (25.4, -80.1), "tennis court gift shop spa internet")
+    ...
+    engine.build()
+    execution = engine.query((30.5, 100.0), ["internet", "pool"], k=2)
+    for result in execution.results:
+        print(result.obj.oid, result.distance)
+
+Lower-level pieces (trees, stores, search functions) stay importable for
+research use; the engine adds nothing they cannot do.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.corpus import Corpus, CorpusStats
+from repro.core.indexes import SpatialKeywordIndex, make_index
+from repro.core.query import QueryExecution, SpatialKeywordQuery
+from repro.core.ranking import DistanceDecayRanking, RankingCallable, validate_monotonicity
+from repro.errors import IndexError_, QueryError
+from repro.model import SpatialObject
+from repro.spatial.geometry import Rect
+from repro.storage.block import DEFAULT_BLOCK_SIZE
+from repro.storage.iostats import IOStats
+from repro.text.analyzer import Analyzer
+
+
+class SpatialKeywordEngine:
+    """A complete spatial-keyword search system over one dataset.
+
+    Args:
+        index: which structure answers queries — "ir2" (default), "mir2",
+            the paper's baselines "rtree" / "iio", or the signature-file
+            scan "sig".
+        signature_bytes: signature length for the IR2-Tree (or the leaf
+            level of the MIR2-Tree); ignored by the baselines.
+        bits_per_word: signature hash bits per word.
+        analyzer: custom tokenizer; the library default when omitted.
+        block_size: disk block size for every structure (paper: 4096).
+        seed: signature hash seed.
+        capacity: tree fan-out override (derived from block size when
+            omitted).
+        compression: IIO posting codec, "raw" or "varint" [NMN+00];
+            ignored by the other index kinds.
+    """
+
+    def __init__(
+        self,
+        index: str = "ir2",
+        signature_bytes: int = 16,
+        bits_per_word: int = 3,
+        analyzer: Analyzer | None = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        seed: int = 0,
+        capacity: int | None = None,
+        compression: str = "raw",
+    ) -> None:
+        self.corpus = Corpus(analyzer=analyzer, block_size=block_size)
+        self._index_kind = index
+        self.index: SpatialKeywordIndex = make_index(
+            index,
+            self.corpus,
+            signature_bytes=signature_bytes,
+            bits_per_word=bits_per_word,
+            seed=seed,
+            capacity=capacity,
+            compression=compression,
+        )
+        self._pointers: dict[int, int] = {}  # oid -> ObjPtr
+
+    # -- Population -------------------------------------------------------------
+
+    def add_object(self, oid: int, point: Sequence[float], text: str) -> None:
+        """Stage one object (before :meth:`build`) or insert it live (after)."""
+        self.add(SpatialObject(oid, tuple(float(c) for c in point), text))
+
+    def add(self, obj: SpatialObject) -> None:
+        """Stage or live-insert a :class:`~repro.model.SpatialObject`."""
+        if obj.oid in self._pointers:
+            raise QueryError(f"object id {obj.oid} already present")
+        pointer = self.corpus.add(obj)
+        self._pointers[obj.oid] = pointer
+        if self.index.built:
+            self.index.insert_object(pointer, obj)
+
+    def add_all(self, objects: Iterable[SpatialObject]) -> None:
+        """Stage or live-insert many objects."""
+        for obj in objects:
+            self.add(obj)
+
+    def build(self, bulk: bool = True) -> None:
+        """Construct the index over everything staged so far."""
+        self.index.build(bulk=bulk)
+
+    def delete(self, oid: int) -> bool:
+        """Remove an object from the index and the corpus bookkeeping."""
+        if not self.index.built:
+            raise IndexError_("build() the engine before deleting objects")
+        pointer = self._pointers.pop(oid, None)
+        if pointer is None:
+            return False
+        obj = self.corpus.store.load(pointer)
+        removed = self.index.delete_object(pointer, obj)
+        self.corpus.store.delete(oid)
+        self.corpus.vocabulary.remove_document(self.corpus.analyzer.terms(obj.text))
+        return removed
+
+    # -- Queries ------------------------------------------------------------------
+
+    def query(
+        self, point: Sequence[float], keywords: Sequence[str], k: int = 10
+    ) -> QueryExecution:
+        """Distance-first top-k spatial keyword query (the paper's default)."""
+        return self.index.execute(SpatialKeywordQuery.of(point, keywords, k))
+
+    def query_incremental(
+        self, point: Sequence[float], keywords: Sequence[str]
+    ):
+        """Lazily yield distance-first results, nearest first.
+
+        The paper's algorithm is *incremental*: "each call to the
+        IR2NearestNeighbor method returns a candidate result object".
+        This exposes that property at the engine level — pull one result,
+        show a page, pull more — paying index I/O only for what is
+        consumed.  Supported by the tree-based indexes ("rtree", "ir2",
+        "mir2"); IIO is inherently non-incremental (Section V.A).
+
+        Yields:
+            :class:`~repro.model.SearchResult` objects in non-decreasing
+            distance order.
+        """
+        from repro.core.search import ir2_top_k_iter, rtree_top_k_iter
+
+        if not hasattr(self.index, "tree"):
+            raise QueryError(
+                f"index kind {self._index_kind!r} cannot stream results "
+                "incrementally"
+            )
+        self.index._require_built()
+        query = SpatialKeywordQuery.of(point, keywords, k=1)
+        if self._index_kind == "rtree":
+            return rtree_top_k_iter(
+                self.index.tree, self.corpus.store, self.corpus.analyzer, query
+            )
+        return ir2_top_k_iter(
+            self.index.tree, self.corpus.store, self.corpus.analyzer, query
+        )
+
+    def query_area(
+        self,
+        lo: Sequence[float],
+        hi: Sequence[float],
+        keywords: Sequence[str],
+        k: int = 10,
+    ) -> QueryExecution:
+        """Distance-first query anchored to a rectangular area.
+
+        Section III: "an area could be used instead" of the query point.
+        Objects inside the area rank first (distance 0), then by distance
+        to the area's nearest edge.
+
+        Args:
+            lo: area's low corner (e.g. southwest point).
+            hi: area's high corner (e.g. northeast point).
+            keywords: conjunctive query keywords.
+            k: number of requested results.
+        """
+        area = Rect(
+            tuple(float(c) for c in lo), tuple(float(c) for c in hi)
+        )
+        return self.index.execute(SpatialKeywordQuery.of_area(area, keywords, k))
+
+    def query_ranked(
+        self,
+        point: Sequence[float],
+        keywords: Sequence[str],
+        k: int = 10,
+        ranking: RankingCallable | None = None,
+        prune_zero_ir: bool = True,
+    ) -> QueryExecution:
+        """General top-k query ranked by ``f(distance, IRscore)``.
+
+        Only available on the signature-bearing indexes ("ir2"/"mir2").
+        """
+        execute_ranked = getattr(self.index, "execute_ranked", None)
+        if execute_ranked is None:
+            raise QueryError(
+                f"index kind {self._index_kind!r} does not support ranked queries"
+            )
+        if ranking is None:
+            ranking = DistanceDecayRanking(half_distance=self._default_half_distance())
+        else:
+            validate_monotonicity(ranking)
+        return execute_ranked(
+            SpatialKeywordQuery.of(point, keywords, k),
+            ranking,
+            prune_zero_ir=prune_zero_ir,
+        )
+
+    def _default_half_distance(self) -> float:
+        """A data-independent but sane decay scale: 10% of the data extent."""
+        points = [obj.point for obj in self.corpus.objects()]
+        if not points:
+            return 1.0
+        spans = [
+            max(p[d] for p in points) - min(p[d] for p in points)
+            for d in range(self.corpus.dims)
+        ]
+        extent = max(spans) if spans else 1.0
+        return max(extent * 0.1, 1e-9)
+
+    # -- Introspection ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.corpus)
+
+    def corpus_stats(self) -> CorpusStats:
+        """Dataset statistics in the shape of the paper's Table 1."""
+        return self.corpus.stats()
+
+    def index_size_mb(self) -> float:
+        """Index structure footprint in megabytes (Table 2)."""
+        return self.index.size_mb
+
+    def io_stats(self) -> IOStats:
+        """Merged running I/O counters of the index and object devices."""
+        return self.index.device.stats.merged_with(self.corpus.device.stats)
+
+    def reset_io(self) -> None:
+        """Zero the I/O counters (e.g. after a build, before measuring)."""
+        self.index.reset_io()

@@ -1,0 +1,542 @@
+"""Uniform index wrappers: one class per algorithm of the paper.
+
+The evaluation (Section VI) compares four algorithms — R-Tree, IIO,
+IR2-Tree, MIR2-Tree — on the same corpus.  Each wrapper here owns its
+structure's block device, knows how to build itself from a
+:class:`~repro.core.corpus.Corpus`, executes distance-first queries, and
+returns a :class:`~repro.core.query.QueryExecution` whose I/O delta spans
+both the index device and the shared object file.  Benchmarks and the
+engine facade talk only to this interface.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.baselines import iio_top_k
+from repro.core.builder import BulkItem, bulk_load, insert_build
+from repro.core.corpus import Corpus
+from repro.core.ir2tree import IR2Tree
+from repro.core.mir2tree import MIR2Tree
+from repro.core.query import QueryExecution, SpatialKeywordQuery
+from repro.core.ranking import RankingCallable
+from repro.core.search import SearchOutcome, ir2_top_k, rtree_top_k
+from repro.core.search_general import ranked_top_k
+from repro.errors import IndexError_, QueryError
+from repro.model import SpatialObject
+from repro.spatial.geometry import Rect
+from repro.spatial.rtree import RTree
+from repro.storage.block import BlockDevice, InMemoryBlockDevice
+from repro.storage.pagestore import PageStore
+from repro.text.inverted_index import InvertedIndex
+from repro.text.signature import HashSignatureFactory
+
+
+class SpatialKeywordIndex:
+    """Common behaviour: device ownership, build, measured execution."""
+
+    label = "?"
+
+    def __init__(self, corpus: Corpus, device: BlockDevice | None = None) -> None:
+        self.corpus = corpus
+        self.device = device or InMemoryBlockDevice(
+            corpus.device.block_size, name=f"{self.label.lower()}-index"
+        )
+        self.built = False
+
+    # -- Construction -----------------------------------------------------------
+
+    def build(self, bulk: bool = True, fill: float = 0.7) -> None:
+        """Build the structure over every object currently in the corpus.
+
+        Args:
+            bulk: use the STR bulk loader (True) or repeated insertion
+                (False, the paper's construction path).
+            fill: bulk-load node fill fraction.
+        """
+        items = [
+            BulkItem(
+                pointer,
+                Rect.from_point(obj.point),
+                self.corpus.analyzer.terms(obj.text),
+            )
+            for pointer, obj in self.corpus.iter_items()
+        ]
+        self._build_structure(items, bulk=bulk, fill=fill)
+        self.built = True
+
+    def _build_structure(self, items: list[BulkItem], bulk: bool, fill: float) -> None:
+        raise NotImplementedError
+
+    def _require_built(self) -> None:
+        if not self.built:
+            raise IndexError_(f"{self.label} index has not been built yet")
+
+    # -- Execution ------------------------------------------------------------------
+
+    def execute(self, query: SpatialKeywordQuery) -> QueryExecution:
+        """Run a distance-first query with full I/O accounting."""
+        self._require_built()
+        devices = self._devices()
+        before = [device.stats.snapshot() for device in devices]
+        outcome = self._run(query)
+        merged = None
+        for device, snapshot in zip(devices, before):
+            delta = device.stats.diff(snapshot)
+            merged = delta if merged is None else merged.merged_with(delta)
+        return QueryExecution(
+            query=query,
+            results=outcome.results,
+            io=merged,
+            objects_inspected=outcome.counters.objects_inspected,
+            false_positive_candidates=outcome.counters.false_positives,
+            nodes_visited=merged.category_reads("node"),
+            algorithm=self.label,
+        )
+
+    def _devices(self) -> list[BlockDevice]:
+        return [self.device, self.corpus.device]
+
+    def _run(self, query: SpatialKeywordQuery) -> SearchOutcome:
+        raise NotImplementedError
+
+    # -- Maintenance -------------------------------------------------------------------
+
+    def insert_object(self, pointer: int, obj: SpatialObject) -> None:
+        """Add one (already corpus-stored) object to the structure."""
+        raise NotImplementedError
+
+    def delete_object(self, pointer: int, obj: SpatialObject) -> bool:
+        """Remove one object from the structure; True when found."""
+        raise NotImplementedError
+
+    # -- Introspection ------------------------------------------------------------------
+
+    @property
+    def size_mb(self) -> float:
+        """Structure footprint in megabytes (Table 2)."""
+        raise NotImplementedError
+
+    def reset_io(self) -> None:
+        """Zero the I/O counters on every device this index touches."""
+        for device in self._devices():
+            device.stats.reset()
+
+
+class _TreeIndex(SpatialKeywordIndex):
+    """Shared logic for the three R-Tree-family indexes."""
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        device: BlockDevice | None = None,
+        capacity: int | None = None,
+    ) -> None:
+        super().__init__(corpus, device)
+        self.pages = PageStore(self.device)
+        self.capacity = capacity
+        self.tree: RTree | None = None
+
+    def _make_tree(self) -> RTree:
+        raise NotImplementedError
+
+    def _build_structure(self, items: list[BulkItem], bulk: bool, fill: float) -> None:
+        self.tree = self._make_tree()
+        if bulk:
+            bulk_load(self.tree, items, fill=fill)
+        else:
+            insert_build(self.tree, items)
+
+    def insert_object(self, pointer: int, obj: SpatialObject) -> None:
+        self._require_built()
+        terms = self.corpus.analyzer.terms(obj.text)
+        self.tree.insert(
+            pointer, Rect.from_point(obj.point), self.tree.scheme.object_signature(terms)
+        )
+
+    def delete_object(self, pointer: int, obj: SpatialObject) -> bool:
+        self._require_built()
+        return self.tree.delete(pointer, Rect.from_point(obj.point))
+
+    @property
+    def size_mb(self) -> float:
+        return self.pages.size_mb
+
+
+class RTreeIndex(_TreeIndex):
+    """Baseline 1: plain R-Tree with fetch-and-filter NN (Section V.A)."""
+
+    label = "RTREE"
+
+    def _make_tree(self) -> RTree:
+        return RTree(self.pages, dims=self.corpus.dims, capacity=self.capacity)
+
+    def _run(self, query: SpatialKeywordQuery) -> SearchOutcome:
+        return rtree_top_k(self.tree, self.corpus.store, self.corpus.analyzer, query)
+
+
+class IR2Index(_TreeIndex):
+    """The IR2-Tree with the distance-first ``IR2TopK`` algorithm."""
+
+    label = "IR2"
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        signature_bytes: int,
+        bits_per_word: int = 3,
+        seed: int = 0,
+        device: BlockDevice | None = None,
+        capacity: int | None = None,
+    ) -> None:
+        super().__init__(corpus, device, capacity)
+        self.factory = HashSignatureFactory(signature_bytes, bits_per_word, seed)
+
+    def _make_tree(self) -> IR2Tree:
+        return IR2Tree(
+            self.pages, self.factory, dims=self.corpus.dims, capacity=self.capacity
+        )
+
+    def _run(self, query: SpatialKeywordQuery) -> SearchOutcome:
+        return ir2_top_k(self.tree, self.corpus.store, self.corpus.analyzer, query)
+
+    def execute_ranked(
+        self,
+        query: SpatialKeywordQuery,
+        ranking: RankingCallable,
+        prune_zero_ir: bool = True,
+    ) -> QueryExecution:
+        """General ranked top-k (Section V.C) with I/O accounting."""
+        self._require_built()
+        devices = self._devices()
+        before = [device.stats.snapshot() for device in devices]
+        outcome = ranked_top_k(
+            self.tree,
+            self.corpus.store,
+            self.corpus.analyzer,
+            self.corpus.vocabulary,
+            query,
+            ranking,
+            prune_zero_ir=prune_zero_ir,
+        )
+        merged = None
+        for device, snapshot in zip(devices, before):
+            delta = device.stats.diff(snapshot)
+            merged = delta if merged is None else merged.merged_with(delta)
+        return QueryExecution(
+            query=query,
+            results=outcome.results,
+            io=merged,
+            objects_inspected=outcome.counters.objects_inspected,
+            false_positive_candidates=outcome.counters.false_positives,
+            nodes_visited=merged.category_reads("node"),
+            algorithm=f"{self.label}-RANKED",
+        )
+
+
+class MIR2Index(_TreeIndex):
+    """The MIR2-Tree: per-level signature lengths (Section IV)."""
+
+    label = "MIR2"
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        leaf_signature_bytes: int,
+        bits_per_word: int = 3,
+        seed: int = 0,
+        level_lengths: Sequence[int] | None = None,
+        device: BlockDevice | None = None,
+        capacity: int | None = None,
+    ) -> None:
+        super().__init__(corpus, device, capacity)
+        self.leaf_signature_bytes = leaf_signature_bytes
+        self.bits_per_word = bits_per_word
+        self.seed = seed
+        self.level_lengths = list(level_lengths) if level_lengths else None
+
+    def _make_tree(self) -> MIR2Tree:
+        if self.level_lengths is not None:
+            return MIR2Tree(
+                self.pages,
+                self.level_lengths,
+                self.corpus.term_resolver,
+                dims=self.corpus.dims,
+                capacity=self.capacity,
+                bits_per_word=self.bits_per_word,
+                seed=self.seed,
+            )
+        vocabulary = self.corpus.vocabulary
+        return MIR2Tree.with_planned_levels(
+            self.pages,
+            self.leaf_signature_bytes,
+            max(1.0, vocabulary.average_unique_words_per_document),
+            max(1, vocabulary.unique_words),
+            self.corpus.term_resolver,
+            dims=self.corpus.dims,
+            capacity=self.capacity,
+            bits_per_word=self.bits_per_word,
+            seed=self.seed,
+        )
+
+    def _run(self, query: SpatialKeywordQuery) -> SearchOutcome:
+        return ir2_top_k(self.tree, self.corpus.store, self.corpus.analyzer, query)
+
+    def execute_ranked(
+        self,
+        query: SpatialKeywordQuery,
+        ranking: RankingCallable,
+        prune_zero_ir: bool = True,
+    ) -> QueryExecution:
+        """General ranked top-k; works on MIR2-Trees "with no modification"."""
+        self._require_built()
+        devices = self._devices()
+        before = [device.stats.snapshot() for device in devices]
+        outcome = ranked_top_k(
+            self.tree,
+            self.corpus.store,
+            self.corpus.analyzer,
+            self.corpus.vocabulary,
+            query,
+            ranking,
+            prune_zero_ir=prune_zero_ir,
+        )
+        merged = None
+        for device, snapshot in zip(devices, before):
+            delta = device.stats.diff(snapshot)
+            merged = delta if merged is None else merged.merged_with(delta)
+        return QueryExecution(
+            query=query,
+            results=outcome.results,
+            io=merged,
+            objects_inspected=outcome.counters.objects_inspected,
+            false_positive_candidates=outcome.counters.false_positives,
+            nodes_visited=merged.category_reads("node"),
+            algorithm=f"{self.label}-RANKED",
+        )
+
+
+class IIOIndex(SpatialKeywordIndex):
+    """Baseline 2: Inverted Index Only (Section V.A, Figure 7).
+
+    Args:
+        corpus: the shared corpus.
+        device: custom backing device.
+        compression: posting codec — "raw" (the paper's layout) or
+            "varint" (delta compression per [NMN+00], cited in §7).
+    """
+
+    label = "IIO"
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        device: BlockDevice | None = None,
+        compression: str = "raw",
+    ) -> None:
+        super().__init__(corpus, device)
+        self.index = InvertedIndex(self.device, corpus.analyzer, compression)
+
+    def _build_structure(self, items: list[BulkItem], bulk: bool, fill: float) -> None:
+        documents = (
+            (pointer, obj.text) for pointer, obj in self.corpus.iter_items()
+        )
+        self.index.build(documents)
+
+    def _run(self, query: SpatialKeywordQuery) -> SearchOutcome:
+        return iio_top_k(self.index, self.corpus.store, query)
+
+    def insert_object(self, pointer: int, obj: SpatialObject) -> None:
+        self._require_built()
+        self.index.add(pointer, obj.text)
+
+    def delete_object(self, pointer: int, obj: SpatialObject) -> bool:
+        self._require_built()
+        had = any(
+            self.index.document_frequency(term)
+            for term in self.corpus.analyzer.terms(obj.text)
+        )
+        self.index.remove(pointer, obj.text)
+        return had
+
+    @property
+    def size_mb(self) -> float:
+        return self.index.size_mb
+
+
+class SignatureFileIndex(SpatialKeywordIndex):
+    """Extra baseline: sequential signature-file scan [FC84, ZMR98].
+
+    The keyword filter reads the whole compact signature file (almost
+    all sequential I/O), then verifies every candidate against the object
+    store and sorts survivors by distance — the IR2-Tree's leaf level
+    without the spatial hierarchy.  Like IIO it is non-incremental.
+    """
+
+    label = "SIG"
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        signature_bytes: int,
+        bits_per_word: int = 3,
+        seed: int = 0,
+        device: BlockDevice | None = None,
+    ) -> None:
+        super().__init__(corpus, device)
+        from repro.text.sigfile import SignatureFile
+
+        self.sigfile = SignatureFile(
+            self.device,
+            corpus.analyzer,
+            HashSignatureFactory(signature_bytes, bits_per_word, seed),
+        )
+
+    def _build_structure(self, items: list[BulkItem], bulk: bool, fill: float) -> None:
+        self.sigfile.build(
+            (pointer, obj.text) for pointer, obj in self.corpus.iter_items()
+        )
+
+    def _run(self, query: SpatialKeywordQuery) -> SearchOutcome:
+        from repro.core.search import SearchOutcome as Outcome
+        from repro.model import SearchResult
+        from repro.spatial.geometry import target_point_distance
+
+        outcome = Outcome()
+        terms = self.corpus.analyzer.query_terms(query.keywords)
+        scored: list[SearchResult] = []
+        for pointer in self.sigfile.candidates(query.keywords):
+            obj = self.corpus.store.load(pointer)
+            outcome.counters.objects_inspected += 1
+            if not self.corpus.analyzer.contains_all(obj.text, terms):
+                outcome.counters.false_positives += 1
+                continue
+            distance = target_point_distance(obj.point, query.target)
+            scored.append(SearchResult(obj, distance, score=-distance))
+        scored.sort(key=lambda r: (r.distance, r.obj.oid))
+        outcome.results = scored[: query.k]
+        return outcome
+
+    def insert_object(self, pointer: int, obj: SpatialObject) -> None:
+        self._require_built()
+        self.sigfile.add(pointer, obj.text)
+
+    def delete_object(self, pointer: int, obj: SpatialObject) -> bool:
+        self._require_built()
+        from repro.errors import ObjectNotFoundError
+
+        try:
+            self.sigfile.remove(pointer)
+        except ObjectNotFoundError:
+            return False
+        return True
+
+    @property
+    def size_mb(self) -> float:
+        return self.sigfile.size_mb
+
+
+class STreeIndex(SpatialKeywordIndex):
+    """Extra baseline: S-Tree [Dep86] signature hierarchy, no spatial data.
+
+    The paper's IR2-Tree grafts the indexed-descriptor idea onto spatial
+    grouping; this index keeps the signature hierarchy but groups by
+    signature *similarity* instead, isolating what the spatial tree
+    contributes.  Query processing mirrors SIG/IIO: generate candidates,
+    verify, sort by distance.
+    """
+
+    label = "STREE"
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        signature_bytes: int,
+        bits_per_word: int = 3,
+        seed: int = 0,
+        device: BlockDevice | None = None,
+        capacity: int = 32,
+    ) -> None:
+        super().__init__(corpus, device)
+        from repro.text.stree import STree
+
+        self.pages = PageStore(self.device)
+        self.stree = STree(
+            self.pages,
+            corpus.analyzer,
+            HashSignatureFactory(signature_bytes, bits_per_word, seed),
+            capacity=capacity,
+        )
+
+    def _build_structure(self, items: list[BulkItem], bulk: bool, fill: float) -> None:
+        for pointer, obj in self.corpus.iter_items():
+            self.stree.insert(pointer, obj.text)
+
+    def _run(self, query: SpatialKeywordQuery) -> SearchOutcome:
+        from repro.model import SearchResult
+        from repro.spatial.geometry import target_point_distance
+
+        outcome = SearchOutcome()
+        terms = self.corpus.analyzer.query_terms(query.keywords)
+        scored: list[SearchResult] = []
+        for pointer in self.stree.candidates(query.keywords):
+            obj = self.corpus.store.load(pointer)
+            outcome.counters.objects_inspected += 1
+            if not self.corpus.analyzer.contains_all(obj.text, terms):
+                outcome.counters.false_positives += 1
+                continue
+            distance = target_point_distance(obj.point, query.target)
+            scored.append(SearchResult(obj, distance, score=-distance))
+        scored.sort(key=lambda r: (r.distance, r.obj.oid))
+        outcome.results = scored[: query.k]
+        return outcome
+
+    def insert_object(self, pointer: int, obj: SpatialObject) -> None:
+        self._require_built()
+        self.stree.insert(pointer, obj.text)
+
+    def delete_object(self, pointer: int, obj: SpatialObject) -> bool:
+        raise IndexError_(
+            "the S-Tree baseline does not implement deletion; "
+            "rebuild the index instead"
+        )
+
+    @property
+    def size_mb(self) -> float:
+        return self.pages.size_mb
+
+
+def make_index(
+    kind: str,
+    corpus: Corpus,
+    signature_bytes: int = 16,
+    bits_per_word: int = 3,
+    seed: int = 0,
+    capacity: int | None = None,
+    compression: str = "raw",
+) -> SpatialKeywordIndex:
+    """Factory: ``kind`` in {"rtree", "iio", "ir2", "mir2", "sig",\n    "stree"} (case-insensitive)."""
+    normalized = kind.strip().lower()
+    if normalized == "rtree":
+        return RTreeIndex(corpus, capacity=capacity)
+    if normalized == "iio":
+        return IIOIndex(corpus, compression=compression)
+    if normalized == "ir2":
+        return IR2Index(
+            corpus, signature_bytes, bits_per_word=bits_per_word, seed=seed,
+            capacity=capacity,
+        )
+    if normalized == "mir2":
+        return MIR2Index(
+            corpus, signature_bytes, bits_per_word=bits_per_word, seed=seed,
+            capacity=capacity,
+        )
+    if normalized in ("sig", "sigfile"):
+        return SignatureFileIndex(
+            corpus, signature_bytes, bits_per_word=bits_per_word, seed=seed
+        )
+    if normalized == "stree":
+        return STreeIndex(
+            corpus, signature_bytes, bits_per_word=bits_per_word, seed=seed
+        )
+    raise QueryError(f"unknown index kind {kind!r}")

@@ -1,0 +1,125 @@
+"""Query model for top-k spatial keyword search (paper Section II).
+
+A :class:`SpatialKeywordQuery` is the paper's ``Q``: a number ``Q.k`` of
+requested results, a point ``Q.p``, and a set ``Q.t`` of keywords.  The
+*distance-first* variant (used in the paper's running examples and all of
+its experiments) ranks by distance and applies the keywords as a
+conjunctive filter; the *general* variant ranks by a combined function
+``f(distance, IRscore)`` supplied at query time.
+
+:class:`QueryExecution` packages a query's answers together with the
+per-query cost metrics the paper reports: random/sequential block
+accesses, objects inspected, and simulated execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.model import SearchResult
+from repro.spatial.geometry import Rect
+from repro.storage.iostats import IOStats
+from repro.storage.timing import DEFAULT_DRIVE, DriveModel
+
+
+@dataclass(frozen=True)
+class SpatialKeywordQuery:
+    """A top-k spatial keyword query ``Q = (Q.k, Q.p, Q.t)``.
+
+    The spatial anchor is normally a point; Section III notes "an area
+    could be used instead", so a query may also carry a rectangular
+    ``area`` — distances are then measured to the nearest point of the
+    area (objects inside it are at distance 0).
+
+    Attributes:
+        point: query location ``Q.p`` (the area's center for area queries).
+        keywords: query keywords ``Q.t`` (order preserved, duplicates
+            allowed here; analyzers deduplicate).
+        k: number of requested results ``Q.k``.
+        area: optional query area; when present it supersedes ``point``
+            as the spatial target.
+    """
+
+    point: tuple[float, ...]
+    keywords: tuple[str, ...]
+    k: int
+    area: Rect | None = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise QueryError(f"k must be >= 1, got {self.k}")
+        if not self.point:
+            raise QueryError("query point must have at least one dimension")
+        if not self.keywords:
+            raise QueryError("query must carry at least one keyword")
+        if self.area is not None and self.area.dims != len(self.point):
+            raise QueryError(
+                f"area dimensionality {self.area.dims} != point "
+                f"dimensionality {len(self.point)}"
+            )
+
+    @staticmethod
+    def of(point, keywords, k: int = 10) -> "SpatialKeywordQuery":
+        """Convenience constructor accepting any iterables."""
+        return SpatialKeywordQuery(
+            tuple(float(c) for c in point), tuple(keywords), int(k)
+        )
+
+    @staticmethod
+    def of_area(area: Rect, keywords, k: int = 10) -> "SpatialKeywordQuery":
+        """An area-anchored query (objects inside rank at distance 0)."""
+        return SpatialKeywordQuery(area.center, tuple(keywords), int(k), area)
+
+    @property
+    def target(self):
+        """The spatial target the algorithms rank against: area or point."""
+        return self.area if self.area is not None else self.point
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the query point."""
+        return len(self.point)
+
+
+@dataclass
+class QueryExecution:
+    """Results plus the cost metrics of answering one query.
+
+    Attributes:
+        query: the executed query.
+        results: ranked answers (length <= ``query.k``).
+        io: merged I/O delta across every device the algorithm touched.
+        objects_inspected: objects loaded from the object file
+            (Figures 11b / 14b report this as "object accesses").
+        false_positive_candidates: loaded objects that failed the keyword
+            verification (signature or spatial-order false positives).
+        nodes_visited: index nodes loaded during the query.
+        algorithm: short label ("RTREE", "IIO", "IR2", "MIR2").
+    """
+
+    query: SpatialKeywordQuery
+    results: list[SearchResult]
+    io: IOStats = field(default_factory=IOStats)
+    objects_inspected: int = 0
+    false_positive_candidates: int = 0
+    nodes_visited: int = 0
+    algorithm: str = ""
+
+    def simulated_ms(self, drive: DriveModel = DEFAULT_DRIVE) -> float:
+        """Simulated execution time under the given drive model."""
+        return drive.simulated_ms(self.io)
+
+    @property
+    def oids(self) -> list[int]:
+        """Identifiers of the result objects, in rank order."""
+        return [result.obj.oid for result in self.results]
+
+    def summary(self) -> str:
+        """Compact human-readable cost line for logs and examples."""
+        return (
+            f"{self.algorithm or 'query'}: {len(self.results)} results, "
+            f"{self.io.random.total} random + {self.io.sequential.total} "
+            f"sequential block accesses, {self.objects_inspected} objects "
+            f"inspected, {self.simulated_ms():.2f} ms simulated"
+        )

@@ -1,0 +1,170 @@
+"""General (ranked) top-k spatial keyword search, paper Section V.C.
+
+Objects are ranked by ``f(distance(T.p, Q.p), IRscore(T.t, Q.t))`` with
+``f`` decreasing in distance and increasing in IR score.  The paper's
+changes relative to the distance-first algorithm:
+
+1. per-keyword signatures instead of one conjunctive query signature (no
+   AND semantics — partial matches may appear in the result);
+2. the queue is ordered by ``Upper(v)``, the maximum score any object in
+   ``v``'s subtree could reach, built from MINDIST and the best IR score
+   the node signature permits;
+3. an object is emitted only once its *actual* score is at least the best
+   upper bound left in the queue; otherwise it is re-enqueued with its
+   actual score ("to be considered later").
+
+The node IR bound follows the paper's imaginary-document construction
+(every signature-matched keyword present once), made admissible by
+maximizing over matched-subset sizes — see
+:func:`repro.text.irmodel.upper_bound_ir_score`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterator
+
+from repro.core.query import SpatialKeywordQuery
+from repro.core.ranking import RankingCallable
+from repro.core.search import SearchCounters, SearchOutcome
+from repro.model import SearchResult
+from repro.spatial.geometry import target_min_distance, target_point_distance
+from repro.spatial.rtree import RTree
+from repro.storage.objectstore import ObjectStore
+from repro.text.analyzer import Analyzer
+from repro.text.irmodel import ir_score, upper_bound_ir_score
+from repro.text.vocabulary import Vocabulary
+
+#: Queue element kinds (max-heap on upper bound / actual score).
+_NODE = 0
+_OBJECT_PTR = 1
+_RESULT = 2
+
+
+def ranked_top_k_iter(
+    tree: RTree,
+    store: ObjectStore,
+    analyzer: Analyzer,
+    vocabulary: Vocabulary,
+    query: SpatialKeywordQuery,
+    ranking: RankingCallable,
+    prune_zero_ir: bool = True,
+    counters: SearchCounters | None = None,
+) -> Iterator[SearchResult]:
+    """Yield ranked results in non-increasing combined score.
+
+    Args:
+        tree: an IR2- or MIR2-Tree (anything exposing ``matched_terms``).
+        store: object store for candidate verification.
+        analyzer: shared tokenizer.
+        vocabulary: corpus statistics providing idf values.
+        query: the top-k query (its ``k`` is applied by the caller).
+        ranking: combined ranking function ``f`` (monotone per contract).
+        prune_zero_ir: drop subtrees whose signature matches no query
+            keyword (the paper's optional "if Score > 0" check; disable to
+            allow pure-distance results with zero IR score).
+        counters: optional cost counters to fill in.
+    """
+    terms = analyzer.query_terms(query.keywords)
+    idf = {term: vocabulary.idf(term) for term in terms}
+    counter = 0
+    # Max-heap via negated priority: (-upper, seq, kind, payload, distance)
+    heap: list[tuple[float, int, int, object, float]] = []
+
+    def push(priority: float, kind: int, payload, distance: float = 0.0) -> None:
+        nonlocal counter
+        heapq.heappush(heap, (-priority, counter, kind, payload, distance))
+        counter += 1
+
+    push(math.inf, _NODE, tree.root_id)
+    while heap:
+        neg_priority, _, kind, payload, distance = heapq.heappop(heap)
+        if kind == _RESULT:
+            # Every remaining element's upper bound is <= this actual
+            # score (heap order), so the result is final — the paper's
+            # "if Score >= Upper(U.top())" test, realized by re-queueing.
+            yield payload
+            continue
+        if kind == _OBJECT_PTR:
+            obj = store.load(payload)
+            if counters is not None:
+                counters.objects_inspected += 1
+            actual_ir = ir_score(obj.text, terms, vocabulary, analyzer)
+            if prune_zero_ir and actual_ir == 0.0:
+                if counters is not None:
+                    counters.false_positives += 1
+                continue
+            actual_distance = target_point_distance(obj.point, query.target)
+            score = ranking(actual_distance, actual_ir)
+            push(
+                score,
+                _RESULT,
+                SearchResult(obj, actual_distance, score=score, ir_score=actual_ir),
+            )
+            continue
+        node = tree.load_node(payload)
+        for entry in node.entries:
+            matched = tree.matched_terms(entry, node, terms)
+            if prune_zero_ir and not matched:
+                continue
+            bound_ir = upper_bound_ir_score(idf[term] for term in matched)
+            entry_distance = target_min_distance(entry.rect, query.target)
+            upper = ranking(entry_distance, bound_ir)
+            if node.is_leaf:
+                push(upper, _OBJECT_PTR, entry.child_ref, entry_distance)
+            else:
+                push(upper, _NODE, entry.child_ref)
+
+
+def ranked_top_k(
+    tree: RTree,
+    store: ObjectStore,
+    analyzer: Analyzer,
+    vocabulary: Vocabulary,
+    query: SpatialKeywordQuery,
+    ranking: RankingCallable,
+    prune_zero_ir: bool = True,
+) -> SearchOutcome:
+    """Top ``Q.k`` answers under the combined ranking function."""
+    outcome = SearchOutcome()
+    iterator = ranked_top_k_iter(
+        tree,
+        store,
+        analyzer,
+        vocabulary,
+        query,
+        ranking,
+        prune_zero_ir=prune_zero_ir,
+        counters=outcome.counters,
+    )
+    for result in iterator:
+        outcome.results.append(result)
+        if len(outcome.results) >= query.k:
+            break
+    return outcome
+
+
+def brute_force_ranked(
+    objects,
+    analyzer: Analyzer,
+    vocabulary: Vocabulary,
+    query: SpatialKeywordQuery,
+    ranking: RankingCallable,
+    prune_zero_ir: bool = True,
+) -> list[SearchResult]:
+    """Index-free oracle for the ranked query (test reference)."""
+    terms = analyzer.query_terms(query.keywords)
+    scored = []
+    for obj in objects:
+        relevance = ir_score(obj.text, terms, vocabulary, analyzer)
+        if prune_zero_ir and relevance == 0.0:
+            continue
+        distance = target_point_distance(obj.point, query.target)
+        scored.append(
+            SearchResult(
+                obj, distance, score=ranking(distance, relevance), ir_score=relevance
+            )
+        )
+    scored.sort(key=lambda r: (-r.score, r.obj.oid))
+    return scored[: query.k]

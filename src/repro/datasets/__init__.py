@@ -1,0 +1,36 @@
+"""Datasets: the Figure-1 running example, synthetic Hotels/Restaurants
+generators (substituting the paper's defunct HPDRC data), TSV files."""
+
+from repro.datasets.generator import (
+    DatasetConfig,
+    SpatialTextDatasetGenerator,
+    hotels_config,
+    restaurants_config,
+    synthetic_word,
+)
+from repro.datasets.loader import iter_tsv, load_tsv, save_tsv
+from repro.datasets.samples import (
+    EXAMPLE_QUERY_KEYWORDS,
+    EXAMPLE_QUERY_POINT,
+    FIGURE1_ROWS,
+    FIGURE2_STRUCTURE,
+    figure1_hotels,
+    figure2_layout,
+)
+
+__all__ = [
+    "DatasetConfig",
+    "EXAMPLE_QUERY_KEYWORDS",
+    "EXAMPLE_QUERY_POINT",
+    "FIGURE1_ROWS",
+    "FIGURE2_STRUCTURE",
+    "SpatialTextDatasetGenerator",
+    "figure1_hotels",
+    "figure2_layout",
+    "hotels_config",
+    "iter_tsv",
+    "load_tsv",
+    "restaurants_config",
+    "save_tsv",
+    "synthetic_word",
+]

@@ -1,0 +1,77 @@
+"""The paper's running example: the Figure-1 hotel dataset.
+
+Eight fictitious hotels with coordinates and amenity lists, used by the
+paper for every worked example.  This module also encodes the exact
+R-Tree of Figure 2 as a layout (node names N1-N7), so tests can replay
+Example 1 (incremental NN), Example 2 (IIO), and Example 3 (distance-first
+IR2 search) step for step.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.model import SpatialObject
+
+#: (oid, name, latitude, longitude, amenities) rows of Figure 1.
+FIGURE1_ROWS: tuple[tuple[int, str, float, float, str], ...] = (
+    (1, "Hotel A", 25.4, -80.1, "tennis court, gift shop, spa, Internet"),
+    (2, "Hotel B", 47.3, -122.2, "wireless Internet, pool, golf course"),
+    (3, "Hotel C", 35.5, 139.4, "spa, continental suites, pool"),
+    (4, "Hotel D", 39.5, 116.2, "sauna, pool, conference rooms"),
+    (5, "Hotel E", 51.3, -0.5, "dry cleaning, free lunch, pets"),
+    (6, "Hotel F", 40.4, -73.5, "safe box, concierge, internet, pets"),
+    (7, "Hotel G", -33.2, -70.4, "Internet, airport transportation, pool"),
+    (8, "Hotel H", -41.1, 174.4, "wake up service, no pets, pool"),
+)
+
+#: The query point of Examples 1-3.
+EXAMPLE_QUERY_POINT: tuple[float, float] = (30.5, 100.0)
+
+#: The keywords of Examples 2 and 3.
+EXAMPLE_QUERY_KEYWORDS: tuple[str, str] = ("internet", "pool")
+
+
+def figure1_hotels() -> list[SpatialObject]:
+    """The eight hotels of Figure 1 as spatial objects.
+
+    As in Section II, each object's document ``T.t`` is the concatenation
+    of its name and amenities attributes.
+    """
+    return [
+        SpatialObject(oid, (lat, lon), f"{name} {amenities}")
+        for oid, name, lat, lon, amenities in FIGURE1_ROWS
+    ]
+
+
+#: Figure 2's tree shape: node name -> children (hotel oids at leaves).
+#: Derived from the paper's Examples 1 and 3: the MBR distances reported
+#: there (N2: 170.4, N3: 0.0, N4: 173.8, N5: 170.5, N6: 39.4, N7: 9.0 for
+#: query point [30.5, 100.0]) uniquely identify this grouping.
+FIGURE2_STRUCTURE = (
+    "N1",
+    [
+        ("N2", [("N4", ["H2", "H6"]), ("N5", ["H1", "H7"])]),
+        ("N3", [("N6", ["H3", "H8"]), ("N7", ["H4", "H5"])]),
+    ],
+)
+
+
+def figure2_layout(leaf_entry: Callable[[int], tuple]) -> tuple:
+    """Materialize Figure 2's structure for the explicit tree builder.
+
+    Args:
+        leaf_entry: maps a hotel oid to the ``(obj_ptr, rect, signature)``
+            triple the caller wants stored in the leaf for that hotel.
+
+    Returns:
+        A layout accepted by :func:`repro.spatial.rtree.build_from_layout`.
+    """
+
+    def convert(spec):
+        name, children = spec
+        if isinstance(children[0], str):  # leaf: hotel labels like "H4"
+            return (name, [leaf_entry(int(label[1:])) for label in children])
+        return (name, [convert(child) for child in children])
+
+    return convert(FIGURE2_STRUCTURE)

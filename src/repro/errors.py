@@ -1,0 +1,94 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subclasses separate storage-level
+failures from index-level and query-level misuse, mirroring the layering of
+the package (storage -> spatial/text -> core).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class StorageError(ReproError):
+    """Base class for block-device and page-store failures."""
+
+
+class BlockOutOfRangeError(StorageError):
+    """A block index outside the device's allocated range was accessed."""
+
+    def __init__(self, block_id: int, num_blocks: int) -> None:
+        super().__init__(
+            f"block {block_id} out of range (device has {num_blocks} blocks)"
+        )
+        self.block_id = block_id
+        self.num_blocks = num_blocks
+
+
+class BlockSizeError(StorageError):
+    """Data written to a block does not fit the device's block size."""
+
+    def __init__(self, data_len: int, block_size: int) -> None:
+        super().__init__(
+            f"payload of {data_len} bytes does not fit block size {block_size}"
+        )
+        self.data_len = data_len
+        self.block_size = block_size
+
+
+class AllocationError(StorageError):
+    """The extent allocator was asked for an invalid allocation or free."""
+
+
+class SerializationError(StorageError):
+    """A node or object image could not be encoded or decoded."""
+
+
+class PageNotFoundError(StorageError):
+    """A node id has no extent registered in the page store."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(f"node {node_id} is not stored in this page store")
+        self.node_id = node_id
+
+
+class ObjectNotFoundError(StorageError):
+    """An object pointer does not refer to a stored object."""
+
+    def __init__(self, pointer: int) -> None:
+        super().__init__(f"no object stored at pointer {pointer}")
+        self.pointer = pointer
+
+
+class IndexError_(ReproError):
+    """Base class for index construction and maintenance failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class TreeInvariantError(IndexError_):
+    """An R-Tree / IR2-Tree structural invariant was violated."""
+
+
+class SignatureLengthError(IndexError_):
+    """Signatures of incompatible lengths were combined."""
+
+    def __init__(self, left_bits: int, right_bits: int) -> None:
+        super().__init__(
+            f"cannot combine signatures of {left_bits} and {right_bits} bits"
+        )
+        self.left_bits = left_bits
+        self.right_bits = right_bits
+
+
+class QueryError(ReproError):
+    """A malformed query was submitted (bad k, empty keywords, etc.)."""
+
+
+class DatasetError(ReproError):
+    """A dataset file or generator configuration is invalid."""

@@ -1,0 +1,245 @@
+"""Engine persistence: save a built system to disk and reopen it.
+
+The paper's indexes are disk resident; a production deployment also needs
+them to *survive restarts*.  :func:`save_engine` writes an engine's block
+devices verbatim plus a JSON manifest of the in-memory bookkeeping (page
+directory, object pointers, tree shape, index configuration), and
+:func:`load_engine` reconstructs an equivalent engine — queries,
+insertions, and deletions continue exactly where they left off.
+
+Layout of a saved engine directory::
+
+    manifest.json    configuration + directory state
+    objects.dat      the plain-text object file's blocks
+    index.dat        the index structure's blocks
+
+Devices are reloaded into memory by default (matching the engine's
+default backend); the block images are identical either way because both
+backends share one serialization.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core.engine import SpatialKeywordEngine
+from repro.core.indexes import (
+    IIOIndex,
+    IR2Index,
+    MIR2Index,
+    RTreeIndex,
+    SignatureFileIndex,
+)
+from repro.errors import DatasetError
+from repro.storage.block import BlockDevice, InMemoryBlockDevice
+
+#: Manifest format version (bump on incompatible layout changes).
+MANIFEST_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_OBJECTS = "objects.dat"
+_INDEX = "index.dat"
+
+
+def save_engine(engine: SpatialKeywordEngine, directory: str) -> str:
+    """Persist a built engine; returns the manifest path.
+
+    Raises:
+        DatasetError: when the engine has not been built yet.
+    """
+    if not engine.index.built:
+        raise DatasetError("cannot save an engine before build()")
+    os.makedirs(directory, exist_ok=True)
+    _dump_device(engine.corpus.device, os.path.join(directory, _OBJECTS))
+    _dump_device(engine.index.device, os.path.join(directory, _INDEX))
+    manifest = {
+        "version": MANIFEST_VERSION,
+        "block_size": engine.corpus.device.block_size,
+        "index_kind": engine._index_kind,
+        "dims": engine.corpus.dims,
+        "pointers": {str(oid): ptr for oid, ptr in engine._pointers.items()},
+        "store": {
+            "end": engine.corpus.store._end,
+            "count": engine.corpus.store._count,
+        },
+        "index": _index_state(engine.index),
+    }
+    path = os.path.join(directory, _MANIFEST)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_engine(directory: str) -> SpatialKeywordEngine:
+    """Reopen an engine saved by :func:`save_engine`."""
+    path = os.path.join(directory, _MANIFEST)
+    if not os.path.exists(path):
+        raise DatasetError(f"no engine manifest at {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("version") != MANIFEST_VERSION:
+        raise DatasetError(
+            f"unsupported manifest version {manifest.get('version')!r}"
+        )
+    state = manifest["index"]
+    engine = SpatialKeywordEngine(
+        index=manifest["index_kind"],
+        signature_bytes=state.get("signature_bytes", 16),
+        bits_per_word=state.get("bits_per_word", 3),
+        block_size=manifest["block_size"],
+        seed=state.get("seed", 0),
+        capacity=state.get("capacity"),
+        compression=state.get("compression", "raw"),
+    )
+    # --- Object file + corpus bookkeeping. ---
+    _load_device(
+        engine.corpus.device, os.path.join(directory, _OBJECTS),
+        manifest["block_size"],
+    )
+    store = engine.corpus.store
+    store._end = manifest["store"]["end"]
+    store._count = manifest["store"]["count"]
+    store._pointers = {
+        int(oid): ptr for oid, ptr in manifest["pointers"].items()
+    }
+    engine._pointers = dict(store._pointers)
+    engine.corpus._dims = manifest["dims"]
+    # Vocabulary statistics are a pure function of the stored documents.
+    for _, obj in store.iter_objects():
+        engine.corpus.vocabulary.add_document(engine.corpus.analyzer.terms(obj.text))
+    # --- Index structure. ---
+    # For tree indexes the tree object must exist *before* the device
+    # image is loaded: constructing it writes a bootstrap root, which the
+    # wholesale device reload then replaces with the saved blocks.
+    if not isinstance(engine.index, (IIOIndex, SignatureFileIndex)):
+        if isinstance(engine.index, MIR2Index):
+            engine.index.level_lengths = [int(v) for v in state["level_lengths"]]
+        engine.index.capacity = state["capacity"]
+        engine.index.tree = engine.index._make_tree()
+    _load_device(
+        engine.index.device, os.path.join(directory, _INDEX),
+        manifest["block_size"],
+    )
+    _restore_index_state(engine.index, state)
+    engine.index.built = True
+    return engine
+
+
+# ---------------------------------------------------------------------------
+# Device images
+# ---------------------------------------------------------------------------
+
+
+def _dump_device(device: BlockDevice, path: str) -> None:
+    with open(path, "wb") as handle:
+        for block in device.iter_blocks():
+            handle.write(block)
+
+
+def _load_device(device: InMemoryBlockDevice, path: str, block_size: int) -> None:
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if len(data) % block_size:
+        raise DatasetError(
+            f"{path}: size {len(data)} is not a multiple of block size {block_size}"
+        )
+    device._blocks = [
+        bytearray(data[i : i + block_size]) for i in range(0, len(data), block_size)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Per-index bookkeeping
+# ---------------------------------------------------------------------------
+
+
+def _index_state(index) -> dict:
+    if not isinstance(
+        index, (SignatureFileIndex, IIOIndex, IR2Index, MIR2Index, RTreeIndex)
+    ):
+        raise DatasetError(
+            f"persistence is not supported for index kind {index.label!r}"
+        )
+    if isinstance(index, SignatureFileIndex):
+        sigfile = index.sigfile
+        return {
+            "kind": "sig",
+            "signature_bytes": sigfile.factory.length_bits // 8,
+            "bits_per_word": sigfile.factory.bits_per_word,
+            "seed": sigfile.factory.seed,
+            "count": sigfile._count,
+            "slots": {str(p): slot for p, slot in sigfile._slot_by_pointer.items()},
+        }
+    if isinstance(index, IIOIndex):
+        inner = index.index
+        return {
+            "kind": "iio",
+            "compression": inner.codec.name,
+            "lexicon": {
+                term: list(entry) for term, entry in inner._lexicon.items()
+            },
+            "end": inner._end,
+            "live_bytes": inner._live_bytes,
+        }
+    state: dict = {
+        "kind": index.label.lower(),
+        "capacity": index.tree.capacity,
+        "directory": {
+            str(node_id): list(extent)
+            for node_id, extent in index.pages._directory.items()
+        },
+        "next_node_id": index.pages._next_id,
+        "allocator_tail": index.pages._allocator.tail,
+        "free_extents": list(index.pages._allocator._free),
+        "root_id": index.tree.root_id,
+        "height": index.tree.height,
+        "size": index.tree.size,
+        "bulk_loaded": index.tree.bulk_loaded,
+    }
+    if isinstance(index, IR2Index):
+        state.update(
+            signature_bytes=index.factory.length_bits // 8,
+            bits_per_word=index.factory.bits_per_word,
+            seed=index.factory.seed,
+        )
+    elif isinstance(index, MIR2Index):
+        state.update(
+            signature_bytes=index.leaf_signature_bytes,
+            bits_per_word=index.bits_per_word,
+            seed=index.seed,
+            level_lengths=index.tree.mir_scheme.level_lengths,
+        )
+    return state
+
+
+def _restore_index_state(index, state: dict) -> None:
+    """Put back the in-memory bookkeeping over an already-loaded device."""
+    if isinstance(index, SignatureFileIndex):
+        sigfile = index.sigfile
+        sigfile._count = state["count"]
+        sigfile._slot_by_pointer = {
+            int(p): slot for p, slot in state["slots"].items()
+        }
+        return
+    if isinstance(index, IIOIndex):
+        inner = index.index
+        inner._lexicon = {
+            term: tuple(entry) for term, entry in state["lexicon"].items()
+        }
+        inner._end = state["end"]
+        inner._live_bytes = state["live_bytes"]
+        return
+    pages = index.pages
+    pages._directory = {
+        int(node_id): tuple(extent)
+        for node_id, extent in state["directory"].items()
+    }
+    pages._next_id = state["next_node_id"]
+    pages._allocator._tail = state["allocator_tail"]
+    pages._allocator._free = [tuple(extent) for extent in state["free_extents"]]
+    tree = index.tree
+    tree.root_id = state["root_id"]
+    tree.height = state["height"]
+    tree.size = state["size"]
+    tree.bulk_loaded = state["bulk_loaded"]

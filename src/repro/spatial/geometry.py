@@ -1,0 +1,208 @@
+"""n-dimensional points and minimum bounding rectangles (MBRs).
+
+The paper's running examples are two-dimensional, but Section I notes the
+method "can be applied to arbitrarily-shaped and multi-dimensional
+objects"; everything here is written for arbitrary dimensionality.
+
+Distances follow the paper's convention: plain Euclidean distance between
+coordinate tuples (the hotel example treats latitude/longitude as plain
+numbers — e.g. ``distance(H4, [30.5, 100.0]) = 18.5``), and the classic
+``MINDIST`` lower bound between a point and an MBR used by every R-Tree
+nearest-neighbor algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+Point = tuple[float, ...]
+
+
+def point_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Euclidean distance between two points of equal dimensionality."""
+    if len(a) != len(b):
+        raise ValueError(f"dimension mismatch: {len(a)} vs {len(b)}")
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned minimum bounding rectangle in n dimensions.
+
+    Represented by its low corner and high corner (the paper's Figure 2
+    stores an MBR as "its southwest and its northeast points").
+
+    Attributes:
+        lo: per-dimension minimum coordinates.
+        hi: per-dimension maximum coordinates (``hi[i] >= lo[i]``).
+    """
+
+    lo: Point
+    hi: Point
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise ValueError(
+                f"corner dimensionality mismatch: {len(self.lo)} vs {len(self.hi)}"
+            )
+        if any(l > h for l, h in zip(self.lo, self.hi)):
+            raise ValueError(f"inverted rectangle: lo={self.lo}, hi={self.hi}")
+
+    # -- Constructors --------------------------------------------------------
+
+    @staticmethod
+    def from_point(point: Sequence[float]) -> "Rect":
+        """Degenerate rectangle covering a single point."""
+        p = tuple(float(c) for c in point)
+        return Rect(p, p)
+
+    @staticmethod
+    def from_coords(coords: Sequence[float]) -> "Rect":
+        """Inverse of :meth:`to_coords` (lo coordinates then hi)."""
+        if len(coords) % 2:
+            raise ValueError(f"odd coordinate count: {len(coords)}")
+        dims = len(coords) // 2
+        return Rect(tuple(coords[:dims]), tuple(coords[dims:]))
+
+    @staticmethod
+    def union_all(rects: Iterable["Rect"]) -> "Rect":
+        """Smallest rectangle enclosing every rectangle in ``rects``."""
+        iterator = iter(rects)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            raise ValueError("union of zero rectangles") from None
+        lo = list(first.lo)
+        hi = list(first.hi)
+        for rect in iterator:
+            for i in range(len(lo)):
+                if rect.lo[i] < lo[i]:
+                    lo[i] = rect.lo[i]
+                if rect.hi[i] > hi[i]:
+                    hi[i] = rect.hi[i]
+        return Rect(tuple(lo), tuple(hi))
+
+    # -- Basic properties -------------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the rectangle."""
+        return len(self.lo)
+
+    @property
+    def center(self) -> Point:
+        """Geometric center of the rectangle."""
+        return tuple((l + h) / 2.0 for l, h in zip(self.lo, self.hi))
+
+    def area(self) -> float:
+        """Product of side lengths (0 for degenerate rectangles)."""
+        result = 1.0
+        for l, h in zip(self.lo, self.hi):
+            result *= h - l
+        return result
+
+    def margin(self) -> float:
+        """Sum of side lengths (the R*-Tree 'margin' metric)."""
+        return sum(h - l for l, h in zip(self.lo, self.hi))
+
+    def to_coords(self) -> tuple[float, ...]:
+        """Flatten to ``(lo_0..lo_{d-1}, hi_0..hi_{d-1})`` for serialization."""
+        return self.lo + self.hi
+
+    # -- Relations ---------------------------------------------------------------
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rectangle covering both ``self`` and ``other``."""
+        return Rect(
+            tuple(min(a, b) for a, b in zip(self.lo, other.lo)),
+            tuple(max(a, b) for a, b in zip(self.hi, other.hi)),
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the rectangles share at least a boundary point."""
+        return all(
+            sl <= oh and ol <= sh
+            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """True when ``point`` lies inside or on the boundary."""
+        return all(l <= c <= h for l, c, h in zip(self.lo, point, self.hi))
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely inside ``self``."""
+        return all(
+            sl <= ol and oh <= sh
+            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed to also cover ``other``.
+
+        This is Guttman's ChooseLeaf criterion: the child whose MBR needs
+        the least enlargement receives the new entry.
+        """
+        return self.union(other).area() - self.area()
+
+    # -- Distances ----------------------------------------------------------------
+
+    def min_distance(self, point: Sequence[float]) -> float:
+        """MINDIST: smallest Euclidean distance from ``point`` to this MBR.
+
+        Zero when the point lies inside.  This is the ``Dist(p, MBR)`` of
+        the paper's Figure 3 and the priority used by incremental NN.
+        """
+        total = 0.0
+        for l, h, c in zip(self.lo, self.hi, point):
+            if c < l:
+                total += (l - c) ** 2
+            elif c > h:
+                total += (c - h) ** 2
+        return math.sqrt(total)
+
+    def min_distance_rect(self, other: "Rect") -> float:
+        """Smallest Euclidean distance between two MBRs (0 if they touch).
+
+        Used by *area* queries: the paper's NN algorithm notes "an area
+        could be used instead" of the query point (Section III), in which
+        case ``Dist`` becomes rectangle-to-rectangle MINDIST.
+        """
+        total = 0.0
+        for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi):
+            if oh < sl:
+                total += (sl - oh) ** 2
+            elif ol > sh:
+                total += (ol - sh) ** 2
+        return math.sqrt(total)
+
+    def max_distance(self, point: Sequence[float]) -> float:
+        """MAXDIST: largest distance from ``point`` to any point of the MBR."""
+        total = 0.0
+        for l, h, c in zip(self.lo, self.hi, point):
+            total += max(abs(c - l), abs(c - h)) ** 2
+        return math.sqrt(total)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        lo = ", ".join(f"{c:g}" for c in self.lo)
+        hi = ", ".join(f"{c:g}" for c in self.hi)
+        return f"Rect([{lo}] - [{hi}])"
+
+
+#: A query target: a point (coordinate sequence) or an area (Rect).
+QueryTarget = "Rect | Sequence[float]"
+
+
+def target_min_distance(rect: Rect, target) -> float:
+    """MINDIST from an MBR to a query target (point or area)."""
+    if isinstance(target, Rect):
+        return rect.min_distance_rect(target)
+    return rect.min_distance(target)
+
+
+def target_point_distance(point: Sequence[float], target) -> float:
+    """Distance from an object's point to a query target (point or area)."""
+    if isinstance(target, Rect):
+        return target.min_distance(point)
+    return point_distance(point, target)

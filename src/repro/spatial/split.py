@@ -1,0 +1,196 @@
+"""R-Tree node splitting strategies.
+
+The paper uses "the standard Quadratic Split technique [Gut84]"
+(Section IV).  :class:`QuadraticSplit` implements it exactly: PickSeeds
+chooses the pair of entries whose combined rectangle wastes the most area,
+PickNext repeatedly assigns the entry with the greatest preference for one
+group, and a group that must absorb all remaining entries to reach the
+minimum fill does so.
+
+:class:`LinearSplit` (Guttman's cheaper O(n) variant) is included as an
+ablation axis — ``benchmarks/bench_ablation_split.py`` measures its effect
+on search I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, TypeVar
+
+from repro.errors import TreeInvariantError
+from repro.spatial.geometry import Rect
+
+
+class HasRect(Protocol):
+    """Anything with a bounding rectangle — node entries in practice."""
+
+    rect: Rect
+
+
+E = TypeVar("E", bound=HasRect)
+
+
+class SplitStrategy:
+    """Interface: partition an overfull entry list into two groups."""
+
+    #: Short identifier used in benchmark labels.
+    name = "abstract"
+
+    def split(self, entries: Sequence[E], min_fill: int) -> tuple[list[E], list[E]]:
+        """Partition ``entries`` into two non-empty groups.
+
+        Args:
+            entries: the ``capacity + 1`` entries of an overfull node.
+            min_fill: minimum number of entries each group must receive.
+
+        Returns:
+            Two entry lists, each of size >= ``min_fill``.
+        """
+        raise NotImplementedError
+
+
+class QuadraticSplit(SplitStrategy):
+    """Guttman's quadratic-cost split [Gut84], as used by the paper."""
+
+    name = "quadratic"
+
+    def split(self, entries: Sequence[E], min_fill: int) -> tuple[list[E], list[E]]:
+        _check_split_args(entries, min_fill)
+        remaining = list(entries)
+        seed_a, seed_b = self._pick_seeds(remaining)
+        # Pop the later index first so the earlier one stays valid.
+        first, second = sorted((seed_a, seed_b), reverse=True)
+        group_a = [remaining.pop(first)]
+        group_b = [remaining.pop(second)]
+        rect_a = group_a[0].rect
+        rect_b = group_b[0].rect
+
+        while remaining:
+            # If one group must take everything left to reach min_fill, do so.
+            if len(group_a) + len(remaining) == min_fill:
+                group_a.extend(remaining)
+                break
+            if len(group_b) + len(remaining) == min_fill:
+                group_b.extend(remaining)
+                break
+            index, prefer_a = self._pick_next(remaining, rect_a, rect_b)
+            entry = remaining.pop(index)
+            if prefer_a:
+                group_a.append(entry)
+                rect_a = rect_a.union(entry.rect)
+            else:
+                group_b.append(entry)
+                rect_b = rect_b.union(entry.rect)
+        return group_a, group_b
+
+    @staticmethod
+    def _pick_seeds(entries: Sequence[E]) -> tuple[int, int]:
+        """PickSeeds: the pair wasting the most area when grouped."""
+        worst = -float("inf")
+        best_pair = (0, 1)
+        for i in range(len(entries)):
+            rect_i = entries[i].rect
+            area_i = rect_i.area()
+            for j in range(i + 1, len(entries)):
+                rect_j = entries[j].rect
+                waste = rect_i.union(rect_j).area() - area_i - rect_j.area()
+                if waste > worst:
+                    worst = waste
+                    best_pair = (i, j)
+        return best_pair
+
+    @staticmethod
+    def _pick_next(remaining: Sequence[E], rect_a: Rect, rect_b: Rect) -> tuple[int, bool]:
+        """PickNext: entry with max |d_a - d_b|; ties break by smaller growth,
+        then smaller area, then smaller group is preferred by the caller via
+        ``prefer_a``."""
+        best_index = 0
+        best_diff = -1.0
+        best_prefer_a = True
+        for i, entry in enumerate(remaining):
+            d_a = rect_a.enlargement(entry.rect)
+            d_b = rect_b.enlargement(entry.rect)
+            diff = abs(d_a - d_b)
+            if diff > best_diff:
+                best_diff = diff
+                best_index = i
+                if d_a != d_b:
+                    best_prefer_a = d_a < d_b
+                elif rect_a.area() != rect_b.area():
+                    best_prefer_a = rect_a.area() < rect_b.area()
+                else:
+                    best_prefer_a = True
+        return best_index, best_prefer_a
+
+
+class LinearSplit(SplitStrategy):
+    """Guttman's linear-cost split [Gut84] (ablation alternative).
+
+    Seeds are the pair with the greatest normalized separation along any
+    dimension; remaining entries go to the group needing less enlargement.
+    """
+
+    name = "linear"
+
+    def split(self, entries: Sequence[E], min_fill: int) -> tuple[list[E], list[E]]:
+        _check_split_args(entries, min_fill)
+        remaining = list(entries)
+        seed_a, seed_b = self._pick_seeds(remaining)
+        first, second = sorted((seed_a, seed_b), reverse=True)
+        group_a = [remaining.pop(first)]
+        group_b = [remaining.pop(second)]
+        rect_a = group_a[0].rect
+        rect_b = group_b[0].rect
+        for entry in remaining:
+            d_a = rect_a.enlargement(entry.rect)
+            d_b = rect_b.enlargement(entry.rect)
+            take_a = d_a < d_b or (d_a == d_b and len(group_a) <= len(group_b))
+            if take_a:
+                group_a.append(entry)
+                rect_a = rect_a.union(entry.rect)
+            else:
+                group_b.append(entry)
+                rect_b = rect_b.union(entry.rect)
+        # Rebalance if a group fell below min_fill (possible in this simple
+        # assignment loop): move closest entries from the bigger group.
+        self._rebalance(group_a, group_b, min_fill)
+        self._rebalance(group_b, group_a, min_fill)
+        return group_a, group_b
+
+    @staticmethod
+    def _pick_seeds(entries: Sequence[E]) -> tuple[int, int]:
+        dims = entries[0].rect.dims
+        best_pair = (0, 1 if len(entries) > 1 else 0)
+        best_separation = -float("inf")
+        for d in range(dims):
+            highest_lo = max(range(len(entries)), key=lambda i: entries[i].rect.lo[d])
+            lowest_hi = min(range(len(entries)), key=lambda i: entries[i].rect.hi[d])
+            if highest_lo == lowest_hi:
+                continue
+            width = max(e.rect.hi[d] for e in entries) - min(
+                e.rect.lo[d] for e in entries
+            )
+            if width <= 0:
+                continue
+            separation = (
+                entries[highest_lo].rect.lo[d] - entries[lowest_hi].rect.hi[d]
+            ) / width
+            if separation > best_separation:
+                best_separation = separation
+                best_pair = (lowest_hi, highest_lo)
+        if best_pair[0] == best_pair[1]:
+            best_pair = (0, 1)
+        return best_pair
+
+    @staticmethod
+    def _rebalance(short: list[E], long: list[E], min_fill: int) -> None:
+        while len(short) < min_fill:
+            short.append(long.pop())
+
+
+def _check_split_args(entries: Sequence, min_fill: int) -> None:
+    if len(entries) < 2:
+        raise TreeInvariantError(f"cannot split {len(entries)} entries")
+    if min_fill < 1 or 2 * min_fill > len(entries):
+        raise TreeInvariantError(
+            f"min_fill {min_fill} infeasible for {len(entries)} entries"
+        )

@@ -1,0 +1,53 @@
+"""Disk substrate: block devices, I/O accounting, page and object stores.
+
+Everything above this package treats storage through these abstractions so
+the paper's disk-access metrics (random vs. sequential block accesses,
+object accesses, structure sizes) are measured, not estimated.
+"""
+
+from repro.storage.allocator import ExtentAllocator
+from repro.storage.block import (
+    DEFAULT_BLOCK_SIZE,
+    BlockDevice,
+    FileBlockDevice,
+    InMemoryBlockDevice,
+)
+from repro.storage.cache import BufferPoolDevice
+from repro.storage.iostats import AccessCounts, IOStats
+from repro.storage.objectstore import OBJECT_CATEGORY, ObjectStore, decode_row, encode_row
+from repro.storage.pagestore import PageStore
+from repro.storage.serialization import (
+    HEADER_SIZE,
+    blocks_per_node,
+    decode_node,
+    encode_node,
+    entry_size,
+    node_byte_size,
+    node_capacity,
+)
+from repro.storage.timing import DEFAULT_DRIVE, DriveModel
+
+__all__ = [
+    "AccessCounts",
+    "BlockDevice",
+    "BufferPoolDevice",
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_DRIVE",
+    "DriveModel",
+    "ExtentAllocator",
+    "FileBlockDevice",
+    "HEADER_SIZE",
+    "IOStats",
+    "InMemoryBlockDevice",
+    "OBJECT_CATEGORY",
+    "ObjectStore",
+    "PageStore",
+    "blocks_per_node",
+    "decode_node",
+    "decode_row",
+    "encode_node",
+    "encode_row",
+    "entry_size",
+    "node_byte_size",
+    "node_capacity",
+]

@@ -1,0 +1,214 @@
+"""Disk access accounting.
+
+The paper's evaluation (Section VI) compares algorithms primarily by the
+number of *disk block accesses*, split into **random** and **sequential**
+accesses (the thick bars and thin lines of Figures 9b-14b), observing that
+"the execution time is primarily proportional to the random access numbers".
+
+:class:`IOStats` is the single source of truth for that accounting.  Every
+:class:`~repro.storage.block.BlockDevice` owns one and reports each block
+read/write to it.  An access to block ``b`` is classified *sequential* when
+it immediately follows an access to block ``b - 1`` on the same device (the
+head does not move), and *random* otherwise.  Multi-block node reads are
+therefore 1 random + (n-1) sequential accesses, which is exactly the
+mechanism that makes the MIR2-Tree trade sequential accesses for random ones
+in the paper's figures.
+
+Counters are additionally broken down by a free-form *category* string
+("node", "object", "postings", ...) so experiments can report object
+accesses (Figures 11b and 14b) separately from index-node accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AccessCounts:
+    """Read/write counters for one access pattern (random or sequential)."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total accesses (reads plus writes)."""
+        return self.reads + self.writes
+
+    def copy(self) -> "AccessCounts":
+        """Return an independent copy of these counters."""
+        return AccessCounts(self.reads, self.writes)
+
+
+@dataclass
+class IOStats:
+    """Running disk-access statistics for one block device.
+
+    Attributes:
+        random: counts of accesses that required a head seek.
+        sequential: counts of accesses contiguous with the previous one.
+        by_category: per-category (random_reads, seq_reads, random_writes,
+            seq_writes) 4-tuples, keyed by the category string passed to
+            :meth:`record_read` / :meth:`record_write`.
+        objects_loaded: number of *logical objects* materialized from the
+            object store (not blocks); Figures 11b/14b report this metric.
+    """
+
+    random: AccessCounts = field(default_factory=AccessCounts)
+    sequential: AccessCounts = field(default_factory=AccessCounts)
+    by_category: dict = field(default_factory=dict)
+    objects_loaded: int = 0
+    _last_block: int | None = field(default=None, repr=False)
+
+    def record_read(self, block_id: int, category: str = "data") -> bool:
+        """Record a read of ``block_id``; return True if it was sequential."""
+        is_seq = self._classify(block_id)
+        if is_seq:
+            self.sequential.reads += 1
+        else:
+            self.random.reads += 1
+        self._bump(category, 0 if not is_seq else 1)
+        return is_seq
+
+    def record_write(self, block_id: int, category: str = "data") -> bool:
+        """Record a write of ``block_id``; return True if it was sequential."""
+        is_seq = self._classify(block_id)
+        if is_seq:
+            self.sequential.writes += 1
+        else:
+            self.random.writes += 1
+        self._bump(category, 2 if not is_seq else 3)
+        return is_seq
+
+    def record_object_load(self, count: int = 1) -> None:
+        """Record that ``count`` logical objects were materialized."""
+        self.objects_loaded += count
+
+    def _classify(self, block_id: int) -> bool:
+        """Classify the access and advance the head position."""
+        is_seq = self._last_block is not None and block_id == self._last_block + 1
+        self._last_block = block_id
+        return is_seq
+
+    def _bump(self, category: str, slot: int) -> None:
+        counts = self.by_category.setdefault(category, [0, 0, 0, 0])
+        counts[slot] += 1
+
+    # -- Aggregate views ---------------------------------------------------
+
+    @property
+    def random_reads(self) -> int:
+        return self.random.reads
+
+    @property
+    def sequential_reads(self) -> int:
+        return self.sequential.reads
+
+    @property
+    def random_writes(self) -> int:
+        return self.random.writes
+
+    @property
+    def sequential_writes(self) -> int:
+        return self.sequential.writes
+
+    @property
+    def total_reads(self) -> int:
+        return self.random.reads + self.sequential.reads
+
+    @property
+    def total_writes(self) -> int:
+        return self.random.writes + self.sequential.writes
+
+    @property
+    def total_accesses(self) -> int:
+        return self.random.total + self.sequential.total
+
+    def category_reads(self, category: str) -> int:
+        """Total reads (random + sequential) recorded under ``category``."""
+        counts = self.by_category.get(category)
+        if counts is None:
+            return 0
+        return counts[0] + counts[1]
+
+    def category_random_reads(self, category: str) -> int:
+        """Random reads recorded under ``category``."""
+        counts = self.by_category.get(category)
+        if counts is None:
+            return 0
+        return counts[0]
+
+    # -- Lifecycle ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every counter (head position is also forgotten)."""
+        self.random = AccessCounts()
+        self.sequential = AccessCounts()
+        self.by_category = {}
+        self.objects_loaded = 0
+        self._last_block = None
+
+    def snapshot(self) -> "IOStats":
+        """Return a frozen copy of the current counters."""
+        snap = IOStats(
+            random=self.random.copy(),
+            sequential=self.sequential.copy(),
+            by_category={k: list(v) for k, v in self.by_category.items()},
+            objects_loaded=self.objects_loaded,
+        )
+        return snap
+
+    def diff(self, earlier: "IOStats") -> "IOStats":
+        """Return the counter delta between ``self`` and an earlier snapshot."""
+        categories: dict = {}
+        for key, now in self.by_category.items():
+            before = earlier.by_category.get(key, [0, 0, 0, 0])
+            categories[key] = [n - b for n, b in zip(now, before)]
+        for key, before in earlier.by_category.items():
+            if key not in categories:
+                categories[key] = [-b for b in before]
+        return IOStats(
+            random=AccessCounts(
+                self.random.reads - earlier.random.reads,
+                self.random.writes - earlier.random.writes,
+            ),
+            sequential=AccessCounts(
+                self.sequential.reads - earlier.sequential.reads,
+                self.sequential.writes - earlier.sequential.writes,
+            ),
+            by_category=categories,
+            objects_loaded=self.objects_loaded - earlier.objects_loaded,
+        )
+
+    def merged_with(self, other: "IOStats") -> "IOStats":
+        """Return the element-wise sum of two stats objects.
+
+        Used to aggregate accesses across several devices (tree file,
+        object file, postings file) into one per-query figure.
+        """
+        categories = {k: list(v) for k, v in self.by_category.items()}
+        for key, counts in other.by_category.items():
+            merged = categories.setdefault(key, [0, 0, 0, 0])
+            for i, value in enumerate(counts):
+                merged[i] += value
+        return IOStats(
+            random=AccessCounts(
+                self.random.reads + other.random.reads,
+                self.random.writes + other.random.writes,
+            ),
+            sequential=AccessCounts(
+                self.sequential.reads + other.sequential.reads,
+                self.sequential.writes + other.sequential.writes,
+            ),
+            by_category=categories,
+            objects_loaded=self.objects_loaded + other.objects_loaded,
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the counters."""
+        return (
+            f"random: {self.random.reads}r/{self.random.writes}w, "
+            f"sequential: {self.sequential.reads}r/{self.sequential.writes}w, "
+            f"objects: {self.objects_loaded}"
+        )

@@ -1,0 +1,49 @@
+"""Text substrate: analysis, signature files [FC84], inverted index, IR model."""
+
+from repro.text.analyzer import DEFAULT_ANALYZER, DEFAULT_STOPWORDS, Analyzer
+from repro.text.codecs import PostingCodec, RawCodec, VarintCodec, get_codec
+from repro.text.inverted_index import POSTINGS_CATEGORY, InvertedIndex
+from repro.text.irmodel import ir_score, tf_idf_score, upper_bound_ir_score
+from repro.text.sigdesign import (
+    expected_weight_fraction,
+    false_positive_probability,
+    false_positive_rate_for_query,
+    optimal_bits_per_word,
+    optimal_length_bits,
+    optimal_length_bytes,
+    scaled_length_bytes,
+)
+from repro.text.signature import (
+    ExactSignatureFactory,
+    HashSignatureFactory,
+    Signature,
+    SignatureFactory,
+)
+from repro.text.vocabulary import Vocabulary
+
+__all__ = [
+    "Analyzer",
+    "DEFAULT_ANALYZER",
+    "DEFAULT_STOPWORDS",
+    "ExactSignatureFactory",
+    "HashSignatureFactory",
+    "InvertedIndex",
+    "PostingCodec",
+    "RawCodec",
+    "VarintCodec",
+    "POSTINGS_CATEGORY",
+    "Signature",
+    "SignatureFactory",
+    "Vocabulary",
+    "expected_weight_fraction",
+    "false_positive_probability",
+    "false_positive_rate_for_query",
+    "get_codec",
+    "ir_score",
+    "optimal_bits_per_word",
+    "optimal_length_bits",
+    "optimal_length_bytes",
+    "scaled_length_bytes",
+    "tf_idf_score",
+    "upper_bound_ir_score",
+]

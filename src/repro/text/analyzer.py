@@ -1,0 +1,103 @@
+"""Text analysis: turning documents into terms.
+
+Section II treats ``T.t`` as a text document and queries as sets of
+keywords; the Boolean containment test ``w in T.t`` is at the term level
+("internet" matches "wireless Internet").  :class:`Analyzer` provides the
+single tokenization pipeline used everywhere — object indexing, signature
+generation, inverted-index construction, and query parsing — so that the
+containment semantics are identical across all four algorithms.
+
+Pipeline: Unicode-aware word extraction (letters+digits runs), lowercase
+folding, optional minimum token length, optional stopword removal.
+Stopwords are off by default: the paper gives no stopword list, and
+removal would change the keyword-frequency distribution the experiments
+depend on.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator
+
+_TOKEN_RE = re.compile(r"[^\W_]+", re.UNICODE)
+
+#: A small English stopword list for applications that opt in.
+DEFAULT_STOPWORDS = frozenset(
+    """a an and are as at be by for from has he in is it its of on that the
+    to was were will with""".split()
+)
+
+
+class Analyzer:
+    """Configurable tokenizer shared by all indexing and query paths.
+
+    Args:
+        lowercase: fold tokens to lower case (the paper's example treats
+            "Internet" and "internet" as the same keyword).
+        min_token_length: drop tokens shorter than this many characters.
+        stopwords: tokens to drop entirely, or ``None`` to keep everything.
+    """
+
+    def __init__(
+        self,
+        lowercase: bool = True,
+        min_token_length: int = 1,
+        stopwords: frozenset[str] | None = None,
+    ) -> None:
+        self.lowercase = lowercase
+        self.min_token_length = min_token_length
+        self.stopwords = stopwords
+
+    def tokens(self, text: str) -> Iterator[str]:
+        """Yield the token stream of ``text`` in document order."""
+        for match in _TOKEN_RE.finditer(text):
+            token = match.group(0)
+            if self.lowercase:
+                token = token.lower()
+            if len(token) < self.min_token_length:
+                continue
+            if self.stopwords is not None and token in self.stopwords:
+                continue
+            yield token
+
+    def terms(self, text: str) -> set[str]:
+        """Distinct terms of ``text`` (the unit of signatures and postings)."""
+        return set(self.tokens(text))
+
+    def term_frequencies(self, text: str) -> dict[str, int]:
+        """Term -> occurrence count map, plus the basis of document length."""
+        frequencies: dict[str, int] = {}
+        for token in self.tokens(text):
+            frequencies[token] = frequencies.get(token, 0) + 1
+        return frequencies
+
+    def document_length(self, text: str) -> int:
+        """Number of tokens in ``text`` (the ``dl`` of the IR model)."""
+        return sum(1 for _ in self.tokens(text))
+
+    def query_terms(self, keywords: Iterable[str]) -> list[str]:
+        """Normalize query keywords through the same pipeline.
+
+        Multi-word keywords are split; duplicates are removed while
+        preserving first-seen order so signatures and scores are stable.
+        """
+        seen: dict[str, None] = {}
+        for keyword in keywords:
+            for token in self.tokens(keyword):
+                seen.setdefault(token, None)
+        return list(seen)
+
+    def contains_all(self, text: str, keywords: Iterable[str]) -> bool:
+        """Boolean keyword containment: every keyword appears in ``text``.
+
+        This is the paper's ``Ans(Q_w)`` membership test and the false
+        positive check on Line 21 of Figure 8.
+        """
+        needed = set(self.query_terms(keywords))
+        if not needed:
+            return True
+        return needed.issubset(self.terms(text))
+
+
+#: Analyzer instance with the library-wide default configuration.
+DEFAULT_ANALYZER = Analyzer()

@@ -1,0 +1,120 @@
+"""Signature design: optimal lengths and false-positive analysis.
+
+The paper sizes signatures with "the optimal signature length formula from
+[MC94]" and builds the MIR2-Tree with longer signatures at higher levels
+(multi-level superimposed coding [CS89, DR83]).  This module collects the
+classic design mathematics of superimposed coding [FC84, MC94]:
+
+For a signature of ``F`` bits, ``m`` bits set per word, and ``D`` distinct
+words superimposed, the probability that an unrelated single-word query
+signature is (falsely) covered is approximately::
+
+    P_fp = (1 - e^(-m * D / F)) ** m
+
+Minimizing over ``m`` for fixed ``F/D`` gives the textbook optimum
+``m = F * ln(2) / D``, at which point half the bits are set and
+``P_fp = 2 ** (-m)``.  Inverting: to achieve a target false-positive rate
+``p`` one needs ``m = log2(1/p)`` bits per word and ``F = m * D / ln(2)``
+bits total — the "optimal signature length formula" the paper cites.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: ln(2), the constant of the optimal design point.
+_LN2 = math.log(2.0)
+
+
+def false_positive_probability(length_bits: int, distinct_words: int, bits_per_word: int) -> float:
+    """Probability a random word's signature is covered by superimposition.
+
+    Args:
+        length_bits: signature width ``F``.
+        distinct_words: number of distinct words ``D`` OR-ed together.
+        bits_per_word: bits set per word ``m``.
+
+    Uses the exact Bernoulli form ``(1 - (1 - 1/F)^(m*D))^m`` rather than
+    the exponential approximation, so it stays accurate for tiny ``F``.
+    """
+    if length_bits <= 0:
+        raise ValueError(f"length_bits must be positive, got {length_bits}")
+    if distinct_words < 0 or bits_per_word < 1:
+        raise ValueError("need distinct_words >= 0 and bits_per_word >= 1")
+    if distinct_words == 0:
+        return 0.0
+    fill = 1.0 - (1.0 - 1.0 / length_bits) ** (bits_per_word * distinct_words)
+    return fill**bits_per_word
+
+
+def expected_weight_fraction(length_bits: int, distinct_words: int, bits_per_word: int) -> float:
+    """Expected fraction of bits set after superimposing ``D`` words."""
+    if distinct_words == 0:
+        return 0.0
+    return 1.0 - (1.0 - 1.0 / length_bits) ** (bits_per_word * distinct_words)
+
+
+def optimal_bits_per_word(length_bits: int, distinct_words: int) -> int:
+    """Optimal ``m`` for width ``F`` and ``D`` distinct words: ``F ln2 / D``.
+
+    Returns at least 1.  At this value about half the signature's bits end
+    up set, minimizing the false-positive probability for the given width.
+    """
+    if distinct_words <= 0:
+        return 1
+    return max(1, round(length_bits * _LN2 / distinct_words))
+
+
+def optimal_length_bits(distinct_words: int, target_fp: float) -> int:
+    """Optimal width ``F`` achieving false-positive rate <= ``target_fp``.
+
+    The [MC94] design: ``m = log2(1/p)`` and ``F = m * D / ln 2``.
+    """
+    if not 0.0 < target_fp < 1.0:
+        raise ValueError(f"target_fp must be in (0, 1), got {target_fp}")
+    if distinct_words <= 0:
+        return 8
+    bits_per_word = max(1.0, math.log2(1.0 / target_fp))
+    return max(8, math.ceil(bits_per_word * distinct_words / _LN2))
+
+
+def optimal_length_bytes(distinct_words: int, target_fp: float) -> int:
+    """:func:`optimal_length_bits` rounded up to whole bytes."""
+    return -(-optimal_length_bits(distinct_words, target_fp) // 8)
+
+
+def scaled_length_bytes(
+    leaf_length_bytes: int, leaf_distinct_words: int, level_distinct_words: int
+) -> int:
+    """Width for an MIR2-Tree level, scaled from the leaf configuration.
+
+    The multi-level design keeps the per-word bit count ``m`` fixed (it is
+    chosen at the leaves) and scales the width proportionally to the
+    number of distinct words a node at that level superimposes::
+
+        F_level = F_leaf * D_level / D_leaf
+
+    so that every level sits at the same optimal operating point (half the
+    bits set) and the false-positive rate stays level-independent instead
+    of exploding toward the root.
+    """
+    if leaf_length_bytes <= 0:
+        raise ValueError(f"leaf length must be positive, got {leaf_length_bytes}")
+    if leaf_distinct_words <= 0 or level_distinct_words <= 0:
+        return leaf_length_bytes
+    scaled = leaf_length_bytes * level_distinct_words / leaf_distinct_words
+    return max(leaf_length_bytes, math.ceil(scaled))
+
+
+def false_positive_rate_for_query(
+    length_bits: int, distinct_words: int, bits_per_word: int, query_terms: int
+) -> float:
+    """False-positive probability of an ``m``-term conjunctive query.
+
+    A query signature superimposes ``query_terms`` word signatures; all of
+    its bits must be covered for a (false) match.  Approximating bit
+    independence, that is the single-word probability raised to the number
+    of query terms.
+    """
+    single = false_positive_probability(length_bits, distinct_words, bits_per_word)
+    return single**query_terms

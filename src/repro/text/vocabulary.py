@@ -1,0 +1,89 @@
+"""Corpus vocabulary and document-frequency statistics.
+
+Collects the per-corpus numbers the IR model (idf), the signature design
+formulas (distinct words per document), and Table 1 of the paper (total
+unique words, average unique words per object) all need.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+class Vocabulary:
+    """Incremental corpus statistics: document frequencies and sizes.
+
+    Feed it one document (as a set of distinct terms) at a time via
+    :meth:`add_document`; query idf and corpus aggregates afterwards.
+    """
+
+    def __init__(self) -> None:
+        self._df: dict[str, int] = {}
+        self.document_count = 0
+        self._distinct_terms_total = 0
+
+    def add_document(self, terms: Iterable[str]) -> None:
+        """Register one document's *distinct* term set."""
+        count = 0
+        for term in terms:
+            self._df[term] = self._df.get(term, 0) + 1
+            count += 1
+        self.document_count += 1
+        self._distinct_terms_total += count
+
+    def remove_document(self, terms: Iterable[str]) -> None:
+        """Unregister a previously added document's distinct term set."""
+        count = 0
+        for term in terms:
+            remaining = self._df.get(term, 0) - 1
+            if remaining > 0:
+                self._df[term] = remaining
+            else:
+                self._df.pop(term, None)
+            count += 1
+        self.document_count = max(0, self.document_count - 1)
+        self._distinct_terms_total = max(0, self._distinct_terms_total - count)
+
+    # -- Lookups ---------------------------------------------------------------
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term`` (0 when unseen)."""
+        return self._df.get(term, 0)
+
+    def idf(self, term: str) -> float:
+        """Inverse document frequency: ``ln(1 + N / df)``.
+
+        Unseen terms get the maximum idf ``ln(1 + N)`` — they are rarer
+        than anything observed, and a positive value keeps conjunctive
+        scoring well-defined.
+        """
+        n = max(1, self.document_count)
+        df = self._df.get(term, 0)
+        if df == 0:
+            return math.log(1.0 + n)
+        return math.log(1.0 + n / df)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._df
+
+    def __len__(self) -> int:
+        return len(self._df)
+
+    # -- Aggregates (Table 1) -----------------------------------------------------
+
+    @property
+    def unique_words(self) -> int:
+        """Total distinct words across the corpus (Table 1, column 5)."""
+        return len(self._df)
+
+    @property
+    def average_unique_words_per_document(self) -> float:
+        """Average distinct words per document (Table 1, column 4)."""
+        if self.document_count == 0:
+            return 0.0
+        return self._distinct_terms_total / self.document_count
+
+    def terms(self) -> Iterable[str]:
+        """Iterate over every known term."""
+        return self._df.keys()

@@ -1,0 +1,58 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Corpus
+from repro.datasets import DatasetConfig, SpatialTextDatasetGenerator, figure1_hotels
+from repro.model import SpatialObject
+from repro.storage import InMemoryBlockDevice, PageStore
+
+
+@pytest.fixture
+def hotels_objects() -> list[SpatialObject]:
+    """The paper's Figure-1 running example dataset."""
+    return figure1_hotels()
+
+
+@pytest.fixture
+def hotels_corpus(hotels_objects) -> Corpus:
+    """A corpus loaded with the Figure-1 hotels."""
+    corpus = Corpus()
+    corpus.add_all(hotels_objects)
+    return corpus
+
+
+@pytest.fixture
+def small_objects() -> list[SpatialObject]:
+    """A 300-object synthetic dataset for algorithm cross-checks."""
+    config = DatasetConfig(
+        name="small",
+        n_objects=300,
+        vocabulary_size=400,
+        avg_unique_words=10,
+        clusters=6,
+        seed=99,
+    )
+    return SpatialTextDatasetGenerator(config).generate()
+
+
+@pytest.fixture
+def small_corpus(small_objects) -> Corpus:
+    """A corpus loaded with the 300-object synthetic dataset."""
+    corpus = Corpus()
+    corpus.add_all(small_objects)
+    return corpus
+
+
+@pytest.fixture
+def device() -> InMemoryBlockDevice:
+    """A fresh in-memory block device with default 4 KB blocks."""
+    return InMemoryBlockDevice()
+
+
+@pytest.fixture
+def pages(device) -> PageStore:
+    """A page store over a fresh in-memory device."""
+    return PageStore(device)

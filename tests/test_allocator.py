@@ -1,0 +1,156 @@
+"""Unit and property tests for the contiguous extent allocator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError
+from repro.storage import ExtentAllocator
+
+
+class TestAllocate:
+    def test_sequential_allocations_are_contiguous(self):
+        alloc = ExtentAllocator()
+        assert alloc.allocate(3) == 0
+        assert alloc.allocate(2) == 3
+        assert alloc.tail == 5
+
+    def test_start_offset_respected(self):
+        alloc = ExtentAllocator(start=10)
+        assert alloc.allocate(1) == 10
+
+    def test_zero_length_rejected(self):
+        alloc = ExtentAllocator()
+        with pytest.raises(AllocationError):
+            alloc.allocate(0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(AllocationError):
+            ExtentAllocator(start=-1)
+
+
+class TestFree:
+    def test_freed_extent_is_reused_first_fit(self):
+        alloc = ExtentAllocator()
+        first = alloc.allocate(4)
+        alloc.allocate(4)
+        alloc.free(first, 4)
+        assert alloc.allocate(4) == first
+
+    def test_smaller_allocation_splits_free_extent(self):
+        alloc = ExtentAllocator()
+        first = alloc.allocate(4)
+        alloc.allocate(1)
+        alloc.free(first, 4)
+        assert alloc.allocate(2) == first
+        assert alloc.allocate(2) == first + 2
+
+    def test_adjacent_frees_coalesce(self):
+        alloc = ExtentAllocator()
+        a = alloc.allocate(2)
+        b = alloc.allocate(2)
+        alloc.allocate(1)  # keeps the tail busy
+        alloc.free(a, 2)
+        alloc.free(b, 2)
+        assert alloc.allocate(4) == a  # only possible if coalesced
+
+    def test_tail_trimmed_when_last_extent_freed(self):
+        alloc = ExtentAllocator()
+        alloc.allocate(2)
+        b = alloc.allocate(3)
+        alloc.free(b, 3)
+        assert alloc.tail == 2
+
+    def test_double_free_rejected(self):
+        alloc = ExtentAllocator()
+        a = alloc.allocate(2)
+        alloc.allocate(2)
+        alloc.free(a, 2)
+        with pytest.raises(AllocationError):
+            alloc.free(a, 2)
+
+    def test_free_outside_range_rejected(self):
+        alloc = ExtentAllocator()
+        alloc.allocate(2)
+        with pytest.raises(AllocationError):
+            alloc.free(0, 5)
+
+    def test_counters(self):
+        alloc = ExtentAllocator()
+        a = alloc.allocate(3)
+        alloc.allocate(2)
+        alloc.free(a, 3)
+        assert alloc.free_blocks == 3
+        assert alloc.allocated_blocks == 2
+
+
+class TestReallocate:
+    def test_shrink_in_place(self):
+        alloc = ExtentAllocator()
+        a = alloc.allocate(4)
+        assert alloc.reallocate(a, 4, 2) == a
+        # The shrunk-off blocks touched the tail, so the tail is trimmed.
+        assert alloc.tail == 2
+        assert alloc.free_blocks == 0
+
+    def test_shrink_in_middle_keeps_free_blocks(self):
+        alloc = ExtentAllocator()
+        a = alloc.allocate(4)
+        alloc.allocate(1)  # pins the tail
+        assert alloc.reallocate(a, 4, 2) == a
+        assert alloc.free_blocks == 2
+
+    def test_grow_at_tail(self):
+        alloc = ExtentAllocator()
+        a = alloc.allocate(2)
+        assert alloc.reallocate(a, 2, 5) == a
+        assert alloc.tail == 5
+
+    def test_grow_into_adjacent_free_extent(self):
+        alloc = ExtentAllocator()
+        a = alloc.allocate(2)
+        b = alloc.allocate(3)
+        alloc.allocate(1)
+        alloc.free(b, 3)
+        assert alloc.reallocate(a, 2, 4) == a
+
+    def test_grow_relocates_when_blocked(self):
+        alloc = ExtentAllocator()
+        a = alloc.allocate(2)
+        alloc.allocate(2)  # blocks in-place growth
+        new_start = alloc.reallocate(a, 2, 4)
+        assert new_start != a
+        assert alloc.allocate(2) == a  # old extent became reusable
+
+    def test_same_size_noop(self):
+        alloc = ExtentAllocator()
+        a = alloc.allocate(2)
+        assert alloc.reallocate(a, 2, 2) == a
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["alloc", "free"]), st.integers(1, 8)),
+        max_size=60,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_property_no_live_extent_overlap(ops):
+    """Live extents never overlap and stay within [0, tail)."""
+    alloc = ExtentAllocator()
+    live: list[tuple[int, int]] = []
+    for op, length in ops:
+        if op == "alloc" or not live:
+            start = alloc.allocate(length)
+            live.append((start, length))
+        else:
+            start, freed_length = live.pop(length % len(live))
+            alloc.free(start, freed_length)
+        spans = sorted(live)
+        for (s1, l1), (s2, _) in zip(spans, spans[1:]):
+            assert s1 + l1 <= s2, "overlapping live extents"
+        if spans:
+            assert spans[-1][0] + spans[-1][1] <= alloc.tail
+    assert alloc.allocated_blocks == sum(l for _, l in live)

@@ -1,0 +1,90 @@
+"""Unit tests for the text analyzer."""
+
+from __future__ import annotations
+
+from repro.text import DEFAULT_ANALYZER, DEFAULT_STOPWORDS, Analyzer
+
+
+class TestTokens:
+    def test_lowercases_by_default(self):
+        assert list(DEFAULT_ANALYZER.tokens("Wireless Internet")) == [
+            "wireless",
+            "internet",
+        ]
+
+    def test_punctuation_splits(self):
+        tokens = list(DEFAULT_ANALYZER.tokens("tennis court, gift shop, spa"))
+        assert tokens == ["tennis", "court", "gift", "shop", "spa"]
+
+    def test_digits_kept(self):
+        assert list(DEFAULT_ANALYZER.tokens("route 66 diner")) == [
+            "route",
+            "66",
+            "diner",
+        ]
+
+    def test_underscores_split(self):
+        assert list(DEFAULT_ANALYZER.tokens("free_lunch")) == ["free", "lunch"]
+
+    def test_case_preserved_when_disabled(self):
+        analyzer = Analyzer(lowercase=False)
+        assert list(analyzer.tokens("Hotel A")) == ["Hotel", "A"]
+
+    def test_min_token_length(self):
+        analyzer = Analyzer(min_token_length=3)
+        assert list(analyzer.tokens("a bb ccc dddd")) == ["ccc", "dddd"]
+
+    def test_stopwords_removed_when_enabled(self):
+        analyzer = Analyzer(stopwords=DEFAULT_STOPWORDS)
+        assert list(analyzer.tokens("the pool and the spa")) == ["pool", "spa"]
+
+    def test_empty_text(self):
+        assert list(DEFAULT_ANALYZER.tokens("")) == []
+
+    def test_unicode_words(self):
+        assert list(DEFAULT_ANALYZER.tokens("café Zürich")) == ["café", "zürich"]
+
+
+class TestDerivedViews:
+    def test_terms_deduplicates(self):
+        assert DEFAULT_ANALYZER.terms("pool pool spa") == {"pool", "spa"}
+
+    def test_term_frequencies(self):
+        freq = DEFAULT_ANALYZER.term_frequencies("pool spa pool")
+        assert freq == {"pool": 2, "spa": 1}
+
+    def test_document_length_counts_tokens(self):
+        assert DEFAULT_ANALYZER.document_length("pool spa pool") == 3
+
+
+class TestQueryTerms:
+    def test_multiword_keywords_split(self):
+        terms = DEFAULT_ANALYZER.query_terms(["wireless internet", "pool"])
+        assert terms == ["wireless", "internet", "pool"]
+
+    def test_duplicates_removed_order_preserved(self):
+        terms = DEFAULT_ANALYZER.query_terms(["pool", "POOL", "spa"])
+        assert terms == ["pool", "spa"]
+
+    def test_empty_keywords(self):
+        assert DEFAULT_ANALYZER.query_terms([]) == []
+
+
+class TestContainsAll:
+    def test_paper_semantics_internet_matches_wireless_internet(self):
+        """"internet" must match H2's "wireless Internet" (Example 2)."""
+        assert DEFAULT_ANALYZER.contains_all(
+            "wireless Internet, pool, golf course", ["internet", "pool"]
+        )
+
+    def test_missing_keyword_fails(self):
+        assert not DEFAULT_ANALYZER.contains_all(
+            "sauna, pool, conference rooms", ["internet", "pool"]
+        )
+
+    def test_empty_keyword_list_matches_everything(self):
+        assert DEFAULT_ANALYZER.contains_all("anything", [])
+
+    def test_substring_is_not_a_match(self):
+        """Term-level semantics: "pool" does not match "whirlpool"."""
+        assert not DEFAULT_ANALYZER.contains_all("whirlpool bath", ["pool"])

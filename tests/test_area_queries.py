@@ -1,0 +1,157 @@
+"""Tests for area-anchored queries (Section III: "an area could be used
+instead" of the query point)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import SpatialKeywordEngine
+from repro.core import (
+    IIOIndex,
+    IR2Index,
+    MIR2Index,
+    RTreeIndex,
+    SpatialKeywordQuery,
+    brute_force_top_k,
+)
+from repro.datasets import figure1_hotels
+from repro.errors import QueryError
+from repro.spatial import Rect
+
+
+class TestRectToRectMinDistance:
+    def test_overlapping_is_zero(self):
+        a = Rect((0.0, 0.0), (4.0, 4.0))
+        b = Rect((2.0, 2.0), (6.0, 6.0))
+        assert a.min_distance_rect(b) == 0.0
+
+    def test_touching_is_zero(self):
+        a = Rect((0.0, 0.0), (4.0, 4.0))
+        b = Rect((4.0, 0.0), (6.0, 4.0))
+        assert a.min_distance_rect(b) == 0.0
+
+    def test_axis_gap(self):
+        a = Rect((0.0, 0.0), (4.0, 4.0))
+        b = Rect((7.0, 1.0), (9.0, 3.0))
+        assert a.min_distance_rect(b) == 3.0
+
+    def test_diagonal_gap(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((4.0, 5.0), (6.0, 7.0))
+        assert a.min_distance_rect(b) == 5.0
+
+    def test_symmetric(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((5.0, -3.0), (6.0, -2.0))
+        assert a.min_distance_rect(b) == b.min_distance_rect(a)
+
+    def test_degenerate_equals_point_mindist(self):
+        rect = Rect((0.0, 0.0), (4.0, 4.0))
+        point = (7.0, 8.0)
+        assert rect.min_distance_rect(Rect.from_point(point)) == pytest.approx(
+            rect.min_distance(point)
+        )
+
+
+class TestAreaQueryModel:
+    def test_of_area_sets_point_to_center(self):
+        area = Rect((0.0, 0.0), (10.0, 20.0))
+        query = SpatialKeywordQuery.of_area(area, ["pool"], 3)
+        assert query.point == (5.0, 10.0)
+        assert query.target is area
+
+    def test_point_query_target_is_point(self):
+        query = SpatialKeywordQuery.of((1.0, 2.0), ["pool"], 1)
+        assert query.target == (1.0, 2.0)
+
+    def test_area_dims_must_match(self):
+        with pytest.raises(QueryError):
+            SpatialKeywordQuery(
+                (0.0, 0.0, 0.0), ("pool",), 1, Rect((0.0, 0.0), (1.0, 1.0))
+            )
+
+
+class TestEngineAreaQueries:
+    def test_objects_inside_area_rank_first(self):
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=8)
+        engine.add_all(figure1_hotels())
+        engine.build()
+        # An area covering East Asia: H3 (Tokyo-ish) and H4 (Beijing-ish)
+        # both have pools and fall inside -> distance 0, order by oid.
+        execution = engine.index.execute(
+            SpatialKeywordQuery.of_area(
+                Rect((30.0, 110.0), (45.0, 145.0)), ["pool"], 3
+            )
+        )
+        assert set(execution.oids[:2]) == {3, 4}
+        assert execution.results[0].distance == 0.0
+        assert execution.results[1].distance == 0.0
+        assert execution.results[2].distance > 0.0
+
+    def test_engine_query_area_wrapper(self):
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=8)
+        engine.add_all(figure1_hotels())
+        engine.build()
+        execution = engine.query_area(
+            (30.0, 110.0), (45.0, 145.0), ["pool"], k=2
+        )
+        assert set(execution.oids) == {3, 4}
+
+    def test_all_algorithms_agree_on_area_queries(self, small_corpus, small_objects):
+        indexes = [
+            RTreeIndex(small_corpus),
+            IIOIndex(small_corpus),
+            IR2Index(small_corpus, 8),
+            MIR2Index(small_corpus, 8),
+        ]
+        for index in indexes:
+            index.build()
+        rng = random.Random(17)
+        for _ in range(8):
+            anchor = rng.choice(small_objects)
+            terms = sorted(small_corpus.analyzer.terms(anchor.text))
+            keywords = rng.sample(terms, min(2, len(terms)))
+            lo = (rng.uniform(-90, 0), rng.uniform(-180, 0))
+            hi = (lo[0] + rng.uniform(1, 60), lo[1] + rng.uniform(1, 120))
+            query = SpatialKeywordQuery.of_area(Rect(lo, hi), keywords, 5)
+            expected = [
+                r.oid
+                for r in brute_force_top_k(
+                    small_objects, small_corpus.analyzer, query
+                )
+            ]
+            for index in indexes:
+                assert index.execute(query).oids == expected, index.label
+
+    def test_ranked_area_query(self, small_corpus, small_objects):
+        from repro.core import DistanceDecayRanking, brute_force_ranked, ranked_top_k
+        from repro.core.builder import BulkItem, bulk_load
+        from repro.core.ir2tree import IR2Tree
+        from repro.storage import InMemoryBlockDevice, PageStore
+        from repro.text import HashSignatureFactory
+
+        tree = IR2Tree(PageStore(InMemoryBlockDevice()), HashSignatureFactory(8), capacity=8)
+        items = [
+            BulkItem(ptr, Rect.from_point(obj.point), small_corpus.analyzer.terms(obj.text))
+            for ptr, obj in small_corpus.iter_items()
+        ]
+        bulk_load(tree, items)
+        ranking = DistanceDecayRanking(half_distance=40.0)
+        anchor = small_objects[3]
+        terms = sorted(small_corpus.analyzer.terms(anchor.text))[:2]
+        query = SpatialKeywordQuery.of_area(
+            Rect((-30.0, -60.0), (30.0, 60.0)), terms, 5
+        )
+        got = ranked_top_k(
+            tree, small_corpus.store, small_corpus.analyzer,
+            small_corpus.vocabulary, query, ranking,
+        )
+        want = brute_force_ranked(
+            small_objects, small_corpus.analyzer, small_corpus.vocabulary,
+            query, ranking,
+        )
+        assert [round(r.score, 9) for r in got.results] == [
+            round(r.score, 9) for r in want[: len(got.results)]
+        ]

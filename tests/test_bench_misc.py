@@ -1,0 +1,67 @@
+"""Tests for remaining benchmark-harness paths and the module entry point."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench import ExperimentContext, save_markdown
+from repro.bench.workloads import with_k
+
+
+@pytest.fixture(scope="module")
+def tiny_context():
+    return ExperimentContext(
+        "restaurants", scale=0.0005, signature_bytes=8, algorithms=("IR2",)
+    )
+
+
+class TestHarnessMisc:
+    def test_run_queries_executes_without_metrics(self, tiny_context):
+        queries = tiny_context.workload.queries(2, 1, 3)
+        tiny_context.run_queries("IR2", queries)  # must simply not raise
+
+    def test_save_markdown_writes_file(self, tmp_path):
+        path = save_markdown("unit", "| a |\n|---|\n| 1 |", directory=str(tmp_path))
+        assert os.path.exists(path)
+        assert "| a |" in open(path).read()
+
+    def test_save_markdown_respects_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "custom"))
+        path = save_markdown("unit2", "content")
+        assert str(tmp_path / "custom") in path
+
+    def test_measure_empty_query_list(self, tiny_context):
+        row = tiny_context.measure("IR2", [])
+        assert row.simulated_ms == 0.0
+        assert row.random_accesses == 0.0
+
+    def test_with_k_empty_batch(self):
+        assert with_k([], 5) == []
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro_help(self):
+        """``python -m repro --help`` must work as a real subprocess."""
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert "generate" in result.stdout
+        assert "build" in result.stdout
+        assert "query" in result.stdout
+
+    def test_python_dash_m_repro_bad_command(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "frobnicate"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode != 0

@@ -1,0 +1,141 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import figure1_hotels, load_tsv, save_tsv
+
+
+@pytest.fixture
+def hotels_tsv(tmp_path):
+    path = str(tmp_path / "hotels.tsv")
+    save_tsv(path, figure1_hotels())
+    return path
+
+
+@pytest.fixture
+def engine_dir(tmp_path, hotels_tsv):
+    target = str(tmp_path / "engine")
+    code = main(
+        ["build", "--data", hotels_tsv, "--out", target,
+         "--index", "ir2", "--signature-bytes", "8"]
+    )
+    assert code == 0
+    return target
+
+
+class TestGenerate:
+    def test_writes_tsv(self, tmp_path, capsys):
+        out = str(tmp_path / "data.tsv")
+        code = main(
+            ["generate", "--dataset", "restaurants", "--scale", "0.0005",
+             "--out", out]
+        )
+        assert code == 0
+        objects = load_tsv(out)
+        assert len(objects) == 228
+        assert "wrote 228" in capsys.readouterr().out
+
+    def test_deterministic_seed(self, tmp_path):
+        a = str(tmp_path / "a.tsv")
+        b = str(tmp_path / "b.tsv")
+        main(["generate", "--scale", "0.0002", "--seed", "5", "--out", a])
+        main(["generate", "--scale", "0.0002", "--seed", "5", "--out", b])
+        assert open(a).read() == open(b).read()
+
+
+class TestBuild:
+    def test_build_reports_size(self, engine_dir, capsys):
+        # engine_dir fixture already ran the command; do a fresh one to
+        # capture its output.
+        pass
+
+    @pytest.mark.parametrize("kind", ["rtree", "iio", "ir2", "mir2"])
+    def test_build_all_kinds(self, tmp_path, hotels_tsv, kind, capsys):
+        target = str(tmp_path / f"engine-{kind}")
+        code = main(
+            ["build", "--data", hotels_tsv, "--out", target, "--index", kind,
+             "--signature-bytes", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "indexed 8 objects" in out
+        assert kind.upper() in out
+
+    def test_insert_build_flag(self, tmp_path, hotels_tsv):
+        target = str(tmp_path / "engine-insert")
+        code = main(
+            ["build", "--data", hotels_tsv, "--out", target, "--insert-build"]
+        )
+        assert code == 0
+
+    def test_missing_data_file_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["build", "--data", str(tmp_path / "none.tsv"),
+             "--out", str(tmp_path / "e")]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_paper_query(self, engine_dir, capsys):
+        code = main(
+            ["query", "--engine", engine_dir, "--point", "30.5", "100.0",
+             "--keywords", "internet", "pool", "-k", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert lines[0].startswith("  1. #7")
+        assert lines[1].startswith("  2. #2")
+        assert "block accesses" in out
+
+    def test_ranked_query(self, engine_dir, capsys):
+        code = main(
+            ["query", "--engine", engine_dir, "--point", "30.5", "100.0",
+             "--keywords", "internet", "pool", "-k", "3", "--ranked"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "score=" in out
+        assert "ir=" in out
+
+    def test_no_results(self, engine_dir, capsys):
+        code = main(
+            ["query", "--engine", engine_dir, "--point", "0", "0",
+             "--keywords", "nonexistentword"]
+        )
+        assert code == 0
+        assert "no results" in capsys.readouterr().out
+
+    def test_missing_engine_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["query", "--engine", str(tmp_path / "none"), "--point", "0", "0",
+             "--keywords", "pool"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_stats_output(self, engine_dir, capsys):
+        code = main(["stats", "--engine", engine_dir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "objects             : 8" in out
+        assert "index kind          : IR2" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_index(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["build", "--data", "x", "--out", "y", "--index", "btree"]
+            )

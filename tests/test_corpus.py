@@ -1,0 +1,73 @@
+"""Unit tests for the corpus (object file + vocabulary statistics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Corpus
+from repro.model import SpatialObject
+
+
+class TestPopulation:
+    def test_add_returns_pointer(self):
+        corpus = Corpus()
+        pointer = corpus.add(SpatialObject(1, (0.0, 0.0), "pool spa"))
+        assert pointer == 0
+        assert len(corpus) == 1
+
+    def test_vocabulary_tracks_documents(self):
+        corpus = Corpus()
+        corpus.add(SpatialObject(1, (0.0, 0.0), "pool spa"))
+        corpus.add(SpatialObject(2, (1.0, 1.0), "pool gym"))
+        assert corpus.vocabulary.document_frequency("pool") == 2
+        assert corpus.vocabulary.unique_words == 3
+
+    def test_dimensionality_enforced(self):
+        corpus = Corpus()
+        corpus.add(SpatialObject(1, (0.0, 0.0), "a"))
+        with pytest.raises(ValueError):
+            corpus.add(SpatialObject(2, (0.0, 0.0, 0.0), "b"))
+
+    def test_dims_default_two(self):
+        assert Corpus().dims == 2
+
+    def test_dims_follow_first_object(self):
+        corpus = Corpus()
+        corpus.add(SpatialObject(1, (0.0, 0.0, 0.0), "a"))
+        assert corpus.dims == 3
+
+
+class TestAccess:
+    def test_term_resolver_counts_io(self, hotels_corpus):
+        pointer = next(iter(hotels_corpus.iter_items()))[0]
+        hotels_corpus.device.stats.reset()
+        terms = hotels_corpus.term_resolver(pointer)
+        assert "internet" in terms or len(terms) > 0
+        assert hotels_corpus.device.stats.objects_loaded == 1
+
+    def test_iter_items_roundtrip(self, hotels_corpus, hotels_objects):
+        seen = {obj.oid: obj for _, obj in hotels_corpus.iter_items()}
+        assert seen == {obj.oid: obj for obj in hotels_objects}
+
+    def test_objects_iteration(self, hotels_corpus):
+        assert sum(1 for _ in hotels_corpus.objects()) == 8
+
+
+class TestStats:
+    def test_empty_corpus_stats(self):
+        stats = Corpus().stats()
+        assert stats.total_objects == 0
+        assert stats.size_mb == 0.0
+
+    def test_stats_reflect_content(self, hotels_corpus):
+        stats = hotels_corpus.stats()
+        assert stats.total_objects == 8
+        assert stats.unique_words == hotels_corpus.vocabulary.unique_words
+        assert stats.avg_unique_words_per_object > 3
+        assert stats.avg_blocks_per_object >= 1.0
+        assert stats.size_mb > 0
+
+    def test_stats_row_shape(self, hotels_corpus):
+        row = hotels_corpus.stats().row()
+        assert len(row) == 5
+        assert row[1] == 8

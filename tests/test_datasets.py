@@ -1,0 +1,174 @@
+"""Tests for the synthetic dataset generators and TSV files."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    DatasetConfig,
+    SpatialTextDatasetGenerator,
+    figure1_hotels,
+    hotels_config,
+    iter_tsv,
+    load_tsv,
+    restaurants_config,
+    save_tsv,
+    synthetic_word,
+)
+from repro.errors import DatasetError
+from repro.text.analyzer import DEFAULT_ANALYZER
+
+
+class TestSyntheticWord:
+    def test_distinct_indices_distinct_words(self):
+        words = [synthetic_word(i) for i in range(5_000)]
+        assert len(set(words)) == 5_000
+
+    def test_words_are_tokenizable(self):
+        for i in (0, 10, 999, 54_000):
+            word = synthetic_word(i)
+            assert list(DEFAULT_ANALYZER.tokens(word)) == [word]
+
+
+class TestGenerator:
+    def _generate(self, **overrides):
+        defaults = dict(
+            name="t", n_objects=400, vocabulary_size=800, avg_unique_words=12,
+            seed=5,
+        )
+        defaults.update(overrides)
+        return SpatialTextDatasetGenerator(DatasetConfig(**defaults)).generate()
+
+    def test_object_count(self):
+        assert len(self._generate()) == 400
+
+    def test_deterministic_for_seed(self):
+        a = self._generate()
+        b = self._generate()
+        assert a == b
+
+    def test_seed_changes_output(self):
+        a = self._generate(seed=5)
+        b = self._generate(seed=6)
+        assert a != b
+
+    def test_points_within_extent(self):
+        objects = self._generate()
+        for obj in objects:
+            assert -90 <= obj.point[0] <= 90
+            assert -180 <= obj.point[1] <= 180
+
+    def test_average_document_size_near_target(self):
+        objects = self._generate(n_objects=1_000, avg_unique_words=20)
+        mean_unique = sum(
+            len(DEFAULT_ANALYZER.terms(o.text)) for o in objects
+        ) / len(objects)
+        assert mean_unique == pytest.approx(20, rel=0.25)
+
+    def test_zipf_skew_concentrates_frequency(self):
+        objects = self._generate(n_objects=800, zipf_exponent=1.2)
+        from collections import Counter
+
+        counts = Counter()
+        for obj in objects:
+            counts.update(obj.text.split())
+        frequencies = [c for _, c in counts.most_common()]
+        top_share = sum(frequencies[:10]) / sum(frequencies)
+        assert top_share > 0.2  # heavily skewed
+
+    def test_uniform_spatial_mode(self):
+        objects = self._generate(clusters=0)
+        assert len(objects) == 400
+
+    def test_clustered_points_concentrate(self):
+        clustered = self._generate(clusters=3, cluster_std=1.0)
+        xs = sorted(o.point[0] for o in clustered)
+        # With 3 tight clusters the middle half of x-values spans far
+        # less than the full extent.
+        iqr = xs[len(xs) * 3 // 4] - xs[len(xs) // 4]
+        assert iqr < 120
+
+    def test_frequency_helpers(self):
+        generator = SpatialTextDatasetGenerator(
+            DatasetConfig(name="t", n_objects=1, vocabulary_size=100, avg_unique_words=5)
+        )
+        assert len(generator.frequent_words(3)) == 3
+        assert len(generator.rare_words(3)) == 3
+        assert generator.frequent_words(1) != generator.rare_words(1)
+
+    def test_invalid_configs(self):
+        with pytest.raises(DatasetError):
+            DatasetConfig(name="x", n_objects=0, vocabulary_size=10, avg_unique_words=2)
+        with pytest.raises(DatasetError):
+            DatasetConfig(name="x", n_objects=1, vocabulary_size=0, avg_unique_words=2)
+        with pytest.raises(DatasetError):
+            DatasetConfig(name="x", n_objects=1, vocabulary_size=10, avg_unique_words=0)
+
+
+class TestPaperPresets:
+    def test_hotels_full_scale_matches_table1(self):
+        config = hotels_config(scale=1.0)
+        assert config.n_objects == 129_319
+        assert config.vocabulary_size == 53_906
+        assert config.avg_unique_words == 349.0
+
+    def test_restaurants_full_scale_matches_table1(self):
+        config = restaurants_config(scale=1.0)
+        assert config.n_objects == 456_288
+        assert config.vocabulary_size == 73_855
+        assert config.avg_unique_words == 14.0
+
+    def test_scale_shrinks_objects_heaps_law_vocab(self):
+        config = hotels_config(scale=0.01)
+        assert config.n_objects == round(129_319 * 0.01)
+        assert config.vocabulary_size == round(53_906 * 0.1)
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            hotels_config(scale=0.0)
+        with pytest.raises(DatasetError):
+            restaurants_config(scale=-1.0)
+
+
+class TestTsvFiles:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "hotels.tsv")
+        objects = figure1_hotels()
+        assert save_tsv(path, objects) == 8
+        loaded = load_tsv(path)
+        assert [o.oid for o in loaded] == [o.oid for o in objects]
+        assert loaded[0].point == objects[0].point
+        assert "tennis" in loaded[0].text
+
+    def test_iter_streams(self, tmp_path):
+        path = str(tmp_path / "x.tsv")
+        save_tsv(path, figure1_hotels())
+        count = sum(1 for _ in iter_tsv(path))
+        assert count == 8
+
+    def test_missing_file(self):
+        with pytest.raises(DatasetError):
+            load_tsv("/nonexistent/file.tsv")
+
+    def test_malformed_row(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1\tnot-a-float\t2.0\ttext\n")
+        with pytest.raises(DatasetError):
+            load_tsv(str(path))
+
+    def test_too_few_columns(self, tmp_path):
+        path = tmp_path / "short.tsv"
+        path.write_text("1\t2.0\n")
+        with pytest.raises(DatasetError):
+            load_tsv(str(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.tsv"
+        path.write_text("1\t2.0\t3.0\ttext\n\n2\t4.0\t5.0\tmore\n")
+        assert len(load_tsv(str(path))) == 2
+
+    def test_text_with_tabs_preserved_as_text_columns(self, tmp_path):
+        path = tmp_path / "tabs.tsv"
+        path.write_text("1\t2.0\t3.0\ta\tb\tc\n")
+        loaded = load_tsv(str(path))
+        assert loaded[0].text == "a\tb\tc"

@@ -1,0 +1,120 @@
+"""Tests for signature-saturation diagnostics (Section IV's motivation)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import BulkItem, Corpus, IR2Tree, MIR2Tree, bulk_load
+from repro.core.diagnostics import (
+    estimated_false_positive_rates,
+    signature_saturation,
+)
+from repro.model import SpatialObject
+from repro.spatial import Rect, RTree
+from repro.storage import InMemoryBlockDevice, PageStore
+from repro.text import HashSignatureFactory
+
+
+def make_corpus(n=300, vocab=600, words=20, seed=1):
+    rng = random.Random(seed)
+    corpus = Corpus()
+    for i in range(n):
+        text = " ".join(f"w{rng.randrange(vocab)}" for _ in range(words))
+        corpus.add(SpatialObject(i, (rng.uniform(0, 90), rng.uniform(0, 90)), text))
+    return corpus
+
+
+def items_of(corpus):
+    return [
+        BulkItem(ptr, Rect.from_point(obj.point), corpus.analyzer.terms(obj.text))
+        for ptr, obj in corpus.iter_items()
+    ]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_corpus()
+
+
+@pytest.fixture(scope="module")
+def ir2(corpus):
+    tree = IR2Tree(PageStore(InMemoryBlockDevice()), HashSignatureFactory(8), capacity=8)
+    bulk_load(tree, items_of(corpus))
+    return tree
+
+
+@pytest.fixture(scope="module")
+def mir2(corpus):
+    tree = MIR2Tree(
+        PageStore(InMemoryBlockDevice()),
+        (8, 64, 512),
+        corpus.term_resolver,
+        capacity=8,
+    )
+    bulk_load(tree, items_of(corpus))
+    return tree
+
+
+class TestSaturation:
+    def test_levels_reported_leaves_first(self, ir2):
+        report = signature_saturation(ir2)
+        assert [row.level for row in report] == list(range(ir2.height))
+
+    def test_entry_counts_consistent(self, ir2):
+        report = signature_saturation(ir2)
+        assert report[0].entries == ir2.size  # leaf entries = objects
+        for lower, upper in zip(report[:-1], report[1:]):
+            assert upper.entries == lower.nodes  # one entry per child
+
+    def test_fill_fractions_in_unit_interval(self, ir2, mir2):
+        for tree in (ir2, mir2):
+            for row in signature_saturation(tree):
+                assert 0.0 <= row.mean_fill <= row.max_fill <= 1.0
+
+    def test_ir2_saturates_toward_root(self, ir2):
+        """The paper's Section IV claim: fixed-length signatures have
+        'more 1's' at higher levels."""
+        report = signature_saturation(ir2)
+        assert report[-1].mean_fill > report[0].mean_fill
+        assert report[-1].mean_fill > 0.9  # essentially saturated
+
+    def test_mir2_stays_near_design_point(self, corpus, ir2, mir2):
+        """Per-level optimal lengths keep upper levels far below the
+        IR2-Tree's saturation."""
+        ir2_top = signature_saturation(ir2)[-1].mean_fill
+        mir2_top = signature_saturation(mir2)[-1].mean_fill
+        assert mir2_top < ir2_top
+        assert mir2_top < 0.8
+
+    def test_mir2_widths_grow_with_level(self, mir2):
+        report = signature_saturation(mir2)
+        widths = [row.signature_bits for row in report]
+        assert widths == sorted(widths)
+        assert widths[-1] > widths[0]
+
+    def test_plain_rtree_reports_zero_fill(self):
+        tree = RTree(PageStore(InMemoryBlockDevice()), capacity=4)
+        for i in range(10):
+            tree.insert(i, Rect.from_point((float(i), 0.0)))
+        report = signature_saturation(tree)
+        assert all(row.mean_fill == 0.0 for row in report)
+        assert all(row.signature_bits == 0 for row in report)
+
+
+class TestFalsePositiveEstimates:
+    def test_rates_follow_fill(self, ir2):
+        rates = estimated_false_positive_rates(ir2, bits_per_word=3)
+        report = {row.level: row for row in map(lambda r: r, signature_saturation(ir2))}
+        for level, rate in rates.items():
+            assert rate == pytest.approx(report[level].mean_fill**3)
+
+    def test_ir2_root_rate_near_one(self, ir2):
+        rates = estimated_false_positive_rates(ir2, bits_per_word=3)
+        assert rates[max(rates)] > 0.7
+
+    def test_mir2_root_rate_lower(self, ir2, mir2):
+        ir2_rates = estimated_false_positive_rates(ir2, bits_per_word=3)
+        mir2_rates = estimated_false_positive_rates(mir2, bits_per_word=3)
+        assert mir2_rates[max(mir2_rates)] < ir2_rates[max(ir2_rates)]

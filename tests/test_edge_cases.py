@@ -1,0 +1,86 @@
+"""Degenerate-input tests: empty corpora, single objects, odd documents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SpatialKeywordEngine, SpatialObject
+
+KINDS = ["rtree", "iio", "ir2", "mir2", "sig", "stree"]
+
+
+@pytest.mark.parametrize("kind", KINDS)
+class TestEmptyCorpus:
+    def test_build_and_query_empty(self, kind):
+        engine = SpatialKeywordEngine(index=kind, signature_bytes=4)
+        engine.build()
+        assert engine.query((0.0, 0.0), ["anything"], k=3).results == []
+
+    def test_insert_into_empty_built_engine(self, kind):
+        engine = SpatialKeywordEngine(index=kind, signature_bytes=4)
+        engine.build()
+        engine.add(SpatialObject(1, (1.0, 1.0), "solo pool"))
+        assert engine.query((0.0, 0.0), ["pool"], k=1).oids == [1]
+
+
+@pytest.mark.parametrize("kind", KINDS)
+class TestOddDocuments:
+    def test_empty_document(self, kind):
+        engine = SpatialKeywordEngine(index=kind, signature_bytes=4)
+        engine.add(SpatialObject(1, (0.0, 0.0), ""))
+        engine.add(SpatialObject(2, (1.0, 1.0), "pool"))
+        engine.build()
+        assert engine.query((0.0, 0.0), ["pool"], k=2).oids == [2]
+
+    def test_punctuation_only_document(self, kind):
+        engine = SpatialKeywordEngine(index=kind, signature_bytes=4)
+        engine.add(SpatialObject(1, (0.0, 0.0), "... !!! ---"))
+        engine.add(SpatialObject(2, (1.0, 1.0), "spa"))
+        engine.build()
+        assert engine.query((0.0, 0.0), ["spa"], k=2).oids == [2]
+
+    def test_very_long_document(self, kind):
+        engine = SpatialKeywordEngine(index=kind, signature_bytes=4)
+        long_text = " ".join(f"word{i}" for i in range(3_000)) + " needle"
+        engine.add(SpatialObject(1, (0.0, 0.0), long_text))
+        engine.build()
+        assert engine.query((5.0, 5.0), ["needle"], k=1).oids == [1]
+
+    def test_duplicate_locations(self, kind):
+        engine = SpatialKeywordEngine(index=kind, signature_bytes=4)
+        for oid in range(1, 8):
+            engine.add(SpatialObject(oid, (3.0, 3.0), f"pool tag{oid}"))
+        engine.build()
+        result = engine.query((3.0, 3.0), ["pool"], k=7)
+        assert sorted(result.oids) == list(range(1, 8))
+        assert all(r.distance == 0.0 for r in result.results)
+
+
+class TestRankedEdgeCases:
+    def test_ranked_on_empty_engine(self):
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        engine.build()
+        execution = engine.query_ranked((0.0, 0.0), ["anything"], k=3)
+        assert execution.results == []
+
+    def test_ranked_single_object(self):
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        engine.add(SpatialObject(1, (0.0, 0.0), "pool"))
+        engine.build()
+        execution = engine.query_ranked((0.0, 0.0), ["pool"], k=1)
+        assert execution.oids == [1]
+        assert execution.results[0].ir_score > 0
+
+    def test_k_of_one(self):
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        engine.add(SpatialObject(1, (0.0, 0.0), "pool"))
+        engine.add(SpatialObject(2, (9.0, 9.0), "pool"))
+        engine.build()
+        assert engine.query((0.0, 0.0), ["pool"], k=1).oids == [1]
+
+    def test_unicode_keywords(self):
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=8)
+        engine.add(SpatialObject(1, (0.0, 0.0), "café piscine"))
+        engine.build()
+        assert engine.query((0.0, 0.0), ["café"], k=1).oids == [1]
+        assert engine.query((0.0, 0.0), ["CAFÉ"], k=1).oids == [1]

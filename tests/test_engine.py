@@ -1,0 +1,118 @@
+"""Tests for the SpatialKeywordEngine facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SpatialKeywordEngine, SpatialObject
+from repro.datasets import figure1_hotels
+from repro.errors import IndexError_, QueryError
+
+
+@pytest.fixture(params=["rtree", "iio", "ir2", "mir2"])
+def engine(request):
+    engine = SpatialKeywordEngine(index=request.param, signature_bytes=8)
+    engine.add_all(figure1_hotels())
+    engine.build()
+    return engine
+
+
+class TestQueries:
+    def test_running_example(self, engine):
+        execution = engine.query((30.5, 100.0), ["internet", "pool"], k=2)
+        assert execution.oids == [7, 2]
+
+    def test_k_default(self, engine):
+        execution = engine.query((30.5, 100.0), ["pool"])
+        assert len(execution.oids) == 5  # every pool hotel
+
+    def test_execution_reports_costs(self, engine):
+        execution = engine.query((30.5, 100.0), ["pool"], k=1)
+        assert execution.simulated_ms() >= 0.0
+        assert execution.io.total_reads >= 1
+
+
+class TestRankedQueries:
+    def test_ranked_on_signature_indexes(self):
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=8)
+        engine.add_all(figure1_hotels())
+        engine.build()
+        execution = engine.query_ranked((30.5, 100.0), ["internet", "pool"], k=3)
+        scores = [r.score for r in execution.results]
+        assert scores == sorted(scores, reverse=True)
+        assert execution.algorithm == "IR2-RANKED"
+
+    def test_ranked_rejected_on_baselines(self):
+        engine = SpatialKeywordEngine(index="rtree")
+        engine.add_all(figure1_hotels())
+        engine.build()
+        with pytest.raises(QueryError):
+            engine.query_ranked((0, 0), ["pool"], k=1)
+
+    def test_custom_ranking_validated(self):
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=8)
+        engine.add_all(figure1_hotels())
+        engine.build()
+        with pytest.raises(QueryError):
+            engine.query_ranked(
+                (0, 0), ["pool"], k=1, ranking=lambda d, ir: d  # increasing!
+            )
+
+
+class TestMutation:
+    def test_add_after_build_is_live(self, engine):
+        engine.add_object(99, (30.5, 100.0), "internet pool brand-new")
+        execution = engine.query((30.5, 100.0), ["internet", "pool"], k=1)
+        assert execution.oids == [99]
+
+    def test_duplicate_oid_rejected(self, engine):
+        with pytest.raises(QueryError):
+            engine.add_object(1, (0.0, 0.0), "duplicate")
+
+    def test_delete(self, engine):
+        assert engine.delete(7) is True
+        execution = engine.query((30.5, 100.0), ["internet", "pool"], k=2)
+        assert execution.oids == [2]
+
+    def test_delete_unknown_returns_false(self, engine):
+        assert engine.delete(123456) is False
+
+    def test_delete_before_build_rejected(self):
+        engine = SpatialKeywordEngine()
+        engine.add_object(1, (0.0, 0.0), "pool")
+        with pytest.raises(IndexError_):
+            engine.delete(1)
+
+
+class TestIntrospection:
+    def test_len(self, engine):
+        assert len(engine) == 8
+
+    def test_corpus_stats(self, engine):
+        stats = engine.corpus_stats()
+        assert stats.total_objects == 8
+
+    def test_index_size(self, engine):
+        assert engine.index_size_mb() > 0
+
+    def test_io_stats_and_reset(self, engine):
+        engine.query((30.5, 100.0), ["pool"], k=1)
+        assert engine.io_stats().total_accesses > 0
+        engine.reset_io()
+        assert engine.io_stats().total_accesses == 0
+
+
+class TestDocstringExample:
+    def test_package_quickstart(self):
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=16)
+        engine.add_object(7, (-33.2, -70.4), "internet airport transportation pool")
+        engine.add_object(4, (39.5, 116.2), "sauna pool conference rooms")
+        engine.build()
+        top = engine.query(point=(30.5, 100.0), keywords=["pool"], k=1)
+        assert top.results[0].obj.oid == 4
+
+    def test_add_accepts_spatial_objects(self):
+        engine = SpatialKeywordEngine()
+        engine.add(SpatialObject(1, (1.0, 2.0), "pool"))
+        engine.build()
+        assert engine.query((1.0, 2.0), ["pool"], 1).oids == [1]

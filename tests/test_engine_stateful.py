@@ -1,0 +1,99 @@
+"""Hypothesis stateful test: the engine vs. a naive in-memory model.
+
+Drives a live :class:`~repro.core.engine.SpatialKeywordEngine` through
+arbitrary interleavings of inserts, deletes, and distance-first queries,
+checking every query against the brute-force oracle over a plain dict
+model.  This is the strongest correctness net in the suite: any
+maintenance bug (signature staleness, CondenseTree mistakes, stale
+pointers) surfaces as a query disagreement.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro import SpatialKeywordEngine, SpatialObject
+from repro.core import SpatialKeywordQuery, brute_force_top_k
+
+#: Tiny closed vocabulary so queries frequently hit real documents.
+VOCABULARY = [f"kw{i}" for i in range(12)]
+
+coords = st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False)
+documents = st.lists(
+    st.sampled_from(VOCABULARY), min_size=1, max_size=5
+).map(lambda words: " ".join(words))
+
+
+class EngineMachine(RuleBasedStateMachine):
+    """Random insert/delete/query workload with an oracle check."""
+
+    @initialize(kind=st.sampled_from(["rtree", "ir2", "mir2", "sig"]))
+    def setup(self, kind):
+        # Tiny capacity forces splits/condenses on small object counts.
+        self.engine = SpatialKeywordEngine(
+            index=kind, signature_bytes=4, capacity=4
+        )
+        self.engine.build()
+        self.model: dict[int, SpatialObject] = {}
+        self.next_oid = 0
+
+    @rule(x=coords, y=coords, text=documents)
+    def insert(self, x, y, text):
+        obj = SpatialObject(self.next_oid, (x, y), text)
+        self.next_oid += 1
+        self.engine.add(obj)
+        self.model[obj.oid] = obj
+
+    @precondition(lambda self: self.model)
+    @rule(choice=st.integers(0, 2**30))
+    def delete(self, choice):
+        oid = sorted(self.model)[choice % len(self.model)]
+        assert self.engine.delete(oid) is True
+        del self.model[oid]
+
+    @rule(data=st.data())
+    def query(self, data):
+        keywords = data.draw(
+            st.lists(st.sampled_from(VOCABULARY), min_size=1, max_size=2, unique=True)
+        )
+        point = (data.draw(coords), data.draw(coords))
+        k = data.draw(st.integers(1, 5))
+        query = SpatialKeywordQuery.of(point, keywords, k)
+        got = self.engine.index.execute(query)
+        full_query = SpatialKeywordQuery.of(point, keywords, len(self.model) + 1)
+        full = brute_force_top_k(
+            list(self.model.values()), self.engine.corpus.analyzer, full_query
+        )
+        want = full[:k]
+        # Distances must agree exactly; oids may permute only among
+        # exact ties, so each returned oid must be a model object with
+        # the keywords at exactly that distance.
+        got_distances = [round(r.distance, 9) for r in got.results]
+        want_distances = [round(r.distance, 9) for r in want]
+        assert got_distances == want_distances
+        eligible_by_distance: dict[float, set[int]] = {}
+        for result in full:  # untruncated: ties at the k-boundary count
+            eligible_by_distance.setdefault(
+                round(result.distance, 9), set()
+            ).add(result.oid)
+        for result in got.results:
+            assert result.oid in eligible_by_distance[round(result.distance, 9)]
+
+    @invariant()
+    def size_matches_model(self):
+        if hasattr(self, "engine"):
+            assert len(self.engine) == len(self.model)
+
+
+TestEngineStateful = EngineMachine.TestCase
+TestEngineStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

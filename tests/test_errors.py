@@ -1,0 +1,71 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_storage_family(self):
+        for cls in (
+            errors.BlockOutOfRangeError,
+            errors.BlockSizeError,
+            errors.AllocationError,
+            errors.SerializationError,
+            errors.PageNotFoundError,
+            errors.ObjectNotFoundError,
+        ):
+            assert issubclass(cls, errors.StorageError)
+
+    def test_index_family(self):
+        assert issubclass(errors.TreeInvariantError, errors.IndexError_)
+        assert issubclass(errors.SignatureLengthError, errors.IndexError_)
+        # Deliberately NOT the builtin IndexError.
+        assert not issubclass(errors.IndexError_, IndexError)
+
+
+class TestMessages:
+    def test_block_out_of_range_carries_context(self):
+        exc = errors.BlockOutOfRangeError(7, 3)
+        assert exc.block_id == 7
+        assert exc.num_blocks == 3
+        assert "7" in str(exc) and "3" in str(exc)
+
+    def test_block_size_error(self):
+        exc = errors.BlockSizeError(5000, 4096)
+        assert exc.data_len == 5000
+        assert "4096" in str(exc)
+
+    def test_page_not_found(self):
+        exc = errors.PageNotFoundError(12)
+        assert exc.node_id == 12
+        assert "12" in str(exc)
+
+    def test_object_not_found(self):
+        exc = errors.ObjectNotFoundError(99)
+        assert exc.pointer == 99
+
+    def test_signature_length_error(self):
+        exc = errors.SignatureLengthError(64, 128)
+        assert exc.left_bits == 64
+        assert exc.right_bits == 128
+        assert "64" in str(exc) and "128" in str(exc)
+
+
+class TestCatchability:
+    def test_single_base_catches_all(self):
+        """Library consumers can catch everything with one except clause."""
+        with pytest.raises(errors.ReproError):
+            raise errors.QueryError("bad query")
+        with pytest.raises(errors.ReproError):
+            raise errors.DatasetError("bad data")
+        with pytest.raises(errors.ReproError):
+            raise errors.TreeInvariantError("bad tree")

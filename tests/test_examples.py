@@ -1,0 +1,80 @@
+"""Smoke tests: the example scripts run end to end and stay correct.
+
+Each example's ``main`` is executed in-process (with sizes scaled down
+where needed) so documentation code cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def load_example(name: str):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        module = load_example("quickstart")
+        module.main()  # contains its own assertions (paper's Example 3)
+        out = capsys.readouterr().out
+        assert "H7" in out and "H2" in out
+
+    def test_real_estate_ranked(self, capsys):
+        module = load_example("real_estate_ranked")
+        module.main()
+        out = capsys.readouterr().out
+        assert "distance-first" in out
+        assert "score=" in out
+
+    def test_yellow_pages_small(self, capsys, monkeypatch):
+        module = load_example("yellow_pages")
+        monkeypatch.setattr(sys, "argv", ["yellow_pages.py", "250"])
+        module.main()
+        out = capsys.readouterr().out
+        assert "identical results" in out
+        for label in ("RTREE", "IIO", "IR2", "MIR2"):
+            assert label in out
+
+    def test_signature_anatomy_small(self, capsys, monkeypatch):
+        module = load_example("signature_anatomy")
+        monkeypatch.setattr(module, "N_OBJECTS", 250)
+        module.main()
+        out = capsys.readouterr().out
+        assert "IR2-Tree" in out and "MIR2-Tree" in out
+        assert "est. FP rate" in out
+
+    def test_index_maintenance_small(self, capsys, monkeypatch):
+        module = load_example("index_maintenance")
+        monkeypatch.setattr(module, "N_OBJECTS", 150)
+        monkeypatch.setattr(module, "N_UPDATES", 6)
+        module.main()
+        out = capsys.readouterr().out
+        assert "IR2: 12 updates" in out
+        assert "MIR2: 12 updates" in out
+
+    def test_every_example_has_a_test(self):
+        """Guard: adding an example without a smoke test fails here."""
+        scripts = {
+            name[:-3]
+            for name in os.listdir(EXAMPLES_DIR)
+            if name.endswith(".py")
+        }
+        tested = {
+            "quickstart",
+            "real_estate_ranked",
+            "yellow_pages",
+            "signature_anatomy",
+            "index_maintenance",
+        }
+        assert scripts == tested

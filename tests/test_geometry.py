@@ -1,0 +1,182 @@
+"""Unit and property tests for points and MBRs."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial import Rect, point_distance
+
+coords = st.floats(-1e6, 1e6, allow_nan=False)
+
+
+def rect_strategy(dims=2):
+    return st.lists(
+        st.tuples(coords, coords), min_size=dims, max_size=dims
+    ).map(
+        lambda pairs: Rect(
+            tuple(min(a, b) for a, b in pairs), tuple(max(a, b) for a, b in pairs)
+        )
+    )
+
+
+def point_strategy(dims=2):
+    return st.lists(coords, min_size=dims, max_size=dims).map(tuple)
+
+
+class TestPointDistance:
+    def test_paper_example_h4(self):
+        """distance(H4=[39.5,116.2], [30.5,100.0]) = 18.5 (Example 1)."""
+        assert point_distance((39.5, 116.2), (30.5, 100.0)) == pytest.approx(
+            18.5, abs=0.05
+        )
+
+    def test_paper_example_h7(self):
+        """distance(H7=[-33.2,-70.4], [30.5,100.0]) = 181.9 (Example 2)."""
+        assert point_distance((-33.2, -70.4), (30.5, 100.0)) == pytest.approx(
+            181.9, abs=0.05
+        )
+
+    def test_zero_distance(self):
+        assert point_distance((1.0, 2.0), (1.0, 2.0)) == 0.0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            point_distance((1.0,), (1.0, 2.0))
+
+    def test_three_dimensions(self):
+        assert point_distance((0, 0, 0), (1, 2, 2)) == pytest.approx(3.0)
+
+
+class TestRectBasics:
+    def test_from_point_is_degenerate(self):
+        rect = Rect.from_point((3.0, 4.0))
+        assert rect.lo == rect.hi == (3.0, 4.0)
+        assert rect.area() == 0.0
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            Rect((1.0, 0.0), (0.0, 1.0))
+
+    def test_corner_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Rect((0.0,), (1.0, 1.0))
+
+    def test_area_and_margin(self):
+        rect = Rect((0.0, 0.0), (2.0, 3.0))
+        assert rect.area() == 6.0
+        assert rect.margin() == 5.0
+
+    def test_center(self):
+        assert Rect((0.0, 0.0), (2.0, 4.0)).center == (1.0, 2.0)
+
+    def test_coords_roundtrip(self):
+        rect = Rect((0.0, -1.0), (2.0, 5.0))
+        assert Rect.from_coords(rect.to_coords()) == rect
+
+    def test_from_coords_odd_arity(self):
+        with pytest.raises(ValueError):
+            Rect.from_coords((1.0, 2.0, 3.0))
+
+    def test_union_all(self):
+        rects = [Rect.from_point((i, -i)) for i in range(3)]
+        union = Rect.union_all(rects)
+        assert union == Rect((0.0, -2.0), (2.0, 0.0))
+
+    def test_union_all_empty(self):
+        with pytest.raises(ValueError):
+            Rect.union_all([])
+
+
+class TestRelations:
+    def test_intersects_shared_edge(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((1.0, 0.0), (2.0, 1.0))
+        assert a.intersects(b)
+
+    def test_disjoint(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((2.0, 2.0), (3.0, 3.0))
+        assert not a.intersects(b)
+
+    def test_contains_point_boundary(self):
+        rect = Rect((0.0, 0.0), (1.0, 1.0))
+        assert rect.contains_point((1.0, 0.0))
+        assert not rect.contains_point((1.1, 0.0))
+
+    def test_contains_rect(self):
+        outer = Rect((0.0, 0.0), (10.0, 10.0))
+        inner = Rect((1.0, 1.0), (2.0, 2.0))
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+
+    def test_enlargement(self):
+        rect = Rect((0.0, 0.0), (1.0, 1.0))
+        grown = rect.enlargement(Rect.from_point((2.0, 0.5)))
+        assert grown == pytest.approx(1.0)  # becomes 2x1
+
+
+class TestMinDistance:
+    def test_inside_is_zero(self):
+        rect = Rect((0.0, 0.0), (4.0, 4.0))
+        assert rect.min_distance((2.0, 2.0)) == 0.0
+
+    def test_side_projection(self):
+        rect = Rect((0.0, 0.0), (4.0, 4.0))
+        assert rect.min_distance((6.0, 2.0)) == 2.0
+
+    def test_corner(self):
+        rect = Rect((0.0, 0.0), (4.0, 4.0))
+        assert rect.min_distance((7.0, 8.0)) == 5.0
+
+    def test_paper_n7_mbr_distance(self):
+        """MBR of {H4, H5} has distance 9.0 from [30.5, 100.0] (Example 1)."""
+        mbr = Rect.from_point((39.5, 116.2)).union(Rect.from_point((51.3, -0.5)))
+        assert mbr.min_distance((30.5, 100.0)) == pytest.approx(9.0, abs=0.01)
+
+    def test_max_distance_at_least_min(self):
+        rect = Rect((0.0, 0.0), (4.0, 4.0))
+        point = (10.0, -3.0)
+        assert rect.max_distance(point) >= rect.min_distance(point)
+
+
+@given(rect=rect_strategy(), point=point_strategy())
+@settings(max_examples=120, deadline=None)
+def test_property_mindist_lower_bounds_all_contents(rect, point):
+    """MINDIST never exceeds the distance to any point inside the MBR."""
+    for corner in (rect.lo, rect.hi, rect.center):
+        assert rect.min_distance(point) <= point_distance(corner, point) + 1e-6
+
+
+@given(a=rect_strategy(), b=rect_strategy())
+@settings(max_examples=120, deadline=None)
+def test_property_union_contains_both(a, b):
+    union = a.union(b)
+    assert union.contains_rect(a)
+    assert union.contains_rect(b)
+    assert union.area() >= max(a.area(), b.area())
+
+
+@given(a=rect_strategy(), b=rect_strategy())
+@settings(max_examples=120, deadline=None)
+def test_property_intersects_symmetric(a, b):
+    assert a.intersects(b) == b.intersects(a)
+
+
+@given(rect=rect_strategy(), point=point_strategy())
+@settings(max_examples=120, deadline=None)
+def test_property_mindist_zero_iff_contained(rect, point):
+    if rect.contains_point(point):
+        assert rect.min_distance(point) == 0.0
+    else:
+        # Distance of a point outside the rect is positive, except when
+        # the gap is so small its square underflows float64 (< ~1e-154).
+        gap = max(
+            max(l - c, c - h, 0.0)
+            for l, h, c in zip(rect.lo, rect.hi, point)
+        )
+        if gap > 1e-150:
+            assert rect.min_distance(point) > 0.0

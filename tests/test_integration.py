@@ -1,0 +1,156 @@
+"""End-to-end integration tests across the whole stack.
+
+These tests tie every layer together: real file-backed devices, mixed
+build paths, live maintenance under queries, and four-way algorithm
+agreement on a non-trivial corpus.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import SpatialKeywordEngine
+from repro.core import (
+    Corpus,
+    IIOIndex,
+    IR2Index,
+    MIR2Index,
+    RTreeIndex,
+    SpatialKeywordQuery,
+    brute_force_top_k,
+)
+from repro.datasets import DatasetConfig, SpatialTextDatasetGenerator
+from repro.model import SpatialObject
+from repro.storage import FileBlockDevice
+
+
+def medium_objects(n=600, seed=21):
+    config = DatasetConfig(
+        name="integration",
+        n_objects=n,
+        vocabulary_size=900,
+        avg_unique_words=11,
+        clusters=8,
+        seed=seed,
+    )
+    return SpatialTextDatasetGenerator(config).generate()
+
+
+def queries_for(corpus, objects, count, seed=0, num_keywords=2, k=7):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        obj = rng.choice(objects)
+        terms = sorted(corpus.analyzer.terms(obj.text))
+        out.append(
+            SpatialKeywordQuery.of(
+                (rng.uniform(-90, 90), rng.uniform(-180, 180)),
+                rng.sample(terms, min(num_keywords, len(terms))),
+                k,
+            )
+        )
+    return out
+
+
+class TestFourWayAgreement:
+    def test_medium_corpus_all_algorithms_all_queries(self):
+        objects = medium_objects()
+        corpus = Corpus()
+        corpus.add_all(objects)
+        indexes = [
+            RTreeIndex(corpus),
+            IIOIndex(corpus),
+            IR2Index(corpus, 8),
+            MIR2Index(corpus, 8),
+        ]
+        for index in indexes:
+            index.build()
+        for query in queries_for(corpus, objects, 15):
+            expected = [
+                r.oid for r in brute_force_top_k(objects, corpus.analyzer, query)
+            ]
+            for index in indexes:
+                assert index.execute(query).oids == expected, index.label
+
+
+class TestFileBackedStack:
+    def test_everything_on_real_files(self, tmp_path):
+        """The whole system running over genuine on-disk block files."""
+        objects = medium_objects(150, seed=22)
+        object_device = FileBlockDevice(str(tmp_path / "objects.dat"))
+        corpus = Corpus(device=object_device)
+        corpus.add_all(objects)
+        index_device = FileBlockDevice(str(tmp_path / "ir2.dat"))
+        index = IR2Index(corpus, 8, device=index_device)
+        index.build()
+        for query in queries_for(corpus, objects, 5, seed=1):
+            expected = [
+                r.oid for r in brute_force_top_k(objects, corpus.analyzer, query)
+            ]
+            assert index.execute(query).oids == expected
+        assert (tmp_path / "ir2.dat").stat().st_size > 0
+        object_device.close()
+        index_device.close()
+
+
+class TestLiveMaintenanceUnderQueries:
+    @pytest.mark.parametrize("kind", ["ir2", "mir2"])
+    def test_interleaved_updates_and_queries(self, kind):
+        engine = SpatialKeywordEngine(index=kind, signature_bytes=8)
+        objects = medium_objects(120, seed=23)
+        engine.add_all(objects[:100])
+        engine.build()
+        rng = random.Random(24)
+        live = {obj.oid: obj for obj in objects[:100]}
+        pending = list(objects[100:])
+        for step in range(40):
+            action = rng.random()
+            if action < 0.3 and pending:
+                obj = pending.pop()
+                engine.add(obj)
+                live[obj.oid] = obj
+            elif action < 0.5 and len(live) > 50:
+                oid = rng.choice(list(live))
+                assert engine.delete(oid) is True
+                del live[oid]
+            else:
+                anchor = rng.choice(list(live.values()))
+                terms = sorted(engine.corpus.analyzer.terms(anchor.text))
+                keywords = rng.sample(terms, min(2, len(terms)))
+                query = SpatialKeywordQuery.of(
+                    (rng.uniform(-90, 90), rng.uniform(-180, 180)), keywords, 5
+                )
+                expected = [
+                    r.oid
+                    for r in brute_force_top_k(
+                        live.values(), engine.corpus.analyzer, query
+                    )
+                ]
+                got = engine.index.execute(query).oids
+                assert got == expected
+
+
+class TestScaleSanity:
+    def test_ir2_io_grows_sublinearly(self):
+        """Doubling the dataset should not double per-query node reads
+        (logarithmic tree depth + localized pruning)."""
+        reads = {}
+        for n in (400, 1_600):
+            objects = medium_objects(n, seed=25)
+            corpus = Corpus()
+            corpus.add_all(objects)
+            index = IR2Index(corpus, 8)
+            index.build()
+            total = 0
+            for query in queries_for(corpus, objects, 8, seed=2, k=3):
+                total += index.execute(query).io.category_reads("node")
+            reads[n] = total
+        assert reads[1_600] < 4 * reads[400]
+
+    def test_engine_survives_singleton_corpus(self):
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        engine.add(SpatialObject(1, (0.0, 0.0), "lonely pool"))
+        engine.build()
+        assert engine.query((0.0, 0.0), ["pool"], 3).oids == [1]

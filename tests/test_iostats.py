@@ -1,0 +1,140 @@
+"""Unit tests for random/sequential disk-access accounting."""
+
+from __future__ import annotations
+
+from repro.storage.iostats import AccessCounts, IOStats
+
+
+class TestClassification:
+    def test_first_access_is_random(self):
+        stats = IOStats()
+        assert stats.record_read(5) is False
+        assert stats.random_reads == 1
+        assert stats.sequential_reads == 0
+
+    def test_next_block_is_sequential(self):
+        stats = IOStats()
+        stats.record_read(5)
+        assert stats.record_read(6) is True
+        assert stats.sequential_reads == 1
+
+    def test_same_block_again_is_random(self):
+        """Re-reading the same block is not head-contiguous."""
+        stats = IOStats()
+        stats.record_read(5)
+        assert stats.record_read(5) is False
+        assert stats.random_reads == 2
+
+    def test_backward_jump_is_random(self):
+        stats = IOStats()
+        stats.record_read(5)
+        assert stats.record_read(4) is False
+
+    def test_write_advances_head_for_reads(self):
+        stats = IOStats()
+        stats.record_write(9)
+        assert stats.record_read(10) is True
+
+    def test_extent_pattern(self):
+        """A 4-block extent = 1 random + 3 sequential."""
+        stats = IOStats()
+        for block in range(10, 14):
+            stats.record_read(block)
+        assert stats.random_reads == 1
+        assert stats.sequential_reads == 3
+
+
+class TestCategories:
+    def test_category_reads_split(self):
+        stats = IOStats()
+        stats.record_read(1, "node")
+        stats.record_read(2, "node")
+        stats.record_read(9, "object")
+        assert stats.category_reads("node") == 2
+        assert stats.category_reads("object") == 1
+        assert stats.category_reads("missing") == 0
+
+    def test_category_random_reads(self):
+        stats = IOStats()
+        stats.record_read(1, "node")  # random
+        stats.record_read(2, "node")  # sequential
+        assert stats.category_random_reads("node") == 1
+
+    def test_object_loads(self):
+        stats = IOStats()
+        stats.record_object_load()
+        stats.record_object_load(3)
+        assert stats.objects_loaded == 4
+
+
+class TestAggregates:
+    def test_totals(self):
+        stats = IOStats()
+        stats.record_read(0)
+        stats.record_read(1)
+        stats.record_write(7)
+        assert stats.total_reads == 2
+        assert stats.total_writes == 1
+        assert stats.total_accesses == 3
+
+    def test_access_counts_total(self):
+        counts = AccessCounts(reads=3, writes=2)
+        assert counts.total == 5
+
+    def test_summary_mentions_counts(self):
+        stats = IOStats()
+        stats.record_read(0)
+        assert "random: 1r/0w" in stats.summary()
+
+
+class TestSnapshotDiffMerge:
+    def test_snapshot_is_independent(self):
+        stats = IOStats()
+        stats.record_read(0)
+        snap = stats.snapshot()
+        stats.record_read(5)
+        assert snap.random_reads == 1
+        assert stats.random_reads == 2
+
+    def test_diff(self):
+        stats = IOStats()
+        stats.record_read(0, "node")
+        snap = stats.snapshot()
+        stats.record_read(1, "node")
+        stats.record_read(9, "object")
+        stats.record_object_load()
+        delta = stats.diff(snap)
+        assert delta.sequential_reads == 1
+        assert delta.random_reads == 1
+        assert delta.category_reads("node") == 1
+        assert delta.category_reads("object") == 1
+        assert delta.objects_loaded == 1
+
+    def test_diff_with_category_only_in_earlier(self):
+        stats = IOStats()
+        stats.record_read(0, "tmp")
+        snap = stats.snapshot()
+        fresh = IOStats()
+        delta = fresh.diff(snap)
+        assert delta.category_reads("tmp") == -1
+
+    def test_merged_with(self):
+        a = IOStats()
+        a.record_read(0, "node")
+        b = IOStats()
+        b.record_read(0, "object")
+        b.record_read(1, "object")
+        merged = a.merged_with(b)
+        assert merged.total_reads == 3
+        assert merged.category_reads("node") == 1
+        assert merged.category_reads("object") == 2
+
+    def test_reset(self):
+        stats = IOStats()
+        stats.record_read(3)
+        stats.record_object_load()
+        stats.reset()
+        assert stats.total_accesses == 0
+        assert stats.objects_loaded == 0
+        # Head position forgotten: next access is random even at block 4.
+        assert stats.record_read(4) is False

@@ -1,0 +1,132 @@
+"""End-to-end tests in three dimensions.
+
+Section I: the method "can be applied to arbitrarily-shaped and
+multi-dimensional objects and not just points on the two dimensions".
+These tests run the whole stack — generator, engine, every index kind,
+area queries — on 3-D data against the brute-force oracle.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import SpatialKeywordEngine
+from repro.core import SpatialKeywordQuery, brute_force_top_k
+from repro.datasets import DatasetConfig, SpatialTextDatasetGenerator
+from repro.spatial import Rect
+
+EXTENT_3D = ((0.0, 100.0), (0.0, 100.0), (0.0, 50.0))
+
+
+@pytest.fixture(scope="module")
+def objects_3d():
+    config = DatasetConfig(
+        name="warehouse",  # e.g. items at (x, y, shelf-height)
+        n_objects=250,
+        vocabulary_size=300,
+        avg_unique_words=8,
+        clusters=5,
+        extent=EXTENT_3D,
+        seed=77,
+    )
+    return SpatialTextDatasetGenerator(config).generate()
+
+
+def queries_3d(corpus, objects, count, seed=0, k=5):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        anchor = rng.choice(objects)
+        terms = sorted(corpus.analyzer.terms(anchor.text))
+        keywords = rng.sample(terms, min(2, len(terms)))
+        point = tuple(rng.uniform(lo, hi) for lo, hi in EXTENT_3D)
+        out.append(SpatialKeywordQuery.of(point, keywords, k))
+    return out
+
+
+class TestGenerator3D:
+    def test_points_have_three_coordinates(self, objects_3d):
+        assert all(obj.dims == 3 for obj in objects_3d)
+
+    def test_points_within_extent(self, objects_3d):
+        for obj in objects_3d:
+            for c, (lo, hi) in zip(obj.point, EXTENT_3D):
+                assert lo <= c <= hi
+
+    def test_config_dims(self):
+        config = DatasetConfig(
+            name="x", n_objects=1, vocabulary_size=10, avg_unique_words=2,
+            extent=EXTENT_3D,
+        )
+        assert config.dims == 3
+
+    def test_inverted_extent_rejected(self):
+        from repro.errors import DatasetError
+
+        with pytest.raises(DatasetError):
+            DatasetConfig(
+                name="x", n_objects=1, vocabulary_size=10, avg_unique_words=2,
+                extent=((1.0, 0.0),),
+            )
+
+
+@pytest.mark.parametrize("kind", ["rtree", "iio", "ir2", "mir2", "sig"])
+class TestEngines3D:
+    def test_agrees_with_oracle(self, kind, objects_3d):
+        engine = SpatialKeywordEngine(index=kind, signature_bytes=8)
+        engine.add_all(objects_3d)
+        engine.build()
+        for query in queries_3d(engine.corpus, objects_3d, 6, seed=1):
+            expected = [
+                r.oid
+                for r in brute_force_top_k(
+                    objects_3d, engine.corpus.analyzer, query
+                )
+            ]
+            assert engine.index.execute(query).oids == expected
+
+
+class TestExtras3D:
+    def test_area_query_in_3d(self, objects_3d):
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=8)
+        engine.add_all(objects_3d)
+        engine.build()
+        anchor = objects_3d[0]
+        keyword = sorted(engine.corpus.analyzer.terms(anchor.text))[0]
+        area = Rect((10.0, 10.0, 0.0), (90.0, 90.0, 50.0))
+        query = SpatialKeywordQuery.of_area(area, [keyword], 5)
+        got = engine.index.execute(query)
+        # Many matches sit *inside* the area at distance 0, so the order
+        # among those ties is arbitrary: compare distance profiles and
+        # check each answer is a legitimate tie choice.
+        full_query = SpatialKeywordQuery.of_area(area, [keyword], len(objects_3d))
+        full = brute_force_top_k(objects_3d, engine.corpus.analyzer, full_query)
+        got_distances = [round(r.distance, 9) for r in got.results]
+        assert got_distances == [round(r.distance, 9) for r in full[:5]]
+        eligible = {
+            round(r.distance, 9): set() for r in full
+        }
+        for r in full:
+            eligible[round(r.distance, 9)].add(r.oid)
+        for r in got.results:
+            assert r.oid in eligible[round(r.distance, 9)]
+
+    def test_capacity_derived_for_3d_nodes(self, objects_3d):
+        """3-D entries are 52 bytes, so a 4 KB block holds 78 of them."""
+        engine = SpatialKeywordEngine(index="rtree")
+        engine.add_all(objects_3d)
+        engine.build()
+        assert engine.index.tree.capacity == (4096 - 16) // 52
+
+    def test_persistence_in_3d(self, objects_3d, tmp_path):
+        from repro.persist import load_engine, save_engine
+
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=8)
+        engine.add_all(objects_3d)
+        engine.build()
+        save_engine(engine, str(tmp_path / "3d"))
+        reloaded = load_engine(str(tmp_path / "3d"))
+        query = queries_3d(engine.corpus, objects_3d, 1, seed=2)[0]
+        assert reloaded.index.execute(query).oids == engine.index.execute(query).oids

@@ -1,0 +1,127 @@
+"""Tests for engine save/load persistence."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import SpatialKeywordEngine, SpatialObject
+from repro.core import SpatialKeywordQuery, brute_force_top_k
+from repro.datasets import figure1_hotels
+from repro.errors import DatasetError
+from repro.persist import load_engine, save_engine
+
+
+def build_engine(kind, objects):
+    engine = SpatialKeywordEngine(index=kind, signature_bytes=8)
+    engine.add_all(objects)
+    engine.build()
+    return engine
+
+
+@pytest.mark.parametrize("kind", ["rtree", "iio", "ir2", "mir2", "sig"])
+class TestRoundTrip:
+    def test_queries_identical_after_reload(self, kind, tmp_path):
+        engine = build_engine(kind, figure1_hotels())
+        before = engine.query((30.5, 100.0), ["internet", "pool"], k=2)
+        save_engine(engine, str(tmp_path / "saved"))
+        reloaded = load_engine(str(tmp_path / "saved"))
+        after = reloaded.query((30.5, 100.0), ["internet", "pool"], k=2)
+        assert after.oids == before.oids == [7, 2]
+        assert len(reloaded) == len(engine)
+
+    def test_io_costs_identical_after_reload(self, kind, tmp_path):
+        engine = build_engine(kind, figure1_hotels())
+        engine.reset_io()
+        before = engine.query((30.5, 100.0), ["pool"], k=3)
+        save_engine(engine, str(tmp_path / "saved"))
+        reloaded = load_engine(str(tmp_path / "saved"))
+        after = reloaded.query((30.5, 100.0), ["pool"], k=3)
+        assert after.io.total_reads == before.io.total_reads
+
+    def test_maintenance_continues_after_reload(self, kind, tmp_path):
+        engine = build_engine(kind, figure1_hotels())
+        save_engine(engine, str(tmp_path / "saved"))
+        reloaded = load_engine(str(tmp_path / "saved"))
+        reloaded.add_object(99, (30.5, 100.0), "internet pool reopened")
+        assert reloaded.query((30.5, 100.0), ["internet", "pool"], 1).oids == [99]
+        assert reloaded.delete(99) is True
+        assert reloaded.delete(5) is True
+        assert reloaded.query((30.5, 100.0), ["internet", "pool"], 2).oids == [7, 2]
+
+
+class TestRoundTripAtScale:
+    def test_larger_corpus_agrees_with_oracle_after_reload(self, tmp_path, small_objects):
+        engine = build_engine("ir2", small_objects)
+        save_engine(engine, str(tmp_path / "saved"))
+        reloaded = load_engine(str(tmp_path / "saved"))
+        rng = random.Random(3)
+        analyzer = reloaded.corpus.analyzer
+        for _ in range(8):
+            anchor = rng.choice(small_objects)
+            terms = sorted(analyzer.terms(anchor.text))
+            keywords = rng.sample(terms, min(2, len(terms)))
+            query = SpatialKeywordQuery.of(
+                (rng.uniform(-90, 90), rng.uniform(-180, 180)), keywords, 5
+            )
+            expected = [
+                r.oid for r in brute_force_top_k(small_objects, analyzer, query)
+            ]
+            assert reloaded.index.execute(query).oids == expected
+
+    def test_vocabulary_restored(self, tmp_path, small_objects):
+        engine = build_engine("ir2", small_objects)
+        save_engine(engine, str(tmp_path / "saved"))
+        reloaded = load_engine(str(tmp_path / "saved"))
+        original = engine.corpus.vocabulary
+        restored = reloaded.corpus.vocabulary
+        assert restored.unique_words == original.unique_words
+        assert restored.document_count == original.document_count
+        sample = list(original.terms())[:20]
+        for term in sample:
+            assert restored.idf(term) == original.idf(term)
+
+    def test_ranked_queries_after_reload(self, tmp_path, small_objects):
+        engine = build_engine("ir2", small_objects)
+        save_engine(engine, str(tmp_path / "saved"))
+        reloaded = load_engine(str(tmp_path / "saved"))
+        anchor = small_objects[0]
+        terms = sorted(engine.corpus.analyzer.terms(anchor.text))[:2]
+        before = engine.query_ranked(anchor.point, terms, k=5)
+        after = reloaded.query_ranked(anchor.point, terms, k=5)
+        assert after.oids == before.oids
+
+
+class TestErrors:
+    def test_save_unbuilt_rejected(self, tmp_path):
+        engine = SpatialKeywordEngine()
+        engine.add(SpatialObject(1, (0.0, 0.0), "pool"))
+        with pytest.raises(DatasetError):
+            save_engine(engine, str(tmp_path / "saved"))
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_engine(str(tmp_path / "nothing"))
+
+    def test_load_bad_version(self, tmp_path):
+        engine = build_engine("ir2", figure1_hotels())
+        target = tmp_path / "saved"
+        save_engine(engine, str(target))
+        manifest = target / "manifest.json"
+        import json
+
+        data = json.loads(manifest.read_text())
+        data["version"] = 999
+        manifest.write_text(json.dumps(data))
+        with pytest.raises(DatasetError):
+            load_engine(str(target))
+
+    def test_load_corrupt_device_image(self, tmp_path):
+        engine = build_engine("ir2", figure1_hotels())
+        target = tmp_path / "saved"
+        save_engine(engine, str(target))
+        with open(target / "index.dat", "ab") as handle:
+            handle.write(b"garbage")  # no longer block aligned
+        with pytest.raises(DatasetError):
+            load_engine(str(target))

@@ -1,0 +1,59 @@
+"""Unit tests for the combined ranking functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DistanceDecayRanking, LinearRanking, validate_monotonicity
+from repro.errors import QueryError
+
+
+class TestDistanceDecay:
+    def test_half_distance_halves(self):
+        ranking = DistanceDecayRanking(half_distance=10.0)
+        assert ranking(10.0, 4.0) == pytest.approx(2.0)
+
+    def test_zero_distance_keeps_full_score(self):
+        ranking = DistanceDecayRanking(half_distance=10.0)
+        assert ranking(0.0, 4.0) == 4.0
+
+    def test_monotone(self):
+        validate_monotonicity(DistanceDecayRanking(half_distance=3.0))
+
+    def test_invalid_half_distance(self):
+        with pytest.raises(QueryError):
+            DistanceDecayRanking(half_distance=0.0)
+
+
+class TestLinearRanking:
+    def test_blend(self):
+        ranking = LinearRanking(alpha=0.5, max_distance=10.0)
+        assert ranking(5.0, 0.8) == pytest.approx(0.5 * 0.5 + 0.5 * 0.8)
+
+    def test_distance_clamped_beyond_max(self):
+        ranking = LinearRanking(alpha=1.0, max_distance=10.0)
+        assert ranking(50.0, 0.0) == 0.0  # never negative
+
+    def test_monotone(self):
+        validate_monotonicity(LinearRanking(alpha=0.3, max_distance=100.0))
+
+    def test_alpha_bounds(self):
+        with pytest.raises(QueryError):
+            LinearRanking(alpha=1.5)
+
+    def test_max_distance_positive(self):
+        with pytest.raises(QueryError):
+            LinearRanking(max_distance=0.0)
+
+
+class TestValidateMonotonicity:
+    def test_rejects_distance_increasing(self):
+        with pytest.raises(QueryError):
+            validate_monotonicity(lambda d, ir: d + ir)
+
+    def test_rejects_ir_decreasing(self):
+        with pytest.raises(QueryError):
+            validate_monotonicity(lambda d, ir: -d - ir)
+
+    def test_accepts_constant(self):
+        validate_monotonicity(lambda d, ir: 0.0)

@@ -1,0 +1,119 @@
+"""Tests for paper-style result table rendering."""
+
+from __future__ import annotations
+
+from repro.bench import SeriesTable, format_markdown, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(
+            ("k", "RTREE", "IR2"), [(1, 100.0, 5.5), (10, 2000.0, 12.25)],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "k" in lines[1] and "RTREE" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "2,000" in text  # thousands separator
+        assert "12.25" in text
+
+    def test_empty_rows(self):
+        text = format_table(("a", "b"), [])
+        assert "a" in text and "b" in text
+
+    def test_float_formatting_ranges(self):
+        text = format_table(("x",), [(0.1234,), (5.5,), (1234.0,), (0.0,)])
+        assert "0.1234" in text
+        assert "5.50" in text
+        assert "1,234" in text
+        assert "\n     0" in text or " 0" in text  # zero renders compactly
+
+
+class TestFormatMarkdown:
+    def test_structure(self):
+        text = format_markdown(("k", "IR2"), [(1, 2.0)], title="Fig")
+        lines = text.splitlines()
+        assert lines[0] == "### Fig"
+        assert lines[2].startswith("| k | IR2 |")
+        assert lines[3].startswith("|---")
+        assert lines[4] == "| 1 | 2.00 |"
+
+
+class TestRenderChart:
+    def _table(self, values=None):
+        table = SeriesTable(
+            title="Fig demo", parameter="k", algorithms=["RTREE", "IR2", "IIO"]
+        )
+        data = values or [(1, (100.0, 2.0, 30.0)), (10, (1000.0, 8.0, 30.0))]
+        for k, row in data:
+            table.add(k, dict(zip(table.algorithms, row)))
+        return table
+
+    def test_contains_legend_and_axis(self):
+        from repro.bench import render_chart
+
+        text = render_chart(self._table())
+        assert "legend:" in text
+        assert "R=RTREE" in text
+        assert "k: 1  10" in text
+        assert "[log10 y-axis]" in text
+
+    def test_duplicate_initials_disambiguated(self):
+        from repro.bench import render_chart
+
+        text = render_chart(self._table())
+        assert "I=IR2" in text and "i=IIO" in text
+
+    def test_linear_fallback_on_zero_values(self):
+        from repro.bench import render_chart
+
+        table = self._table([(1, (0.0, 2.0, 3.0))])
+        text = render_chart(table)
+        assert "[linear y-axis]" in text
+
+    def test_empty_table(self):
+        from repro.bench import render_chart
+
+        table = SeriesTable(title="empty", parameter="k", algorithms=["A"])
+        assert "(no data)" in render_chart(table)
+
+    def test_extremes_plotted_top_and_bottom(self):
+        from repro.bench import render_chart
+
+        text = render_chart(self._table())
+        lines = text.splitlines()
+        assert "1,000" in lines[1]  # top label = max value
+        assert "2" in lines[-4]  # bottom label = min value
+
+    def test_method_on_table(self):
+        assert "legend" in self._table().render_chart()
+
+
+class TestSeriesTable:
+    def _table(self):
+        table = SeriesTable(title="Fig 9a", parameter="k", algorithms=["RTREE", "IR2"])
+        table.add(1, {"RTREE": 10.0, "IR2": 2.0})
+        table.add(10, {"RTREE": 100.0, "IR2": 4.0})
+        return table
+
+    def test_column_extraction(self):
+        table = self._table()
+        assert table.column("RTREE") == [10.0, 100.0]
+        assert table.column("IR2") == [2.0, 4.0]
+
+    def test_missing_algorithm_gives_nan(self):
+        table = self._table()
+        values = table.column("IIO")
+        assert all(v != v for v in values)  # NaN
+
+    def test_render_contains_everything(self):
+        text = self._table().render()
+        assert "Fig 9a" in text
+        assert "RTREE" in text and "IR2" in text
+        assert "100" in text
+
+    def test_render_markdown(self):
+        text = self._table().render_markdown()
+        assert text.startswith("### Fig 9a")
+        assert "| 10 |" in text

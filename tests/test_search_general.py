@@ -1,0 +1,168 @@
+"""Tests for the general ranked top-k algorithm (paper Section V.C)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    BulkItem,
+    DistanceDecayRanking,
+    IR2Tree,
+    LinearRanking,
+    MIR2Tree,
+    SpatialKeywordQuery,
+    brute_force_ranked,
+    bulk_load,
+    ranked_top_k,
+    ranked_top_k_iter,
+)
+from repro.spatial import Rect
+from repro.storage import InMemoryBlockDevice, PageStore
+from repro.text import HashSignatureFactory
+
+
+def build_ir2(corpus, signature_bytes=8, capacity=8):
+    pages = PageStore(InMemoryBlockDevice())
+    tree = IR2Tree(pages, HashSignatureFactory(signature_bytes), capacity=capacity)
+    items = [
+        BulkItem(ptr, Rect.from_point(obj.point), corpus.analyzer.terms(obj.text))
+        for ptr, obj in corpus.iter_items()
+    ]
+    bulk_load(tree, items)
+    return tree
+
+
+def build_mir2(corpus, capacity=8):
+    pages = PageStore(InMemoryBlockDevice())
+    tree = MIR2Tree(pages, (8, 16, 32), corpus.term_resolver, capacity=capacity)
+    items = [
+        BulkItem(ptr, Rect.from_point(obj.point), corpus.analyzer.terms(obj.text))
+        for ptr, obj in corpus.iter_items()
+    ]
+    bulk_load(tree, items)
+    return tree
+
+
+def random_queries(corpus, objects, count, num_keywords, k, seed=0):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        obj = rng.choice(objects)
+        terms = sorted(corpus.analyzer.terms(obj.text))
+        keywords = rng.sample(terms, min(num_keywords, len(terms)))
+        out.append(
+            SpatialKeywordQuery.of(
+                (rng.uniform(-90, 90), rng.uniform(-180, 180)), keywords, k
+            )
+        )
+    return out
+
+
+RANKINGS = [
+    DistanceDecayRanking(half_distance=40.0),
+    LinearRanking(alpha=0.4, max_distance=400.0),
+]
+
+
+@pytest.mark.parametrize("ranking", RANKINGS, ids=["decay", "linear"])
+class TestRankedTopK:
+    def test_matches_brute_force_scores(self, small_corpus, small_objects, ranking):
+        tree = build_ir2(small_corpus)
+        for query in random_queries(small_corpus, small_objects, 10, 2, 5, seed=1):
+            got = ranked_top_k(
+                tree, small_corpus.store, small_corpus.analyzer,
+                small_corpus.vocabulary, query, ranking,
+            )
+            want = brute_force_ranked(
+                small_objects, small_corpus.analyzer, small_corpus.vocabulary,
+                query, ranking,
+            )
+            got_scores = [round(r.score, 9) for r in got.results]
+            want_scores = [round(r.score, 9) for r in want[: len(got.results)]]
+            assert got_scores == want_scores
+
+    def test_scores_non_increasing(self, small_corpus, small_objects, ranking):
+        tree = build_ir2(small_corpus)
+        query = random_queries(small_corpus, small_objects, 1, 2, 15, seed=2)[0]
+        outcome = ranked_top_k(
+            tree, small_corpus.store, small_corpus.analyzer,
+            small_corpus.vocabulary, query, ranking,
+        )
+        scores = [r.score for r in outcome.results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_partial_matches_allowed(self, small_corpus, small_objects, ranking):
+        """No AND semantics: an object with only some keywords can rank."""
+        tree = build_ir2(small_corpus)
+        query = SpatialKeywordQuery.of(
+            (0.0, 0.0),
+            sorted(small_corpus.analyzer.terms(small_objects[0].text))[:2]
+            + ["nonexistentkeyword"],
+            5,
+        )
+        outcome = ranked_top_k(
+            tree, small_corpus.store, small_corpus.analyzer,
+            small_corpus.vocabulary, query, ranking,
+        )
+        assert outcome.results  # conjunctive semantics would find nothing
+
+    def test_works_on_mir2_without_modification(self, small_corpus, small_objects, ranking):
+        """Paper: the general algorithm operates on MIR2-Trees unchanged."""
+        tree = build_mir2(small_corpus)
+        for query in random_queries(small_corpus, small_objects, 5, 2, 5, seed=3):
+            got = ranked_top_k(
+                tree, small_corpus.store, small_corpus.analyzer,
+                small_corpus.vocabulary, query, ranking,
+            )
+            want = brute_force_ranked(
+                small_objects, small_corpus.analyzer, small_corpus.vocabulary,
+                query, ranking,
+            )
+            got_scores = [round(r.score, 9) for r in got.results]
+            want_scores = [round(r.score, 9) for r in want[: len(got.results)]]
+            assert got_scores == want_scores
+
+
+class TestZeroIrPruning:
+    def test_prune_zero_ir_drops_nonmatching(self, small_corpus, small_objects):
+        tree = build_ir2(small_corpus)
+        ranking = DistanceDecayRanking(half_distance=40.0)
+        query = SpatialKeywordQuery.of((0.0, 0.0), ["nonexistentkeyword"], 5)
+        outcome = ranked_top_k(
+            tree, small_corpus.store, small_corpus.analyzer,
+            small_corpus.vocabulary, query, ranking, prune_zero_ir=True,
+        )
+        assert outcome.results == []
+
+    def test_zero_ir_results_allowed_when_disabled(self, small_corpus, small_objects):
+        """The paper: 'The "if" condition can be removed if results with 0
+        IR score are acceptable'."""
+        tree = build_ir2(small_corpus)
+        ranking = LinearRanking(alpha=1.0, max_distance=400.0)  # pure distance
+        query = SpatialKeywordQuery.of((0.0, 0.0), ["nonexistentkeyword"], 5)
+        outcome = ranked_top_k(
+            tree, small_corpus.store, small_corpus.analyzer,
+            small_corpus.vocabulary, query, ranking, prune_zero_ir=False,
+        )
+        assert len(outcome.results) == 5
+        # Pure-distance ranking + zero IR everywhere = nearest neighbors.
+        distances = [r.distance for r in outcome.results]
+        assert distances == sorted(distances)
+
+
+class TestIncrementalForm:
+    def test_iterator_yields_in_score_order(self, small_corpus, small_objects):
+        tree = build_ir2(small_corpus)
+        ranking = DistanceDecayRanking(half_distance=40.0)
+        query = random_queries(small_corpus, small_objects, 1, 1, 3, seed=4)[0]
+        iterator = ranked_top_k_iter(
+            tree, small_corpus.store, small_corpus.analyzer,
+            small_corpus.vocabulary, query, ranking,
+        )
+        previous = None
+        for result in iterator:
+            if previous is not None:
+                assert result.score <= previous + 1e-9
+            previous = result.score

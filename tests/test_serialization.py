@@ -1,0 +1,133 @@
+"""Unit and property tests for node serialization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SerializationError
+from repro.storage.serialization import (
+    blocks_per_node,
+    decode_node,
+    encode_node,
+    entry_size,
+    node_byte_size,
+    node_capacity,
+)
+
+
+class TestSizing:
+    def test_paper_capacity_is_113(self):
+        """4 KB blocks + 2-D, 36-byte entries => 113 children (Section VI)."""
+        assert node_capacity(4096, dims=2) == 113
+
+    def test_entry_size_2d(self):
+        assert entry_size(2, 0) == 36
+        assert entry_size(2, 189) == 225
+
+    def test_entry_size_3d(self):
+        assert entry_size(3, 0) == 52
+
+    def test_plain_rtree_node_fits_one_block(self):
+        assert blocks_per_node(4096, 113, 2, 0) == 1
+
+    def test_restaurant_signatures_need_two_blocks(self):
+        """113 entries x (36+8) bytes = ~5 KB => 2 blocks, as in the paper
+        ("typically requires two disk blocks per node")."""
+        assert blocks_per_node(4096, 113, 2, 8) == 2
+
+    def test_hotels_signatures_need_more_blocks(self):
+        assert blocks_per_node(4096, 113, 2, 189) > 2
+
+    def test_node_byte_size(self):
+        assert node_byte_size(113, 2, 0) == 16 + 113 * 36
+
+    def test_tiny_block_rejected(self):
+        with pytest.raises(SerializationError):
+            node_capacity(50, dims=2)
+
+
+class TestRoundTrip:
+    def test_leaf_roundtrip(self):
+        entries = [
+            (17, (1.0, 2.0, 1.0, 2.0), b""),
+            (42, (-5.5, 0.0, 3.25, 9.75), b""),
+        ]
+        image = encode_node(3, 0, True, 2, 0, entries)
+        node_id, level, is_leaf, sig_len, decoded = decode_node(image, 2)
+        assert (node_id, level, is_leaf, sig_len) == (3, 0, True, 0)
+        assert decoded == entries
+
+    def test_signature_roundtrip(self):
+        sig = bytes(range(8))
+        image = encode_node(1, 2, False, 2, 8, [(9, (0.0,) * 4, sig)])
+        _, level, is_leaf, sig_len, decoded = decode_node(image, 2)
+        assert level == 2 and not is_leaf and sig_len == 8
+        assert decoded[0][2] == sig
+
+    def test_empty_node(self):
+        image = encode_node(0, 0, True, 2, 0, [])
+        _, _, _, _, decoded = decode_node(image, 2)
+        assert decoded == []
+
+    def test_decode_rejects_bad_magic(self):
+        image = bytearray(encode_node(0, 0, True, 2, 0, []))
+        image[0] = ord("X")
+        with pytest.raises(SerializationError):
+            decode_node(bytes(image), 2)
+
+    def test_decode_rejects_truncated_header(self):
+        with pytest.raises(SerializationError):
+            decode_node(b"RN", 2)
+
+    def test_decode_rejects_truncated_entries(self):
+        image = encode_node(0, 0, True, 2, 0, [(1, (0.0,) * 4, b"")])
+        with pytest.raises(SerializationError):
+            decode_node(image[:-4], 2)
+
+    def test_encode_rejects_wrong_mbr_arity(self):
+        with pytest.raises(SerializationError):
+            encode_node(0, 0, True, 2, 0, [(1, (0.0, 0.0), b"")])
+
+    def test_encode_rejects_wrong_signature_length(self):
+        with pytest.raises(SerializationError):
+            encode_node(0, 0, True, 2, 4, [(1, (0.0,) * 4, b"xx")])
+
+    def test_encode_rejects_out_of_range_level(self):
+        with pytest.raises(SerializationError):
+            encode_node(0, 300, False, 2, 0, [])
+
+    def test_encode_rejects_huge_child_ref(self):
+        with pytest.raises(SerializationError):
+            encode_node(0, 0, True, 2, 0, [(2**33, (0.0,) * 4, b"")])
+
+
+@given(
+    dims=st.integers(1, 4),
+    sig_len=st.sampled_from([0, 1, 8, 21]),
+    level=st.integers(0, 5),
+    entries=st.lists(
+        st.tuples(
+            st.integers(0, 2**32 - 1),
+            st.lists(
+                st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=8
+            ),
+        ),
+        max_size=20,
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_roundtrip(dims, sig_len, level, entries):
+    """encode -> decode is the identity for arbitrary well-formed nodes."""
+    shaped = []
+    for ref, coords in entries:
+        mbr = tuple((coords * ((2 * dims) // len(coords) + 1))[: 2 * dims])
+        shaped.append((ref, mbr, bytes(sig_len)))
+    image = encode_node(7, level, level == 0, dims, sig_len, shaped)
+    node_id, got_level, is_leaf, got_sig_len, decoded = decode_node(image, dims)
+    assert node_id == 7
+    assert got_level == level
+    assert is_leaf == (level == 0)
+    assert got_sig_len == sig_len
+    assert decoded == shaped

@@ -1,0 +1,142 @@
+"""Unit tests for the signature design mathematics [FC84, MC94]."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.text import (
+    HashSignatureFactory,
+    expected_weight_fraction,
+    false_positive_probability,
+    false_positive_rate_for_query,
+    optimal_bits_per_word,
+    optimal_length_bits,
+    optimal_length_bytes,
+    scaled_length_bytes,
+)
+
+
+class TestFalsePositiveModel:
+    def test_zero_words_zero_probability(self):
+        assert false_positive_probability(64, 0, 3) == 0.0
+
+    def test_probability_in_unit_interval(self):
+        p = false_positive_probability(64, 20, 3)
+        assert 0.0 < p < 1.0
+
+    def test_monotone_in_words(self):
+        p_few = false_positive_probability(64, 5, 3)
+        p_many = false_positive_probability(64, 50, 3)
+        assert p_many > p_few
+
+    def test_monotone_in_length(self):
+        p_short = false_positive_probability(32, 20, 3)
+        p_long = false_positive_probability(512, 20, 3)
+        assert p_long < p_short
+
+    def test_saturated_signature_always_matches(self):
+        p = false_positive_probability(8, 10_000, 3)
+        assert p == pytest.approx(1.0, abs=1e-6)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            false_positive_probability(0, 5, 3)
+        with pytest.raises(ValueError):
+            false_positive_probability(8, 5, 0)
+
+    def test_conjunctive_query_rate(self):
+        single = false_positive_probability(64, 20, 3)
+        double = false_positive_rate_for_query(64, 20, 3, 2)
+        assert double == pytest.approx(single**2)
+
+
+class TestOptimalDesign:
+    def test_optimal_m_formula(self):
+        # F=1024 bits, D=237 words: m = 1024*ln2/237 ~= 3.
+        assert optimal_bits_per_word(1024, 237) == 3
+
+    def test_optimal_m_at_least_one(self):
+        assert optimal_bits_per_word(8, 10_000) == 1
+        assert optimal_bits_per_word(8, 0) == 1
+
+    def test_optimal_design_point_half_full(self):
+        """At the optimum roughly half the bits are set."""
+        length = 1024
+        distinct = 237
+        m = optimal_bits_per_word(length, distinct)
+        fill = expected_weight_fraction(length, distinct, m)
+        assert 0.35 < fill < 0.65
+
+    def test_optimal_length_meets_target(self):
+        distinct = 100
+        target = 0.01
+        length = optimal_length_bits(distinct, target)
+        m = optimal_bits_per_word(length, distinct)
+        assert false_positive_probability(length, distinct, m) <= target * 1.5
+
+    def test_optimal_length_bytes_rounds_up(self):
+        bits = optimal_length_bits(50, 0.05)
+        assert optimal_length_bytes(50, 0.05) == -(-bits // 8)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            optimal_length_bits(10, 0.0)
+        with pytest.raises(ValueError):
+            optimal_length_bits(10, 1.5)
+
+    def test_paper_hotels_configuration_is_near_optimal(self):
+        """189-byte signatures for ~349-word documents give m ~= 3: the
+        paper's Hotels design sits at the classic operating point."""
+        m = optimal_bits_per_word(189 * 8, 349)
+        assert m == 3
+
+
+class TestScaledLength:
+    def test_identity_at_leaf(self):
+        assert scaled_length_bytes(8, 14, 14) == 8
+
+    def test_scales_linearly_with_distinct_words(self):
+        assert scaled_length_bytes(8, 14, 140) == 80
+
+    def test_never_below_leaf_length(self):
+        assert scaled_length_bytes(8, 14, 7) == 8
+
+    def test_invalid_leaf_length(self):
+        with pytest.raises(ValueError):
+            scaled_length_bytes(0, 14, 14)
+
+
+class TestModelAgainstReality:
+    def test_empirical_rate_tracks_model(self):
+        """Monte-Carlo check of the analytic false-positive formula."""
+        rng = random.Random(3)
+        length_bytes, m, distinct = 16, 3, 20
+        factory = HashSignatureFactory(length_bytes, m, seed=7)
+        vocabulary = [f"word{i}" for i in range(2_000)]
+        hits = 0
+        probes = 0
+        for _ in range(150):
+            doc = rng.sample(vocabulary, distinct)
+            sig = factory.for_words(doc)
+            members = set(doc)
+            for _ in range(20):
+                probe = rng.choice(vocabulary)
+                if probe in members:
+                    continue
+                probes += 1
+                if sig.matches(factory.for_word(probe)):
+                    hits += 1
+        empirical = hits / probes
+        analytic = false_positive_probability(length_bytes * 8, distinct, m)
+        assert empirical == pytest.approx(analytic, abs=0.03)
+
+    def test_expected_weight_tracks_reality(self):
+        rng = random.Random(4)
+        factory = HashSignatureFactory(32, 3, seed=9)
+        doc = [f"word{i}" for i in rng.sample(range(10_000), 40)]
+        fill = factory.for_words(doc).weight() / 256
+        expected = expected_weight_fraction(256, 40, 3)
+        assert fill == pytest.approx(expected, abs=0.12)

@@ -1,0 +1,175 @@
+"""Tests for the sequential signature file and its SIG index baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import SignatureFileIndex, SpatialKeywordQuery, brute_force_top_k, make_index
+from repro.errors import ObjectNotFoundError
+from repro.storage import InMemoryBlockDevice
+from repro.text.analyzer import DEFAULT_ANALYZER
+from repro.text.sigfile import SignatureFile
+from repro.text.signature import HashSignatureFactory
+
+DOCS = [
+    (0, "tennis court gift shop spa internet"),
+    (100, "wireless internet pool golf course"),
+    (200, "spa continental suites pool"),
+    (300, "sauna pool conference rooms"),
+]
+
+
+@pytest.fixture
+def sigfile():
+    sf = SignatureFile(
+        InMemoryBlockDevice(block_size=64),
+        DEFAULT_ANALYZER,
+        HashSignatureFactory(16, 3, seed=1),
+    )
+    sf.build(DOCS)
+    return sf
+
+
+class TestSignatureFile:
+    def test_candidates_have_no_false_negatives(self, sigfile):
+        candidates = sigfile.candidates(["internet", "pool"])
+        assert 100 in candidates  # the only true match must be present
+
+    def test_empty_query_keywords_give_nothing(self, sigfile):
+        assert sigfile.candidates([]) == []
+
+    def test_scan_is_mostly_sequential(self, sigfile):
+        sigfile.device.stats.reset()
+        sigfile.candidates(["pool"])
+        stats = sigfile.device.stats
+        assert stats.random_reads == 1
+        assert stats.sequential_reads >= 1
+
+    def test_add_after_build(self, sigfile):
+        sigfile.add(400, "new internet pool place")
+        assert 400 in sigfile.candidates(["internet", "pool"])
+        assert len(sigfile) == 5
+
+    def test_remove_tombstones(self, sigfile):
+        sigfile.remove(100)
+        assert 100 not in sigfile.candidates(["internet", "pool"])
+        assert len(sigfile) == 3
+        # The slot remains in the file footprint (tombstone).
+        assert sigfile.size_bytes == 4 * (4 + 16)
+
+    def test_remove_unknown_raises(self, sigfile):
+        with pytest.raises(ObjectNotFoundError):
+            sigfile.remove(999)
+
+    def test_empty_file(self):
+        sf = SignatureFile(
+            InMemoryBlockDevice(block_size=64),
+            DEFAULT_ANALYZER,
+            HashSignatureFactory(8),
+        )
+        assert sf.candidates(["pool"]) == []
+        assert sf.size_bytes == 0
+
+
+class TestSigIndex:
+    def test_agrees_with_oracle(self, small_corpus, small_objects):
+        index = SignatureFileIndex(small_corpus, 8)
+        index.build()
+        rng = random.Random(11)
+        for _ in range(10):
+            anchor = rng.choice(small_objects)
+            terms = sorted(small_corpus.analyzer.terms(anchor.text))
+            keywords = rng.sample(terms, min(2, len(terms)))
+            query = SpatialKeywordQuery.of(
+                (rng.uniform(-90, 90), rng.uniform(-180, 180)), keywords, 5
+            )
+            expected = [
+                r.oid
+                for r in brute_force_top_k(small_objects, small_corpus.analyzer, query)
+            ]
+            assert index.execute(query).oids == expected
+
+    def test_io_profile_sequential_heavy(self, small_corpus, small_objects):
+        # 36-byte records x 300 objects spans several 4 KB blocks.
+        index = SignatureFileIndex(small_corpus, 32)
+        index.build()
+        index.reset_io()
+        anchor = small_objects[0]
+        keywords = sorted(small_corpus.analyzer.terms(anchor.text))[:2]
+        execution = index.execute(SpatialKeywordQuery.of((0, 0), keywords, 5))
+        sig_random = execution.io.category_random_reads("sigfile")
+        sig_total = execution.io.category_reads("sigfile")
+        assert sig_random == 1  # whole-file scan: one seek
+        assert sig_total > sig_random
+
+    def test_maintenance(self, small_corpus, small_objects):
+        from repro.model import SpatialObject
+
+        index = SignatureFileIndex(small_corpus, 8)
+        index.build()
+        new = SpatialObject(77_777, (1.0, 2.0), "totallyuniquesigword")
+        pointer = small_corpus.add(new)
+        index.insert_object(pointer, new)
+        query = SpatialKeywordQuery.of((1.0, 2.0), ["totallyuniquesigword"], 1)
+        assert index.execute(query).oids == [77_777]
+        assert index.delete_object(pointer, new) is True
+        assert index.execute(query).oids == []
+        assert index.delete_object(pointer, new) is False
+        small_corpus.store.delete(77_777)
+        small_corpus.vocabulary.remove_document({"totallyuniquesigword"})
+
+    def test_factory_kind(self, small_corpus):
+        assert make_index("sig", small_corpus, signature_bytes=4).label == "SIG"
+
+    def test_size_smaller_than_object_file(self, small_corpus):
+        index = SignatureFileIndex(small_corpus, 8)
+        index.build()
+        assert 0 < index.size_mb < small_corpus.store.size_mb
+
+
+class TestEngineIncremental:
+    def test_streaming_results_ordered(self, small_corpus, small_objects):
+        import itertools
+
+        from repro import SpatialKeywordEngine
+
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=8)
+        engine.add_all(small_objects)
+        engine.build()
+        anchor = small_objects[5]
+        keyword = sorted(engine.corpus.analyzer.terms(anchor.text))[0]
+        stream = engine.query_incremental((0.0, 0.0), [keyword])
+        results = list(itertools.islice(stream, 5))
+        distances = [r.distance for r in results]
+        assert distances == sorted(distances)
+
+    def test_streaming_pays_io_lazily(self, small_objects):
+        from repro import SpatialKeywordEngine
+
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=8)
+        engine.add_all(small_objects)
+        engine.build()
+        engine.reset_io()
+        anchor = small_objects[5]
+        keyword = sorted(engine.corpus.analyzer.terms(anchor.text))[0]
+        stream = engine.query_incremental((0.0, 0.0), [keyword])
+        next(stream)
+        first_reads = engine.io_stats().total_reads
+        for _ in range(4):
+            try:
+                next(stream)
+            except StopIteration:
+                break
+        assert engine.io_stats().total_reads >= first_reads
+
+    def test_iio_rejects_streaming(self, small_objects):
+        from repro import SpatialKeywordEngine
+        from repro.errors import QueryError
+
+        engine = SpatialKeywordEngine(index="iio")
+        engine.add_all(small_objects)
+        engine.build()
+        with pytest.raises(QueryError):
+            engine.query_incremental((0.0, 0.0), ["anything"])

@@ -1,0 +1,156 @@
+"""Unit and property tests for superimposed-coding signatures."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SignatureLengthError
+from repro.text import ExactSignatureFactory, HashSignatureFactory, Signature
+
+words = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestSignatureValue:
+    def test_empty_has_no_bits(self):
+        sig = Signature.empty(64)
+        assert sig.weight() == 0
+        assert sig.length_bytes == 8
+
+    def test_bytes_roundtrip(self):
+        sig = Signature(0b1011, 16)
+        assert Signature.from_bytes(sig.to_bytes()) == sig
+
+    def test_superimpose_is_or(self):
+        a = Signature(0b0011, 8)
+        b = Signature(0b0101, 8)
+        assert (a | b).bits == 0b0111
+
+    def test_superimpose_length_mismatch(self):
+        with pytest.raises(SignatureLengthError):
+            Signature(1, 8) | Signature(1, 16)
+
+    def test_matches_containment(self):
+        doc = Signature(0b1110, 8)
+        assert doc.matches(Signature(0b0110, 8))
+        assert not doc.matches(Signature(0b0001, 8))
+
+    def test_matches_empty_query(self):
+        assert Signature(0, 8).matches(Signature(0, 8))
+
+    def test_bits_exceeding_width_rejected(self):
+        with pytest.raises(SignatureLengthError):
+            Signature(0b100000000, 8)
+
+    def test_superimpose_all(self):
+        sigs = [Signature(1 << i, 8) for i in range(3)]
+        assert Signature.superimpose_all(sigs, 8).bits == 0b111
+
+    def test_superimpose_all_checks_length(self):
+        with pytest.raises(SignatureLengthError):
+            Signature.superimpose_all([Signature(1, 16)], 8)
+
+
+class TestHashFactory:
+    def test_deterministic(self):
+        a = HashSignatureFactory(8, 3, seed=5).for_word("internet")
+        b = HashSignatureFactory(8, 3, seed=5).for_word("internet")
+        assert a == b
+
+    def test_seed_changes_mapping(self):
+        a = HashSignatureFactory(8, 3, seed=1).for_word("internet")
+        b = HashSignatureFactory(8, 3, seed=2).for_word("internet")
+        assert a != b  # overwhelmingly likely for 64-bit signatures
+
+    def test_bits_per_word_bound(self):
+        factory = HashSignatureFactory(32, bits_per_word=4)
+        sig = factory.for_word("pool")
+        assert 1 <= sig.weight() <= 4
+
+    def test_for_words_superimposes(self):
+        factory = HashSignatureFactory(16, 3)
+        combined = factory.for_words(["internet", "pool"])
+        assert combined.matches(factory.for_word("internet"))
+        assert combined.matches(factory.for_word("pool"))
+
+    def test_cache_returns_same_bits(self):
+        factory = HashSignatureFactory(16, 3)
+        assert factory.for_word("spa").bits == factory.for_word("spa").bits
+
+    def test_empty_word_list(self):
+        factory = HashSignatureFactory(16, 3)
+        assert factory.for_words([]).weight() == 0
+
+    def test_invalid_length(self):
+        with pytest.raises(SignatureLengthError):
+            HashSignatureFactory(0)
+
+    def test_invalid_bits_per_word(self):
+        with pytest.raises(ValueError):
+            HashSignatureFactory(8, bits_per_word=0)
+
+    def test_length_bytes_property(self):
+        assert HashSignatureFactory(189).length_bytes == 189
+
+
+class TestExactFactory:
+    def test_one_bit_per_word(self):
+        factory = ExactSignatureFactory(["internet", "pool", "spa"])
+        sigs = [factory.for_word(w) for w in ("internet", "pool", "spa")]
+        assert all(sig.weight() == 1 for sig in sigs)
+        assert len({sig.bits for sig in sigs}) == 3
+
+    def test_no_false_positives(self):
+        vocabulary = [f"word{i}" for i in range(50)]
+        factory = ExactSignatureFactory(vocabulary)
+        doc = factory.for_words(vocabulary[:10])
+        for word in vocabulary[10:]:
+            assert not doc.matches(factory.for_word(word))
+
+    def test_oov_maps_to_empty_by_default(self):
+        factory = ExactSignatureFactory(["pool"])
+        assert factory.for_word("unknown").weight() == 0
+
+    def test_oov_strict_raises(self):
+        factory = ExactSignatureFactory(["pool"], strict=True)
+        with pytest.raises(KeyError):
+            factory.for_word("unknown")
+
+    def test_width_is_byte_aligned(self):
+        factory = ExactSignatureFactory([f"w{i}" for i in range(9)])
+        assert factory.length_bits == 16
+        sig = factory.for_words(["w0", "w8"])
+        assert Signature.from_bytes(sig.to_bytes()) == sig
+
+
+@given(doc=st.sets(words, max_size=30), probe=words)
+@settings(max_examples=150, deadline=None)
+def test_property_no_false_negatives(doc, probe):
+    """A word in the document always matches the document signature."""
+    factory = HashSignatureFactory(8, 3, seed=11)
+    doc_sig = factory.for_words(doc | {probe})
+    assert doc_sig.matches(factory.for_word(probe))
+
+
+@given(doc=st.sets(words, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_property_superimposition_monotone(doc):
+    """Adding words never clears bits: sig(A) subset of sig(A|B)."""
+    factory = HashSignatureFactory(8, 3, seed=13)
+    partial = factory.for_words(list(doc)[: len(doc) // 2])
+    full = factory.for_words(doc)
+    assert full.bits & partial.bits == partial.bits
+
+
+@given(doc=st.sets(words, min_size=1, max_size=20), probe=words)
+@settings(max_examples=100, deadline=None)
+def test_property_exact_factory_is_exact(doc, probe):
+    """The exact factory matches iff the word is in the document."""
+    factory = ExactSignatureFactory(sorted(doc | {probe}))
+    doc_sig = factory.for_words(doc)
+    assert doc_sig.matches(factory.for_word(probe)) == (probe in doc)

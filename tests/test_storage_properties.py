@@ -1,0 +1,131 @@
+"""Hypothesis property tests for the storage substrates."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import SpatialObject
+from repro.storage import InMemoryBlockDevice, ObjectStore, PageStore
+from repro.text.analyzer import DEFAULT_ANALYZER
+from repro.text.inverted_index import InvertedIndex
+
+texts = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Ll", "Lu", "Nd", "Zs"), max_codepoint=0x2FF
+    ),
+    max_size=200,
+)
+finite = st.floats(-1e9, 1e9, allow_nan=False)
+
+
+@given(
+    rows=st.lists(
+        st.tuples(finite, finite, texts), min_size=1, max_size=40
+    ),
+    block_size=st.sampled_from([32, 64, 256, 4096]),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_object_store_roundtrip(rows, block_size):
+    """Every appended object loads back equal (modulo text sanitization)."""
+    store = ObjectStore(InMemoryBlockDevice(block_size=block_size))
+    pointers = []
+    for oid, (x, y, text) in enumerate(rows):
+        pointers.append(store.append(SpatialObject(oid, (x, y), text)))
+    for oid, pointer in enumerate(pointers):
+        loaded = store.load(pointer)
+        assert loaded.oid == oid
+        assert loaded.point == (rows[oid][0], rows[oid][1])
+        sanitized = rows[oid][2].replace("\t", " ").replace("\n", " ").replace(
+            "\r", " "
+        )
+        assert loaded.text == sanitized
+
+
+@given(
+    images=st.lists(st.binary(min_size=0, max_size=600), min_size=1, max_size=25),
+    rewrites=st.lists(st.tuples(st.integers(0, 24), st.binary(max_size=600)), max_size=15),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_page_store_holds_latest_image(images, rewrites):
+    """After arbitrary writes/rewrites each node returns its last image."""
+    pages = PageStore(InMemoryBlockDevice(block_size=64))
+    latest: dict[int, bytes] = {}
+    ids = []
+    for image in images:
+        node_id = pages.new_node_id()
+        pages.write(node_id, image)
+        latest[node_id] = image
+        ids.append(node_id)
+    for index, image in rewrites:
+        node_id = ids[index % len(ids)]
+        pages.write(node_id, image)
+        latest[node_id] = image
+    for node_id, image in latest.items():
+        assert pages.read(node_id)[: len(image)] == image
+
+
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["add", "remove"]),
+            st.integers(0, 15),  # pointer
+            st.lists(st.sampled_from(["alpha", "beta", "gamma", "delta"]),
+                     min_size=1, max_size=3),
+        ),
+        max_size=30,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_inverted_index_matches_dict_model(operations):
+    """Random add/remove streams agree with a plain dict-of-sets model."""
+    index = InvertedIndex(InMemoryBlockDevice(block_size=64), DEFAULT_ANALYZER)
+    model: dict[str, set[int]] = {}
+    for op, pointer, words in operations:
+        text = " ".join(words)
+        if op == "add":
+            index.add(pointer, text)
+            for word in words:
+                model.setdefault(word, set()).add(pointer)
+        else:
+            index.remove(pointer, text)
+            for word in words:
+                model.get(word, set()).discard(pointer)
+    for word in ("alpha", "beta", "gamma", "delta"):
+        expected = sorted(model.get(word, set()))
+        assert index.postings(word) == expected
+        assert index.document_frequency(word) == len(expected)
+
+
+@given(
+    documents=st.lists(
+        st.lists(st.sampled_from([f"w{i}" for i in range(30)]),
+                 min_size=1, max_size=6),
+        min_size=1,
+        max_size=25,
+    ),
+    query=st.lists(st.sampled_from([f"w{i}" for i in range(30)]),
+                   min_size=1, max_size=3, unique=True),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_conjunction_equals_set_intersection(documents, query):
+    index = InvertedIndex(InMemoryBlockDevice(block_size=64), DEFAULT_ANALYZER)
+    corpus = [(i * 7, " ".join(words)) for i, words in enumerate(documents)]
+    index.build(corpus)
+    expected = sorted(
+        pointer
+        for pointer, text in corpus
+        if set(query) <= set(text.split())
+    )
+    assert index.retrieve_conjunction(query) == expected
+
+
+@given(
+    a=st.lists(st.integers(0, 10_000), unique=True).map(sorted),
+    b=st.lists(st.integers(0, 10_000), unique=True).map(sorted),
+)
+@settings(max_examples=150, deadline=None)
+def test_property_galloping_intersection_equals_set_intersection(a, b):
+    from repro.text.inverted_index import intersect_sorted
+
+    assert intersect_sorted(a, b) == sorted(set(a) & set(b))

@@ -1,0 +1,54 @@
+"""Tests for the pytest-free reproduction driver (repro.bench.suite)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.suite import build_arg_parser, main
+
+
+class TestArgs:
+    def test_defaults(self):
+        args = build_arg_parser().parse_args([])
+        assert args.scale is None
+        assert args.out == "benchmarks/results"
+        assert args.skip_signature_sweeps is False
+
+    def test_custom(self):
+        args = build_arg_parser().parse_args(
+            ["--scale", "0.1", "--queries", "2", "--out", "x",
+             "--skip-signature-sweeps"]
+        )
+        assert args.scale == 0.1
+        assert args.queries == 2
+        assert args.skip_signature_sweeps is True
+
+
+class TestRun:
+    def test_tiny_run_produces_all_artifacts(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_QUERIES", raising=False)
+        code = main(
+            ["--scale", "0.002", "--queries", "2", "--out", str(tmp_path),
+             "--skip-signature-sweeps"]
+        )
+        assert code == 0
+        produced = sorted(os.listdir(tmp_path))
+        assert produced == [
+            "suite_figure10.md",
+            "suite_figure12.md",
+            "suite_figure13.md",
+            "suite_figure9.md",
+            "suite_table1.md",
+            "suite_table2.md",
+        ]
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Figure 9" in out
+        assert "legend:" in out  # ASCII figures included
+        # Every figure file embeds both tables and chart.
+        figure9 = (tmp_path / "suite_figure9.md").read_text()
+        assert "simulated execution time" in figure9
+        assert "log10 y-axis" in figure9 or "linear y-axis" in figure9

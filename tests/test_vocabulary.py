@@ -1,0 +1,91 @@
+"""Unit tests for corpus vocabulary statistics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.text import Vocabulary
+
+
+class TestDocumentFrequency:
+    def test_df_counts_documents_not_occurrences(self):
+        vocab = Vocabulary()
+        vocab.add_document({"pool", "spa"})
+        vocab.add_document({"pool"})
+        assert vocab.document_frequency("pool") == 2
+        assert vocab.document_frequency("spa") == 1
+        assert vocab.document_frequency("gym") == 0
+
+    def test_contains_and_len(self):
+        vocab = Vocabulary()
+        vocab.add_document({"pool", "spa"})
+        assert "pool" in vocab
+        assert "gym" not in vocab
+        assert len(vocab) == 2
+
+    def test_remove_document(self):
+        vocab = Vocabulary()
+        vocab.add_document({"pool", "spa"})
+        vocab.add_document({"pool"})
+        vocab.remove_document({"pool", "spa"})
+        assert vocab.document_frequency("pool") == 1
+        assert vocab.document_frequency("spa") == 0
+        assert vocab.document_count == 1
+
+    def test_remove_never_goes_negative(self):
+        vocab = Vocabulary()
+        vocab.remove_document({"ghost"})
+        assert vocab.document_count == 0
+        assert vocab.document_frequency("ghost") == 0
+
+
+class TestIdf:
+    def test_rarer_terms_score_higher(self):
+        vocab = Vocabulary()
+        for i in range(10):
+            terms = {"common"}
+            if i == 0:
+                terms.add("rare")
+            vocab.add_document(terms)
+        assert vocab.idf("rare") > vocab.idf("common")
+
+    def test_idf_formula(self):
+        vocab = Vocabulary()
+        vocab.add_document({"a"})
+        vocab.add_document({"a", "b"})
+        assert vocab.idf("a") == pytest.approx(math.log(1 + 2 / 2))
+        assert vocab.idf("b") == pytest.approx(math.log(1 + 2 / 1))
+
+    def test_unseen_term_gets_max_idf(self):
+        vocab = Vocabulary()
+        vocab.add_document({"a"})
+        vocab.add_document({"b"})
+        assert vocab.idf("zzz") == pytest.approx(math.log(1 + 2))
+        assert vocab.idf("zzz") >= vocab.idf("a")
+
+    def test_empty_corpus_idf_defined(self):
+        assert Vocabulary().idf("anything") > 0
+
+
+class TestAggregates:
+    def test_unique_words(self):
+        vocab = Vocabulary()
+        vocab.add_document({"a", "b"})
+        vocab.add_document({"b", "c"})
+        assert vocab.unique_words == 3
+
+    def test_average_unique_words_per_document(self):
+        vocab = Vocabulary()
+        vocab.add_document({"a", "b"})
+        vocab.add_document({"b", "c", "d", "e"})
+        assert vocab.average_unique_words_per_document == 3.0
+
+    def test_average_on_empty_corpus(self):
+        assert Vocabulary().average_unique_words_per_document == 0.0
+
+    def test_terms_iteration(self):
+        vocab = Vocabulary()
+        vocab.add_document({"x", "y"})
+        assert set(vocab.terms()) == {"x", "y"}

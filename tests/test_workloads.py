@@ -1,0 +1,99 @@
+"""Tests for benchmark workload generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import WorkloadGenerator
+from repro.bench.workloads import truncate_keywords, with_k
+from repro.errors import DatasetError
+from repro.text.analyzer import DEFAULT_ANALYZER
+
+
+@pytest.fixture
+def workload(small_objects):
+    return WorkloadGenerator(small_objects, DEFAULT_ANALYZER, seed=5)
+
+
+class TestGeneration:
+    def test_deterministic(self, small_objects):
+        a = WorkloadGenerator(small_objects, DEFAULT_ANALYZER, seed=5).queries(5, 2, 10)
+        b = WorkloadGenerator(small_objects, DEFAULT_ANALYZER, seed=5).queries(5, 2, 10)
+        assert a == b
+
+    def test_seed_matters(self, small_objects):
+        a = WorkloadGenerator(small_objects, DEFAULT_ANALYZER, seed=5).queries(5, 2, 10)
+        b = WorkloadGenerator(small_objects, DEFAULT_ANALYZER, seed=6).queries(5, 2, 10)
+        assert a != b
+
+    def test_keywords_guarantee_an_answer(self, workload, small_objects):
+        """Keywords co-occur in some object => conjunction is satisfiable."""
+        for query in workload.queries(10, 2, 5):
+            assert any(
+                DEFAULT_ANALYZER.contains_all(obj.text, query.keywords)
+                for obj in small_objects
+            )
+
+    def test_keyword_count_respected(self, workload):
+        for count in (1, 2, 3):
+            query = workload.query(count, 5)
+            assert len(query.keywords) == count
+
+    def test_points_within_extent(self, workload, small_objects):
+        lats = [o.point[0] for o in small_objects]
+        lons = [o.point[1] for o in small_objects]
+        for query in workload.queries(10, 1, 1):
+            assert min(lats) <= query.point[0] <= max(lats)
+            assert min(lons) <= query.point[1] <= max(lons)
+
+    def test_empty_objects_rejected(self):
+        with pytest.raises(DatasetError):
+            WorkloadGenerator([], DEFAULT_ANALYZER)
+
+    def test_invalid_keyword_count(self, workload):
+        with pytest.raises(DatasetError):
+            workload.sample_keywords(0)
+
+
+class TestFrequencyBands:
+    def test_band_respected(self, workload, small_objects):
+        n = len(small_objects)
+        keywords = workload.keywords_in_frequency_band(3, 0.0, 0.5)
+        df = workload._document_frequencies()
+        for keyword in keywords:
+            assert df[keyword] <= 0.5 * n
+
+    def test_impossible_band_raises(self, workload):
+        with pytest.raises(DatasetError):
+            workload.keywords_in_frequency_band(1, 0.999, 1.0)
+
+    def test_band_queries_have_requested_shape(self, workload):
+        queries = workload.frequency_band_queries(4, 2, 7, 0.0, 0.9)
+        assert len(queries) == 4
+        assert all(len(q.keywords) == 2 and q.k == 7 for q in queries)
+
+    def test_df_cache_consistent_with_analyzer(self, workload, small_objects):
+        df = workload._document_frequencies()
+        sample_term = next(iter(df))
+        manual = sum(
+            1
+            for obj in small_objects
+            if sample_term in DEFAULT_ANALYZER.terms(obj.text)
+        )
+        assert df[sample_term] == manual
+
+
+class TestBatchHelpers:
+    def test_with_k_changes_only_k(self, workload):
+        base = workload.queries(4, 2, 10)
+        rekeyed = with_k(base, 50)
+        assert [q.point for q in rekeyed] == [q.point for q in base]
+        assert [q.keywords for q in rekeyed] == [q.keywords for q in base]
+        assert all(q.k == 50 for q in rekeyed)
+
+    def test_truncate_keywords_takes_prefix(self, workload):
+        base = workload.queries(4, 3, 10)
+        narrowed = truncate_keywords(base, 2)
+        for original, cut in zip(base, narrowed):
+            assert cut.keywords == original.keywords[:2]
+            assert cut.k == original.k
