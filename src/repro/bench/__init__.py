@@ -19,7 +19,7 @@ from repro.bench.reporting import (
     format_table,
     render_chart,
 )
-from repro.bench.workloads import WorkloadGenerator
+from repro.bench.workloads import ConcurrentLoadGenerator, WorkloadGenerator
 
 __all__ = [
     "ALGORITHMS",
@@ -27,6 +27,7 @@ __all__ = [
     "ExperimentContext",
     "MetricsRow",
     "PAPER_SIGNATURE_BYTES",
+    "ConcurrentLoadGenerator",
     "SeriesTable",
     "SweepResult",
     "WorkloadGenerator",

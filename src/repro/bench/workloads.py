@@ -151,6 +151,53 @@ class WorkloadGenerator:
         return [self.query(num_keywords, k) for _ in range(count)]
 
 
+class ConcurrentLoadGenerator(WorkloadGenerator):
+    """Batch generator for concurrent-serving benchmarks.
+
+    Real serving traffic is skewed: a small set of *hot* queries (popular
+    locations and keyword combinations) repeats constantly while a long
+    tail of *cold* queries is unique.  This generator mixes the two so the
+    service layer's result cache and thread pool are both exercised:
+    ``hot_fraction`` of the batch is drawn (with repetition) from a pool
+    of ``hot_pool`` fixed queries; the rest are fresh samples.
+
+    Deterministic for a given seed, like every workload here.
+    """
+
+    def batch(
+        self,
+        count: int,
+        num_keywords: int = 2,
+        k: int = 10,
+        hot_fraction: float = 0.5,
+        hot_pool: int = 8,
+    ) -> list[SpatialKeywordQuery]:
+        """``count`` queries, ``hot_fraction`` of them repeats of a hot set.
+
+        Args:
+            count: batch size.
+            num_keywords: keywords per query.
+            k: requested results per query.
+            hot_fraction: probability a slot is served from the hot pool.
+            hot_pool: number of distinct hot queries.
+        """
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise DatasetError(
+                f"hot_fraction must be in [0, 1], got {hot_fraction}"
+            )
+        pool = (
+            [self.query(num_keywords, k) for _ in range(max(1, hot_pool))]
+            if hot_fraction > 0.0
+            else []
+        )
+        return [
+            self._rng.choice(pool)
+            if pool and self._rng.random() < hot_fraction
+            else self.query(num_keywords, k)
+            for _ in range(count)
+        ]
+
+
 def with_k(queries: Sequence[SpatialKeywordQuery], k: int) -> list[SpatialKeywordQuery]:
     """The same query batch with a different ``k``.
 

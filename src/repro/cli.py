@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the typical lifecycle:
+Five subcommands cover the typical lifecycle:
 
 ``generate``
     Write a synthetic dataset (Hotels/Restaurants statistics) as a
@@ -17,6 +17,12 @@ Four subcommands cover the typical lifecycle:
 ``stats``
     Print dataset statistics (Table 1 shape) and the index footprint for
     a saved engine.
+
+``serve``
+    Replay a concurrent query workload against a saved engine through the
+    :mod:`repro.serve` service layer (thread pool + result cache) and
+    report throughput, cache, and latency statistics; ``--serve-trace``
+    dumps every per-query trace span as JSON.
 """
 
 from __future__ import annotations
@@ -89,6 +95,25 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="dataset and index statistics for a saved engine"
     )
     stats.add_argument("--engine", required=True, help="engine directory")
+
+    serve = commands.add_parser(
+        "serve", help="replay a concurrent workload through the service layer"
+    )
+    serve.add_argument("--engine", required=True, help="engine directory")
+    serve.add_argument("--queries", type=int, default=64,
+                       help="number of queries in the batch")
+    serve.add_argument("--workers", type=int, default=8,
+                       help="query worker threads")
+    serve.add_argument("--num-keywords", type=int, default=2)
+    serve.add_argument("-k", type=int, default=10)
+    serve.add_argument("--seed", type=int, default=42,
+                       help="workload RNG seed")
+    serve.add_argument("--hot-fraction", type=float, default=0.5,
+                       help="fraction of the batch repeating a hot query set")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache")
+    serve.add_argument("--serve-trace", metavar="PATH",
+                       help="write per-query trace spans as JSON to PATH")
     return parser
 
 
@@ -105,6 +130,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_query(args)
         if args.command == "stats":
             return _cmd_stats(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -169,6 +196,36 @@ def _cmd_stats(args) -> int:
     print(f"avg blocks/object   : {stats.avg_blocks_per_object:.2f}")
     print(f"index kind          : {engine.index.label}")
     print(f"index size          : {engine.index_size_mb():.2f} MB")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.bench.workloads import ConcurrentLoadGenerator
+    from repro.serve import QueryService
+
+    engine = load_engine(args.engine)
+    objects = list(engine.corpus.objects())
+    workload = ConcurrentLoadGenerator(
+        objects, engine.corpus.analyzer, seed=args.seed
+    )
+    batch = workload.batch(
+        args.queries,
+        num_keywords=args.num_keywords,
+        k=args.k,
+        hot_fraction=args.hot_fraction,
+    )
+    with QueryService(
+        engine, workers=args.workers, cache=not args.no_cache
+    ) as service:
+        service.run_batch(batch)
+        stats = service.stats()
+        if args.serve_trace:
+            service.export_traces(args.serve_trace)
+    print(f"served {stats.queries} queries with {args.workers} workers "
+          f"over {engine.index.label}")
+    print(stats.summary())
+    if args.serve_trace:
+        print(f"trace spans written to {args.serve_trace}")
     return 0
 
 

@@ -13,6 +13,16 @@ need::
 
 Lower-level pieces (trees, stores, search functions) stay importable for
 research use; the engine adds nothing they cannot do.
+
+The query path is thread-safe once the engine is built: searches only read
+the tree/store structures, per-execution I/O accounting is isolated in
+thread-local collectors (:func:`repro.storage.iostats.collecting_io`), and
+the shared device counters are lock-protected.  Mutations
+(:meth:`~SpatialKeywordEngine.add` / :meth:`~SpatialKeywordEngine.build` /
+:meth:`~SpatialKeywordEngine.delete`) are **not** safe against concurrent
+queries — use :meth:`SpatialKeywordEngine.serve` (a
+:class:`repro.serve.QueryService`), which serializes writers against the
+reader pool and adds a result cache and tracing.
 """
 
 from __future__ import annotations
@@ -215,7 +225,26 @@ class SpatialKeywordEngine:
         extent = max(spans) if spans else 1.0
         return max(extent * 0.1, 1e-9)
 
+    # -- Serving ----------------------------------------------------------------
+
+    def serve(self, workers: int = 4, **kwargs):
+        """Wrap this engine in a concurrent :class:`~repro.serve.QueryService`.
+
+        Args:
+            workers: query worker threads.
+            **kwargs: forwarded to :class:`repro.serve.QueryService`
+                (``cache``, ``cache_capacity``, ``trace_capacity``).
+        """
+        from repro.serve import QueryService
+
+        return QueryService(self, workers=workers, **kwargs)
+
     # -- Introspection ----------------------------------------------------------------
+
+    @property
+    def index_kind(self) -> str:
+        """The index kind string this engine was constructed with."""
+        return self._index_kind
 
     def __len__(self) -> int:
         return len(self.corpus)

@@ -11,7 +11,7 @@ engine facade talk only to this interface.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.baselines import iio_top_k
 from repro.core.builder import BulkItem, bulk_load, insert_build
@@ -27,6 +27,7 @@ from repro.model import SpatialObject
 from repro.spatial.geometry import Rect
 from repro.spatial.rtree import RTree
 from repro.storage.block import BlockDevice, InMemoryBlockDevice
+from repro.storage.iostats import collecting_io
 from repro.storage.pagestore import PageStore
 from repro.text.inverted_index import InvertedIndex
 from repro.text.signature import HashSignatureFactory
@@ -77,21 +78,30 @@ class SpatialKeywordIndex:
     def execute(self, query: SpatialKeywordQuery) -> QueryExecution:
         """Run a distance-first query with full I/O accounting."""
         self._require_built()
-        devices = self._devices()
-        before = [device.stats.snapshot() for device in devices]
-        outcome = self._run(query)
-        merged = None
-        for device, snapshot in zip(devices, before):
-            delta = device.stats.diff(snapshot)
-            merged = delta if merged is None else merged.merged_with(delta)
+        return self._measured(query, lambda: self._run(query), self.label)
+
+    def _measured(
+        self,
+        query: SpatialKeywordQuery,
+        runner: Callable[[], SearchOutcome],
+        algorithm: str,
+    ) -> QueryExecution:
+        """Run ``runner`` with per-execution I/O accounting.
+
+        The delta comes from a thread-local collector rather than a
+        snapshot/diff of the shared device counters, so concurrent queries
+        (the :mod:`repro.serve` layer) each see exactly their own I/O.
+        """
+        with collecting_io() as io:
+            outcome = runner()
         return QueryExecution(
             query=query,
             results=outcome.results,
-            io=merged,
+            io=io,
             objects_inspected=outcome.counters.objects_inspected,
             false_positive_candidates=outcome.counters.false_positives,
-            nodes_visited=merged.category_reads("node"),
-            algorithm=self.label,
+            nodes_visited=io.category_reads("node"),
+            algorithm=algorithm,
         )
 
     def _devices(self) -> list[BlockDevice]:
@@ -163,6 +173,36 @@ class _TreeIndex(SpatialKeywordIndex):
         return self.pages.size_mb
 
 
+class _RankedTreeIndex(_TreeIndex):
+    """Signature-bearing trees additionally support ranked queries (§V.C)."""
+
+    def execute_ranked(
+        self,
+        query: SpatialKeywordQuery,
+        ranking: RankingCallable,
+        prune_zero_ir: bool = True,
+    ) -> QueryExecution:
+        """General ranked top-k with I/O accounting.
+
+        Works on IR2- and MIR2-Trees "with no modification" (the paper's
+        Section V.C remark).
+        """
+        self._require_built()
+        return self._measured(
+            query,
+            lambda: ranked_top_k(
+                self.tree,
+                self.corpus.store,
+                self.corpus.analyzer,
+                self.corpus.vocabulary,
+                query,
+                ranking,
+                prune_zero_ir=prune_zero_ir,
+            ),
+            f"{self.label}-RANKED",
+        )
+
+
 class RTreeIndex(_TreeIndex):
     """Baseline 1: plain R-Tree with fetch-and-filter NN (Section V.A)."""
 
@@ -175,7 +215,7 @@ class RTreeIndex(_TreeIndex):
         return rtree_top_k(self.tree, self.corpus.store, self.corpus.analyzer, query)
 
 
-class IR2Index(_TreeIndex):
+class IR2Index(_RankedTreeIndex):
     """The IR2-Tree with the distance-first ``IR2TopK`` algorithm."""
 
     label = "IR2"
@@ -200,41 +240,8 @@ class IR2Index(_TreeIndex):
     def _run(self, query: SpatialKeywordQuery) -> SearchOutcome:
         return ir2_top_k(self.tree, self.corpus.store, self.corpus.analyzer, query)
 
-    def execute_ranked(
-        self,
-        query: SpatialKeywordQuery,
-        ranking: RankingCallable,
-        prune_zero_ir: bool = True,
-    ) -> QueryExecution:
-        """General ranked top-k (Section V.C) with I/O accounting."""
-        self._require_built()
-        devices = self._devices()
-        before = [device.stats.snapshot() for device in devices]
-        outcome = ranked_top_k(
-            self.tree,
-            self.corpus.store,
-            self.corpus.analyzer,
-            self.corpus.vocabulary,
-            query,
-            ranking,
-            prune_zero_ir=prune_zero_ir,
-        )
-        merged = None
-        for device, snapshot in zip(devices, before):
-            delta = device.stats.diff(snapshot)
-            merged = delta if merged is None else merged.merged_with(delta)
-        return QueryExecution(
-            query=query,
-            results=outcome.results,
-            io=merged,
-            objects_inspected=outcome.counters.objects_inspected,
-            false_positive_candidates=outcome.counters.false_positives,
-            nodes_visited=merged.category_reads("node"),
-            algorithm=f"{self.label}-RANKED",
-        )
 
-
-class MIR2Index(_TreeIndex):
+class MIR2Index(_RankedTreeIndex):
     """The MIR2-Tree: per-level signature lengths (Section IV)."""
 
     label = "MIR2"
@@ -281,39 +288,6 @@ class MIR2Index(_TreeIndex):
 
     def _run(self, query: SpatialKeywordQuery) -> SearchOutcome:
         return ir2_top_k(self.tree, self.corpus.store, self.corpus.analyzer, query)
-
-    def execute_ranked(
-        self,
-        query: SpatialKeywordQuery,
-        ranking: RankingCallable,
-        prune_zero_ir: bool = True,
-    ) -> QueryExecution:
-        """General ranked top-k; works on MIR2-Trees "with no modification"."""
-        self._require_built()
-        devices = self._devices()
-        before = [device.stats.snapshot() for device in devices]
-        outcome = ranked_top_k(
-            self.tree,
-            self.corpus.store,
-            self.corpus.analyzer,
-            self.corpus.vocabulary,
-            query,
-            ranking,
-            prune_zero_ir=prune_zero_ir,
-        )
-        merged = None
-        for device, snapshot in zip(devices, before):
-            delta = device.stats.diff(snapshot)
-            merged = delta if merged is None else merged.merged_with(delta)
-        return QueryExecution(
-            query=query,
-            results=outcome.results,
-            io=merged,
-            objects_inspected=outcome.counters.objects_inspected,
-            false_positive_candidates=outcome.counters.false_positives,
-            nodes_visited=merged.category_reads("node"),
-            algorithm=f"{self.label}-RANKED",
-        )
 
 
 class IIOIndex(SpatialKeywordIndex):

@@ -96,6 +96,9 @@ class QueryExecution:
             verification (signature or spatial-order false positives).
         nodes_visited: index nodes loaded during the query.
         algorithm: short label ("RTREE", "IIO", "IR2", "MIR2").
+        trace: optional :class:`repro.serve.tracing.TraceSpan` attached by
+            the concurrent service layer (queue wait, timings, cache
+            status); ``None`` for direct engine queries.
     """
 
     query: SpatialKeywordQuery
@@ -105,6 +108,7 @@ class QueryExecution:
     false_positive_candidates: int = 0
     nodes_visited: int = 0
     algorithm: str = ""
+    trace: object | None = None
 
     def simulated_ms(self, drive: DriveModel = DEFAULT_DRIVE) -> float:
         """Simulated execution time under the given drive model."""

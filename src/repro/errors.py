@@ -92,3 +92,7 @@ class QueryError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset file or generator configuration is invalid."""
+
+
+class ServiceError(ReproError):
+    """The concurrent query service was misused (e.g. submit after close)."""

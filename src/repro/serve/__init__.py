@@ -1,0 +1,38 @@
+"""Concurrent serving layer over the paper's single-query engine.
+
+The research core executes one query at a time; this package adds the
+production wrapper the ROADMAP's north star asks for:
+
+* :class:`QueryService` — thread-pooled dispatch with a readers-writer
+  lock so queries run in parallel and mutations run exclusively;
+* :class:`QueryResultCache` — LRU memoization of identical queries with
+  explicit invalidation on every engine mutation;
+* :class:`TraceSpan` / :class:`TraceLog` — per-query tracing (queue
+  wait, search time, I/O counts, cache disposition);
+* :class:`ServiceStats` — lifetime aggregates.
+
+Quick start::
+
+    from repro import SpatialKeywordEngine
+    from repro.serve import QueryService
+
+    engine = SpatialKeywordEngine(index="ir2")
+    ...
+    engine.build()
+    with QueryService(engine, workers=8) as service:
+        executions = service.run_batch(queries)
+        print(service.stats().summary())
+"""
+
+from repro.serve.resultcache import QueryResultCache
+from repro.serve.service import QueryService, ReadWriteLock, ServiceStats
+from repro.serve.tracing import TraceLog, TraceSpan
+
+__all__ = [
+    "QueryResultCache",
+    "QueryService",
+    "ReadWriteLock",
+    "ServiceStats",
+    "TraceLog",
+    "TraceSpan",
+]

@@ -1,0 +1,102 @@
+"""Thread-safe LRU cache of query results for the serving layer.
+
+A production deployment sees heavily repeated queries (the same hot spots,
+the same keyword combinations), and a distance-first top-k answer is a
+pure function of the built index — so identical queries can be answered
+from memory without touching a single block.  :class:`QueryResultCache`
+memoizes :class:`~repro.core.query.QueryExecution` objects keyed on the
+query's *semantic identity*: spatial target (point or area), keyword
+tuple, and ``k``.
+
+Correctness requires **explicit invalidation**: any mutation of the
+underlying engine (insert, delete, rebuild) may change answers, so
+:class:`repro.serve.QueryService` calls :meth:`QueryResultCache.invalidate`
+on every write.  A generation counter is exposed so tests can assert the
+flush happened.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.core.query import QueryExecution, SpatialKeywordQuery
+
+#: Cache key: (point, area, keywords, k).  ``Rect`` is a frozen dataclass
+#: of tuples, so area queries are hashable too.
+CacheKey = tuple
+
+
+class QueryResultCache:
+    """LRU map from query identity to a completed execution.
+
+    Args:
+        capacity: maximum number of cached executions (must be >= 1).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("result cache capacity must be at least 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[CacheKey, QueryExecution] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.generation = 0
+
+    @staticmethod
+    def key_of(query: SpatialKeywordQuery) -> CacheKey:
+        """The semantic identity of a query (its answer's determinants)."""
+        return (query.point, query.area, query.keywords, query.k)
+
+    def get(self, query: SpatialKeywordQuery) -> QueryExecution | None:
+        """Return the cached execution for ``query``, if any.
+
+        Bumps the hit or miss counter and refreshes LRU recency.
+        """
+        key = self.key_of(query)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached
+
+    def put(self, query: SpatialKeywordQuery, execution: QueryExecution) -> None:
+        """Memoize a completed execution (evicting the LRU entry if full)."""
+        key = self.key_of(query)
+        with self._lock:
+            self._entries[key] = execution
+            self._entries.move_to_end(key)
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def invalidate(self) -> int:
+        """Drop every cached answer; returns the number of entries dropped.
+
+        Called by the service on any engine mutation.  Hit/miss counters
+        survive (they describe service history, not current contents);
+        the generation counter increments so staleness is observable.
+        """
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.generation += 1
+            return dropped
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when none)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, query: SpatialKeywordQuery) -> bool:
+        with self._lock:
+            return self.key_of(query) in self._entries

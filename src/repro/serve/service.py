@@ -1,0 +1,380 @@
+"""Concurrent query service over a :class:`SpatialKeywordEngine`.
+
+The paper's algorithms are strictly single-query; this module turns a
+built engine into something that can take parallel traffic while staying
+byte-for-byte faithful to them:
+
+* queries are dispatched across a thread pool and executed by the
+  engine's unmodified search algorithms;
+* per-query I/O accounting is exact under concurrency because each
+  execution collects its own delta in a thread-local collector
+  (:func:`repro.storage.iostats.collecting_io`) instead of diffing the
+  shared device counters;
+* a readers-writer lock lets any number of queries run together while
+  mutations (insert / delete / rebuild) get exclusive access;
+* an LRU result cache (:class:`~repro.serve.resultcache.QueryResultCache`)
+  answers repeated queries from memory and is invalidated on every
+  mutation;
+* every execution carries a :class:`~repro.serve.tracing.TraceSpan`
+  (queue wait, search time, I/O counts, cache disposition), aggregated
+  into a :class:`ServiceStats` summary.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.engine import SpatialKeywordEngine
+from repro.core.query import QueryExecution, SpatialKeywordQuery
+from repro.errors import ServiceError
+from repro.model import SpatialObject
+from repro.serve.resultcache import QueryResultCache
+from repro.serve.tracing import CACHE_BYPASS, CACHE_HIT, CACHE_MISS, TraceLog, TraceSpan
+from repro.storage.iostats import IOStats
+
+
+class ReadWriteLock:
+    """A simple writer-preferring readers-writer lock.
+
+    Any number of readers may hold the lock together; a writer waits for
+    them to drain and then holds it exclusively.  Arriving readers queue
+    behind a waiting writer so mutations cannot starve under a steady
+    query stream.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters for one service's lifetime (a frozen snapshot).
+
+    Attributes:
+        queries: completed query executions (including cache hits).
+        cache_hits: executions answered from the result cache.
+        cache_misses: executions that ran the search algorithms (with the
+            cache enabled); with caching disabled both counters stay 0.
+        errors: executions that raised.
+        io: element-wise sum of every execution's per-query I/O delta.
+        queue_wait_ms_total: summed queue wait across executions.
+        search_ms_total: summed search time across executions.
+    """
+
+    queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    errors: int = 0
+    io: IOStats = None  # type: ignore[assignment]
+    queue_wait_ms_total: float = 0.0
+    search_ms_total: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits as a fraction of cache-eligible executions."""
+        eligible = self.cache_hits + self.cache_misses
+        return self.cache_hits / eligible if eligible else 0.0
+
+    @property
+    def avg_queue_wait_ms(self) -> float:
+        return self.queue_wait_ms_total / self.queries if self.queries else 0.0
+
+    @property
+    def avg_search_ms(self) -> float:
+        return self.search_ms_total / self.queries if self.queries else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-serializable summary (the ``--serve-trace`` header)."""
+        return {
+            "queries": self.queries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "errors": self.errors,
+            "avg_queue_wait_ms": self.avg_queue_wait_ms,
+            "avg_search_ms": self.avg_search_ms,
+            "random_reads": self.io.random_reads if self.io else 0,
+            "sequential_reads": self.io.sequential_reads if self.io else 0,
+            "objects_loaded": self.io.objects_loaded if self.io else 0,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        io = self.io or IOStats()
+        return (
+            f"{self.queries} queries ({self.cache_hits} cache hits, "
+            f"{self.errors} errors), avg wait {self.avg_queue_wait_ms:.2f} ms, "
+            f"avg search {self.avg_search_ms:.2f} ms, "
+            f"{io.random_reads} random + {io.sequential_reads} sequential reads, "
+            f"{io.objects_loaded} objects loaded"
+        )
+
+
+class QueryService:
+    """Thread-pooled, cached, traced front-end for one built engine.
+
+    Args:
+        engine: a built :class:`SpatialKeywordEngine` (building it through
+            the service afterwards is also supported via :meth:`build`).
+        workers: worker threads answering queries.
+        cache: enable the LRU result cache.
+        cache_capacity: maximum cached executions.
+        trace_capacity: maximum retained trace spans (None = unbounded).
+
+    The service is a context manager; :meth:`close` drains the pool::
+
+        with QueryService(engine, workers=8) as service:
+            executions = service.run_batch(queries)
+    """
+
+    def __init__(
+        self,
+        engine: SpatialKeywordEngine,
+        workers: int = 4,
+        cache: bool = True,
+        cache_capacity: int = 256,
+        trace_capacity: int | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError("a query service needs at least one worker")
+        self.engine = engine
+        self.workers = workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-query"
+        )
+        self._rw = ReadWriteLock()
+        self.cache = QueryResultCache(cache_capacity) if cache else None
+        self.trace_log = TraceLog(trace_capacity)
+        self._qid = itertools.count()
+        self._closed = False
+        # Aggregates, guarded by one lock.
+        self._stats_lock = threading.Lock()
+        self._queries = 0
+        self._hits = 0
+        self._misses = 0
+        self._errors = 0
+        self._io = IOStats()
+        self._queue_ms = 0.0
+        self._search_ms = 0.0
+
+    # -- Query dispatch ---------------------------------------------------------
+
+    def submit(
+        self, point: Sequence[float], keywords: Sequence[str], k: int = 10
+    ) -> Future:
+        """Asynchronously run a distance-first query; returns a Future."""
+        return self.submit_query(SpatialKeywordQuery.of(point, keywords, k))
+
+    def submit_query(self, query: SpatialKeywordQuery) -> Future:
+        """Asynchronously run an already-constructed query."""
+        if self._closed:
+            raise ServiceError("cannot submit to a closed QueryService")
+        return self._pool.submit(
+            self._execute, query, next(self._qid), time.perf_counter()
+        )
+
+    def query(
+        self, point: Sequence[float], keywords: Sequence[str], k: int = 10
+    ) -> QueryExecution:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(point, keywords, k).result()
+
+    def execute(self, query: SpatialKeywordQuery) -> QueryExecution:
+        """Synchronous convenience wrapper around :meth:`submit_query`."""
+        return self.submit_query(query).result()
+
+    def run_batch(
+        self, queries: Iterable[SpatialKeywordQuery]
+    ) -> list[QueryExecution]:
+        """Dispatch a whole batch and wait; results keep the batch order."""
+        futures = [self.submit_query(query) for query in queries]
+        return [future.result() for future in futures]
+
+    # -- The worker body --------------------------------------------------------
+
+    def _execute(
+        self, query: SpatialKeywordQuery, query_id: int, submitted_at: float
+    ) -> QueryExecution:
+        span = TraceSpan(
+            query_id=query_id,
+            keywords=query.keywords,
+            k=query.k,
+            submitted_at=submitted_at,
+            started_at=time.perf_counter(),
+            worker=threading.current_thread().name,
+        )
+        try:
+            with self._rw.read_locked():
+                execution = self._answer(query, span)
+        except Exception as exc:
+            span.finished_at = time.perf_counter()
+            span.error = f"{type(exc).__name__}: {exc}"
+            self.trace_log.append(span)
+            with self._stats_lock:
+                self._errors += 1
+            raise
+        span.finished_at = time.perf_counter()
+        span.algorithm = execution.algorithm
+        span.random_reads = execution.io.random_reads
+        span.sequential_reads = execution.io.sequential_reads
+        span.objects_loaded = execution.io.objects_loaded
+        span.num_results = len(execution.results)
+        execution.trace = span
+        self.trace_log.append(span)
+        with self._stats_lock:
+            self._queries += 1
+            if span.cache == CACHE_HIT:
+                self._hits += 1
+            elif span.cache == CACHE_MISS:
+                self._misses += 1
+            self._io = self._io.merged_with(execution.io)
+            self._queue_ms += span.queue_wait_ms
+            self._search_ms += span.search_ms
+        return execution
+
+    def _answer(
+        self, query: SpatialKeywordQuery, span: TraceSpan
+    ) -> QueryExecution:
+        """Resolve one query under the read lock: cache first, then search."""
+        if self.cache is not None:
+            cached = self.cache.get(query)
+            if cached is not None:
+                span.cache = CACHE_HIT
+                # A fresh execution sharing the (immutable) result list:
+                # a hit costs no I/O and inspects no objects.
+                return QueryExecution(
+                    query=query,
+                    results=list(cached.results),
+                    io=IOStats(),
+                    objects_inspected=0,
+                    false_positive_candidates=0,
+                    nodes_visited=0,
+                    algorithm=cached.algorithm,
+                )
+            span.cache = CACHE_MISS
+        else:
+            span.cache = CACHE_BYPASS
+        execution = self.engine.index.execute(query)
+        if self.cache is not None:
+            self.cache.put(query, execution)
+        return execution
+
+    # -- Mutations (exclusive against the reader pool) --------------------------
+
+    def add_object(self, oid: int, point: Sequence[float], text: str) -> None:
+        """Insert one object; invalidates the result cache."""
+        with self._rw.write_locked():
+            self.engine.add_object(oid, point, text)
+            self._invalidate()
+
+    def add(self, obj: SpatialObject) -> None:
+        """Insert one :class:`SpatialObject`; invalidates the result cache."""
+        with self._rw.write_locked():
+            self.engine.add(obj)
+            self._invalidate()
+
+    def delete(self, oid: int) -> bool:
+        """Delete one object; invalidates the result cache."""
+        with self._rw.write_locked():
+            removed = self.engine.delete(oid)
+            self._invalidate()
+            return removed
+
+    def build(self, bulk: bool = True) -> None:
+        """(Re)build the engine's index; invalidates the result cache."""
+        with self._rw.write_locked():
+            self.engine.build(bulk=bulk)
+            self._invalidate()
+
+    def _invalidate(self) -> None:
+        if self.cache is not None:
+            self.cache.invalidate()
+
+    # -- Introspection ----------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """A consistent snapshot of the service-lifetime aggregates."""
+        with self._stats_lock:
+            return ServiceStats(
+                queries=self._queries,
+                cache_hits=self._hits,
+                cache_misses=self._misses,
+                errors=self._errors,
+                io=self._io.snapshot(),
+                queue_wait_ms_total=self._queue_ms,
+                search_ms_total=self._search_ms,
+            )
+
+    def trace_spans(self) -> list[TraceSpan]:
+        """Snapshot of the retained per-query trace spans."""
+        return self.trace_log.spans()
+
+    def export_traces(self, path: str) -> None:
+        """Dump the service summary plus every retained span to JSON."""
+        self.trace_log.dump_json(path, extra={"service": self.stats().as_dict()})
+
+    # -- Lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain in-flight queries and shut the worker pool down."""
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,153 @@
+"""Lightweight per-query tracing for the concurrent service layer.
+
+Every execution dispatched through :class:`repro.serve.QueryService`
+carries one :class:`TraceSpan` recording the span of its life inside the
+service: when it was submitted, how long it waited in the worker queue,
+how long the search itself took, how much I/O it performed, and whether
+it was answered from the result cache.  Spans are collected in a
+thread-safe :class:`TraceLog` and can be exported as JSON (the CLI's
+``serve --serve-trace`` dump) for offline latency analysis.
+
+Timestamps use :func:`time.perf_counter` — monotonic and comparable
+within one process, not wall-clock times.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+
+#: Cache dispositions a span can carry.
+CACHE_HIT = "hit"
+CACHE_MISS = "miss"
+CACHE_BYPASS = "bypass"  # caching disabled for the service
+
+
+@dataclass
+class TraceSpan:
+    """The traced lifecycle of one query execution inside the service.
+
+    Attributes:
+        query_id: service-wide monotonically increasing sequence number.
+        algorithm: executing index label ("IR2", "RTREE", ...).
+        keywords: the query's keywords.
+        k: requested result count.
+        cache: one of ``"hit"`` / ``"miss"`` / ``"bypass"``.
+        submitted_at: perf-counter time the query entered the service.
+        started_at: perf-counter time a worker picked it up.
+        finished_at: perf-counter time the execution completed.
+        random_reads: per-query random block reads.
+        sequential_reads: per-query sequential block reads.
+        objects_loaded: per-query logical object loads.
+        num_results: number of results returned.
+        worker: name of the thread that executed the query.
+        error: exception message when the execution failed, else None.
+    """
+
+    query_id: int
+    algorithm: str = ""
+    keywords: tuple[str, ...] = ()
+    k: int = 0
+    cache: str = CACHE_BYPASS
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    random_reads: int = 0
+    sequential_reads: int = 0
+    objects_loaded: int = 0
+    num_results: int = 0
+    worker: str = ""
+    error: str | None = None
+
+    @property
+    def queue_wait_ms(self) -> float:
+        """Milliseconds the query waited before a worker picked it up."""
+        return max(0.0, self.started_at - self.submitted_at) * 1000.0
+
+    @property
+    def search_ms(self) -> float:
+        """Milliseconds the search itself took (cache hits are ~0)."""
+        return max(0.0, self.finished_at - self.started_at) * 1000.0
+
+    @property
+    def total_ms(self) -> float:
+        """Milliseconds from submission to completion."""
+        return max(0.0, self.finished_at - self.submitted_at) * 1000.0
+
+    def as_dict(self) -> dict:
+        """JSON-serializable view of the span (the ``--serve-trace`` rows)."""
+        return {
+            "query_id": self.query_id,
+            "algorithm": self.algorithm,
+            "keywords": list(self.keywords),
+            "k": self.k,
+            "cache": self.cache,
+            "queue_wait_ms": self.queue_wait_ms,
+            "search_ms": self.search_ms,
+            "total_ms": self.total_ms,
+            "random_reads": self.random_reads,
+            "sequential_reads": self.sequential_reads,
+            "objects_loaded": self.objects_loaded,
+            "num_results": self.num_results,
+            "worker": self.worker,
+            "error": self.error,
+        }
+
+
+class TraceLog:
+    """Append-only, thread-safe collection of :class:`TraceSpan` objects.
+
+    Args:
+        capacity: maximum retained spans; the oldest are dropped once the
+            log is full.  ``None`` retains everything.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("trace log capacity must be >= 1 (or None)")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._spans: list[TraceSpan] = []
+        self._dropped = 0
+
+    def append(self, span: TraceSpan) -> None:
+        """Record one finished span."""
+        with self._lock:
+            self._spans.append(span)
+            if self.capacity is not None and len(self._spans) > self.capacity:
+                overflow = len(self._spans) - self.capacity
+                del self._spans[:overflow]
+                self._dropped += overflow
+
+    def spans(self) -> list[TraceSpan]:
+        """A snapshot of the retained spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted because the log reached its capacity."""
+        with self._lock:
+            return self._dropped
+
+    def clear(self) -> None:
+        """Forget every retained span (the drop counter too)."""
+        with self._lock:
+            self._spans = []
+            self._dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def as_dicts(self) -> list[dict]:
+        """Every retained span as a JSON-ready dict."""
+        return [span.as_dict() for span in self.spans()]
+
+    def dump_json(self, path: str, extra: dict | None = None) -> None:
+        """Write the spans (plus optional metadata) to ``path`` as JSON."""
+        payload = dict(extra or {})
+        payload["spans"] = self.as_dicts()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)

@@ -13,7 +13,7 @@ from repro.storage.block import (
     InMemoryBlockDevice,
 )
 from repro.storage.cache import BufferPoolDevice
-from repro.storage.iostats import AccessCounts, IOStats
+from repro.storage.iostats import AccessCounts, IOStats, collecting_io
 from repro.storage.objectstore import OBJECT_CATEGORY, ObjectStore, decode_row, encode_row
 from repro.storage.pagestore import PageStore
 from repro.storage.serialization import (
@@ -43,6 +43,7 @@ __all__ = [
     "ObjectStore",
     "PageStore",
     "blocks_per_node",
+    "collecting_io",
     "decode_node",
     "decode_row",
     "encode_node",

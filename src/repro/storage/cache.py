@@ -11,10 +11,18 @@ blocks from memory.  Cache hits are recorded separately and do **not**
 count as disk accesses; the wrapped device's stats continue to reflect
 true disk traffic.  Writes are write-through (the paper's trees store
 nodes eagerly), updating the cached copy.
+
+The pool is safe under concurrent readers and writers: one reentrant lock
+protects the LRU map and the hit/miss counters together, so
+``hits + misses`` always equals the number of ``read_block`` calls and a
+reader can never observe a torn cache entry.  The serving layer
+(:mod:`repro.serve`) relies on this when many query threads share one
+buffered device.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.storage.block import BlockDevice
@@ -35,6 +43,7 @@ class BufferPoolDevice(BlockDevice):
         self.inner = inner
         self.capacity_blocks = capacity_blocks
         self._cache: OrderedDict[int, bytes] = OrderedDict()
+        self._pool_lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
@@ -55,25 +64,27 @@ class BufferPoolDevice(BlockDevice):
 
     def read_block(self, block_id: int, category: str = "data") -> bytes:
         """Serve from cache when possible; otherwise read through."""
-        cached = self._cache.get(block_id)
-        if cached is not None:
-            self._cache.move_to_end(block_id)
-            self.hits += 1
-            return cached
-        self.misses += 1
-        data = self.inner.read_block(block_id, category)
-        self._admit(block_id, data)
-        return data
+        with self._pool_lock:
+            cached = self._cache.get(block_id)
+            if cached is not None:
+                self._cache.move_to_end(block_id)
+                self.hits += 1
+                return cached
+            self.misses += 1
+            data = self.inner.read_block(block_id, category)
+            self._admit(block_id, data)
+            return data
 
     def write_block(self, block_id: int, data: bytes, category: str = "data") -> None:
         """Write through to the inner device and refresh the cached copy."""
-        self.inner.write_block(block_id, data, category)
-        padded = data.ljust(self.block_size, b"\x00")
-        if block_id in self._cache:
-            self._cache[block_id] = padded
-            self._cache.move_to_end(block_id)
-        else:
-            self._admit(block_id, padded)
+        with self._pool_lock:
+            self.inner.write_block(block_id, data, category)
+            padded = data.ljust(self.block_size, b"\x00")
+            if block_id in self._cache:
+                self._cache[block_id] = padded
+                self._cache.move_to_end(block_id)
+            else:
+                self._admit(block_id, padded)
 
     def _admit(self, block_id: int, data: bytes) -> None:
         self._cache[block_id] = data
@@ -88,6 +99,7 @@ class BufferPoolDevice(BlockDevice):
 
     def clear(self) -> None:
         """Drop every cached block and reset hit/miss counters."""
-        self._cache.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._pool_lock:
+            self._cache.clear()
+            self.hits = 0
+            self.misses = 0

@@ -17,11 +17,61 @@ in the paper's figures.
 Counters are additionally broken down by a free-form *category* string
 ("node", "object", "postings", ...) so experiments can report object
 accesses (Figures 11b and 14b) separately from index-node accesses.
+
+Concurrency
+-----------
+
+Counter updates are read-modify-write sequences, so every mutation is
+protected by a per-``IOStats`` lock: devices shared between threads (the
+serving layer in :mod:`repro.serve` dispatches queries across a pool)
+never lose counts.  Per-*execution* accounting cannot come from
+snapshot/diff of a shared device under concurrency — another thread's
+accesses would land inside the window — so :func:`collecting_io` installs
+a **thread-local collector**: every access the *current thread* records on
+any device is also tallied (with its already-decided random/sequential
+classification) into a private :class:`IOStats`, giving each query its own
+isolated I/O delta regardless of what other threads do.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
+
+#: Thread-local stack of active per-execution collectors.
+_collectors = threading.local()
+
+
+def _collector_stack() -> list["IOStats"]:
+    stack = getattr(_collectors, "stack", None)
+    if stack is None:
+        stack = _collectors.stack = []
+    return stack
+
+
+@contextmanager
+def collecting_io() -> Iterator["IOStats"]:
+    """Collect every I/O event the current thread records, on any device.
+
+    Usage::
+
+        with collecting_io() as io:
+            run_query()
+        print(io.random_reads)  # this thread's accesses only
+
+    Collectors nest (each active collector on the thread receives every
+    event) and are invisible to other threads, which is what makes
+    per-query accounting exact under concurrent execution.
+    """
+    collector = IOStats()
+    stack = _collector_stack()
+    stack.append(collector)
+    try:
+        yield collector
+    finally:
+        stack.remove(collector)
 
 
 @dataclass
@@ -60,30 +110,56 @@ class IOStats:
     by_category: dict = field(default_factory=dict)
     objects_loaded: int = 0
     _last_block: int | None = field(default=None, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def record_read(self, block_id: int, category: str = "data") -> bool:
         """Record a read of ``block_id``; return True if it was sequential."""
-        is_seq = self._classify(block_id)
-        if is_seq:
-            self.sequential.reads += 1
-        else:
-            self.random.reads += 1
-        self._bump(category, 0 if not is_seq else 1)
+        with self._lock:
+            is_seq = self._classify(block_id)
+            self._tally_read(is_seq, category)
+        for collector in _collector_stack():
+            if collector is not self:
+                with collector._lock:
+                    collector._tally_read(is_seq, category)
         return is_seq
 
     def record_write(self, block_id: int, category: str = "data") -> bool:
         """Record a write of ``block_id``; return True if it was sequential."""
-        is_seq = self._classify(block_id)
-        if is_seq:
-            self.sequential.writes += 1
-        else:
-            self.random.writes += 1
-        self._bump(category, 2 if not is_seq else 3)
+        with self._lock:
+            is_seq = self._classify(block_id)
+            self._tally_write(is_seq, category)
+        for collector in _collector_stack():
+            if collector is not self:
+                with collector._lock:
+                    collector._tally_write(is_seq, category)
         return is_seq
 
     def record_object_load(self, count: int = 1) -> None:
         """Record that ``count`` logical objects were materialized."""
-        self.objects_loaded += count
+        with self._lock:
+            self.objects_loaded += count
+        for collector in _collector_stack():
+            if collector is not self:
+                with collector._lock:
+                    collector.objects_loaded += count
+
+    def _tally_read(self, is_seq: bool, category: str) -> None:
+        """Apply one pre-classified read (caller holds the lock)."""
+        if is_seq:
+            self.sequential.reads += 1
+        else:
+            self.random.reads += 1
+        self._bump(category, 1 if is_seq else 0)
+
+    def _tally_write(self, is_seq: bool, category: str) -> None:
+        """Apply one pre-classified write (caller holds the lock)."""
+        if is_seq:
+            self.sequential.writes += 1
+        else:
+            self.random.writes += 1
+        self._bump(category, 3 if is_seq else 2)
 
     def _classify(self, block_id: int) -> bool:
         """Classify the access and advance the head position."""
@@ -143,20 +219,22 @@ class IOStats:
 
     def reset(self) -> None:
         """Zero every counter (head position is also forgotten)."""
-        self.random = AccessCounts()
-        self.sequential = AccessCounts()
-        self.by_category = {}
-        self.objects_loaded = 0
-        self._last_block = None
+        with self._lock:
+            self.random = AccessCounts()
+            self.sequential = AccessCounts()
+            self.by_category = {}
+            self.objects_loaded = 0
+            self._last_block = None
 
     def snapshot(self) -> "IOStats":
-        """Return a frozen copy of the current counters."""
-        snap = IOStats(
-            random=self.random.copy(),
-            sequential=self.sequential.copy(),
-            by_category={k: list(v) for k, v in self.by_category.items()},
-            objects_loaded=self.objects_loaded,
-        )
+        """Return a frozen, internally consistent copy of the counters."""
+        with self._lock:
+            snap = IOStats(
+                random=self.random.copy(),
+                sequential=self.sequential.copy(),
+                by_category={k: list(v) for k, v in self.by_category.items()},
+                objects_loaded=self.objects_loaded,
+            )
         return snap
 
     def diff(self, earlier: "IOStats") -> "IOStats":

@@ -129,6 +129,45 @@ class TestStats:
         assert "index kind          : IR2" in out
 
 
+class TestServe:
+    def test_serve_smoke(self, engine_dir, tmp_path, capsys):
+        """``python -m repro serve --serve-trace`` end to end."""
+        trace_path = str(tmp_path / "trace.json")
+        code = main(
+            ["serve", "--engine", engine_dir, "--queries", "12",
+             "--workers", "2", "--seed", "3", "--serve-trace", trace_path]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 12 queries with 2 workers" in out
+        assert "cache hits" in out
+
+        import json
+
+        payload = json.loads(open(trace_path).read())
+        assert payload["service"]["queries"] == 12
+        assert len(payload["spans"]) == 12
+        for span in payload["spans"]:
+            assert span["cache"] in ("hit", "miss")
+            assert span["queue_wait_ms"] >= 0.0
+            assert span["search_ms"] >= 0.0
+            for key in ("random_reads", "sequential_reads", "objects_loaded"):
+                assert isinstance(span[key], int)
+
+    def test_serve_no_cache(self, engine_dir, capsys):
+        code = main(
+            ["serve", "--engine", engine_dir, "--queries", "6",
+             "--workers", "2", "--no-cache"]
+        )
+        assert code == 0
+        assert "0 cache hits" in capsys.readouterr().out
+
+    def test_serve_missing_engine_fails_cleanly(self, tmp_path, capsys):
+        code = main(["serve", "--engine", str(tmp_path / "none")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

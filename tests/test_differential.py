@@ -1,0 +1,196 @@
+"""Cross-index differential harness: the five index kinds are answer-equivalent.
+
+The paper's central claim (§V-VI) is that the IR2-Tree returns *exactly*
+the same answers as the R-Tree baseline while doing fewer I/Os — answer
+equivalence across index kinds is therefore a perfect test oracle.  This
+harness builds every index kind ("ir2", "mir2", "rtree", "iio", "sig")
+over the same randomized corpora and checks each one's top-k list against
+an index-free brute-force oracle and against the others.
+
+Ties at the k-th distance need care: the tree algorithms break ties by
+heap insertion order while the scan baselines sort by (distance, oid), so
+two correct indexes may legitimately return *different* members of the
+tie group at rank k.  Equivalence is therefore asserted as:
+
+* identical result length and identical distance multiset (so the
+  distances agree everywhere, including inside the tie group);
+* every returned (oid, distance) pair is a true match at its true
+  distance;
+* the strict prefix — results closer than the k-th distance — is the
+  *identical set* across every index (it is uniquely determined);
+* no duplicate oids.
+
+For queries without ties at rank k this collapses to byte-identical
+(oid, distance) lists across all five kinds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import WorkloadGenerator
+from repro.core.engine import SpatialKeywordEngine
+from repro.core.query import SpatialKeywordQuery
+from repro.datasets import DatasetConfig, SpatialTextDatasetGenerator
+from repro.spatial.geometry import target_point_distance
+
+KINDS = ("ir2", "mir2", "rtree", "iio", "sig")
+
+#: Distances across algorithms come from the same float math; the oracle
+#: comparison still uses a tolerance to stay robust to summation order.
+EPS = 1e-9
+
+
+def build_engines(objects, signature_bytes=8):
+    """One engine per index kind, all over the same object list."""
+    engines = {}
+    for kind in KINDS:
+        engine = SpatialKeywordEngine(index=kind, signature_bytes=signature_bytes)
+        engine.add_all(objects)
+        engine.build()
+        engines[kind] = engine
+    return engines
+
+
+def oracle_matches(objects, analyzer, query):
+    """Every true match as (distance, oid), sorted — the full ground truth."""
+    terms = analyzer.query_terms(query.keywords)
+    return sorted(
+        (target_point_distance(obj.point, query.target), obj.oid)
+        for obj in objects
+        if analyzer.contains_all(obj.text, terms)
+    )
+
+
+def assert_equivalent(engines, objects, query):
+    """All index kinds answer ``query`` equivalently (tie-aware, see module)."""
+    analyzer = next(iter(engines.values())).corpus.analyzer
+    matches = oracle_matches(objects, analyzer, query)
+    expected_n = min(query.k, len(matches))
+    expected_dists = [d for d, _ in matches[:expected_n]]
+    true_distance = dict((oid, d) for d, oid in matches)
+    kth = expected_dists[-1] if expected_n else 0.0
+    expected_prefix = {
+        oid for d, oid in matches[:expected_n] if d < kth - EPS
+    }
+    for kind, engine in engines.items():
+        execution = engine.query(query.point, query.keywords, k=query.k)
+        got = [(r.distance, r.obj.oid) for r in execution.results]
+        label = f"{kind} on {query.keywords} k={query.k}"
+        assert len(got) == expected_n, label
+        oids = [oid for _, oid in got]
+        assert len(set(oids)) == len(oids), f"duplicate results: {label}"
+        for (distance, oid), expected in zip(got, expected_dists):
+            assert distance == pytest.approx(expected, abs=EPS), label
+            assert oid in true_distance, f"non-match returned: {label}"
+            assert distance == pytest.approx(true_distance[oid], abs=EPS), label
+        prefix = {oid for d, oid in got if d < kth - EPS}
+        assert prefix == expected_prefix, f"pre-tie prefix differs: {label}"
+
+
+def corpus_objects(n_objects, seed, vocabulary=300, avg_words=8, clusters=5):
+    config = DatasetConfig(
+        name=f"diff-{n_objects}-{seed}",
+        n_objects=n_objects,
+        vocabulary_size=vocabulary,
+        avg_unique_words=avg_words,
+        clusters=clusters,
+        seed=seed,
+    )
+    return SpatialTextDatasetGenerator(config).generate()
+
+
+class TestDifferentialFast:
+    """A small always-on slice of the sweep (the full sweep is @slow)."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        objects = corpus_objects(150, seed=11)
+        # 4-byte signatures: a deliberately high false-positive rate so
+        # the verification step, not signature luck, carries correctness.
+        engines = build_engines(objects, signature_bytes=4)
+        workload = WorkloadGenerator(
+            objects, engines["ir2"].corpus.analyzer, seed=5
+        )
+        return objects, engines, workload
+
+    @pytest.mark.parametrize("num_keywords,k", [(1, 5), (2, 3), (3, 10)])
+    def test_sampled_queries_agree(self, setup, num_keywords, k):
+        objects, engines, workload = setup
+        for query in workload.queries(4, num_keywords, k):
+            assert_equivalent(engines, objects, query)
+
+    def test_zero_match_keywords(self, setup):
+        objects, engines, _ = setup
+        query = SpatialKeywordQuery.of(
+            (0.0, 0.0), ["zzznope", "qqqmissing"], k=5
+        )
+        assert_equivalent(engines, objects, query)
+        for engine in engines.values():
+            assert engine.query((0.0, 0.0), ["zzznope"], k=5).results == []
+
+    def test_k_larger_than_matches(self, setup):
+        objects, engines, workload = setup
+        query = workload.query(num_keywords=3, k=10_000)
+        assert_equivalent(engines, objects, query)
+
+
+class TestTiesAtK:
+    """Handcrafted equidistant objects: the tie group at rank k."""
+
+    @pytest.fixture(scope="class")
+    def tie_setup(self):
+        # Four corners at distance sqrt(2) from the origin plus one object
+        # strictly closer and one strictly farther, all sharing a keyword.
+        objects_spec = [
+            (1, (0.5, 0.0), "cafe wifi"),
+            (2, (1.0, 1.0), "cafe garden"),
+            (3, (1.0, -1.0), "cafe garden"),
+            (4, (-1.0, 1.0), "cafe garden"),
+            (5, (-1.0, -1.0), "cafe garden"),
+            (6, (5.0, 5.0), "cafe remote"),
+        ]
+        from repro.model import SpatialObject
+
+        objects = [SpatialObject(oid, pt, text) for oid, pt, text in objects_spec]
+        return objects, build_engines(objects, signature_bytes=4)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 6, 7])
+    def test_every_cut_through_the_tie_group(self, tie_setup, k):
+        objects, engines = tie_setup
+        query = SpatialKeywordQuery.of((0.0, 0.0), ["cafe"], k=k)
+        assert_equivalent(engines, objects, query)
+
+    def test_untied_results_are_identical_lists(self, tie_setup):
+        """Without ties in play the five lists agree element for element."""
+        objects, engines = tie_setup
+        lists = {
+            kind: engine.query((0.0, 0.0), ["cafe"], k=1).oids
+            for kind, engine in engines.items()
+        }
+        assert all(oids == [1] for oids in lists.values()), lists
+
+
+@pytest.mark.slow
+class TestDifferentialSweep:
+    """The full property-style sweep: seeds x sizes x signature lengths."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("n_objects", [120, 400])
+    @pytest.mark.parametrize("signature_bytes", [2, 8, 16])
+    def test_sweep(self, seed, n_objects, signature_bytes):
+        objects = corpus_objects(n_objects, seed=seed)
+        engines = build_engines(objects, signature_bytes=signature_bytes)
+        workload = WorkloadGenerator(
+            objects, engines["ir2"].corpus.analyzer, seed=seed + 100
+        )
+        for num_keywords in (1, 2, 3):
+            for k in (1, 5, 20):
+                for query in workload.queries(3, num_keywords, k):
+                    assert_equivalent(engines, objects, query)
+        # Zero-match and oversized-k edges on every configuration.
+        assert_equivalent(
+            engines, objects,
+            SpatialKeywordQuery.of((0.0, 0.0), ["zzznope"], k=4),
+        )
+        assert_equivalent(engines, objects, workload.query(2, k=10 * n_objects))

@@ -63,6 +63,17 @@ class TestExamples:
         assert "IR2: 12 updates" in out
         assert "MIR2: 12 updates" in out
 
+    def test_concurrent_queries_small(self, capsys, monkeypatch):
+        module = load_example("concurrent_queries")
+        monkeypatch.setattr(module, "N_OBJECTS", 250)
+        monkeypatch.setattr(module, "N_QUERIES", 24)
+        monkeypatch.setattr(module, "WORKERS", 4)
+        module.main()  # contains its own parallel-vs-serial assertions
+        out = capsys.readouterr().out
+        assert "identical to serial execution" in out
+        assert "per-query I/O sums to device totals" in out
+        assert "new object ranked first" in out
+
     def test_every_example_has_a_test(self):
         """Guard: adding an example without a smoke test fails here."""
         scripts = {
@@ -76,5 +87,6 @@ class TestExamples:
             "yellow_pages",
             "signature_anatomy",
             "index_maintenance",
+            "concurrent_queries",
         }
         assert scripts == tested

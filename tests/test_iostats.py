@@ -138,3 +138,135 @@ class TestSnapshotDiffMerge:
         assert stats.objects_loaded == 0
         # Head position forgotten: next access is random even at block 4.
         assert stats.record_read(4) is False
+
+
+class TestConcurrency:
+    """Regression: counter increments are read-modify-write sequences and
+    used to race; the per-stats lock must lose no counts under contention."""
+
+    def test_no_lost_counts_under_contention(self):
+        import threading
+
+        stats = IOStats()
+        n_threads, ops_each = 8, 2000
+
+        def hammer(seed: int):
+            for i in range(ops_each):
+                stats.record_read(seed * ops_each + i, "node")
+                if i % 4 == 0:
+                    stats.record_write(seed, "node")
+                if i % 8 == 0:
+                    stats.record_object_load()
+
+        threads = [
+            threading.Thread(target=hammer, args=(s,)) for s in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.total_reads == n_threads * ops_each
+        assert stats.total_writes == n_threads * (ops_each // 4)
+        assert stats.objects_loaded == n_threads * (ops_each // 8)
+        # Per-category tallies balance the aggregate counters exactly.
+        assert stats.category_reads("node") == stats.total_reads
+
+    def test_concurrent_snapshots_are_internally_consistent(self):
+        import threading
+
+        stats = IOStats()
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            block = 0
+            while not stop.is_set():
+                stats.record_read(block, "node")
+                block += 1
+
+        def snapshotter():
+            for _ in range(300):
+                snap = stats.snapshot()
+                if snap.category_reads("node") != snap.total_reads:
+                    failures.append("snapshot tore between counters")
+                    return
+
+        w = threading.Thread(target=writer)
+        s = threading.Thread(target=snapshotter)
+        w.start()
+        s.start()
+        s.join()
+        stop.set()
+        w.join()
+        assert not failures
+
+
+class TestCollectingIO:
+    """Thread-local per-execution collectors (the serving layer's isolation)."""
+
+    def test_collector_sees_this_threads_events(self):
+        from repro.storage.iostats import collecting_io
+
+        device_stats = IOStats()
+        device_stats.record_read(0)  # before the window: not collected
+        with collecting_io() as io:
+            device_stats.record_read(10, "node")
+            device_stats.record_read(11, "node")
+            device_stats.record_object_load(2)
+        device_stats.record_read(99)  # after the window: not collected
+        assert io.total_reads == 2
+        assert io.random_reads == 1 and io.sequential_reads == 1
+        assert io.category_reads("node") == 2
+        assert io.objects_loaded == 2
+        assert device_stats.total_reads == 4
+
+    def test_collectors_nest(self):
+        from repro.storage.iostats import collecting_io
+
+        stats = IOStats()
+        with collecting_io() as outer:
+            stats.record_read(0)
+            with collecting_io() as inner:
+                stats.record_read(5)
+            stats.record_read(9)
+        assert inner.total_reads == 1
+        assert outer.total_reads == 3
+
+    def test_collector_spans_multiple_devices(self):
+        from repro.storage.iostats import collecting_io
+
+        a, b = IOStats(), IOStats()
+        with collecting_io() as io:
+            a.record_read(0)
+            b.record_read(0)
+            b.record_write(1)
+        assert io.total_reads == 2
+        assert io.total_writes == 1
+
+    def test_collector_is_invisible_to_other_threads(self):
+        import threading
+        from repro.storage.iostats import collecting_io
+
+        shared = IOStats()
+        ready = threading.Barrier(2)
+        collected: dict[str, int] = {}
+
+        def worker(name: str, base_block: int):
+            with collecting_io() as io:
+                ready.wait()
+                for i in range(500):
+                    shared.record_read(base_block + i)
+            collected[name] = io.total_reads
+
+        threads = [
+            threading.Thread(target=worker, args=("a", 0)),
+            threading.Thread(target=worker, args=("b", 100_000)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Each thread's collector saw exactly its own 500 reads, while the
+        # shared device counted all 1000.
+        assert collected == {"a": 500, "b": 500}
+        assert shared.total_reads == 1000

@@ -1,0 +1,288 @@
+"""Concurrency tests for the :mod:`repro.serve` query service."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.bench.workloads import ConcurrentLoadGenerator, WorkloadGenerator
+from repro.core.engine import SpatialKeywordEngine
+from repro.errors import ServiceError
+from repro.serve import QueryService, ReadWriteLock, TraceSpan
+from repro.serve.resultcache import QueryResultCache
+from repro.core.query import SpatialKeywordQuery
+
+
+@pytest.fixture
+def engine(small_objects) -> SpatialKeywordEngine:
+    eng = SpatialKeywordEngine(index="ir2", signature_bytes=8)
+    eng.add_all(small_objects)
+    eng.build()
+    return eng
+
+
+@pytest.fixture
+def workload(small_objects, engine) -> WorkloadGenerator:
+    return WorkloadGenerator(small_objects, engine.corpus.analyzer, seed=17)
+
+
+class TestConcurrentCorrectness:
+    def test_parallel_equals_serial(self, engine, workload):
+        """8 workers x 64 queries: results identical to serial execution."""
+        queries = workload.queries(64, num_keywords=2, k=10)
+        serial = [engine.query(q.point, q.keywords, k=q.k) for q in queries]
+        with QueryService(engine, workers=8, cache=False) as service:
+            parallel = service.run_batch(queries)
+        for s, p in zip(serial, parallel):
+            assert p.oids == s.oids
+            assert [r.distance for r in p.results] == [
+                r.distance for r in s.results
+            ]
+
+    def test_per_query_io_sums_to_device_totals(self, engine, workload):
+        """Isolated per-execution deltas add up to the global counters."""
+        queries = workload.queries(48, num_keywords=2, k=5)
+        engine.reset_io()
+        with QueryService(engine, workers=8, cache=False) as service:
+            executions = service.run_batch(queries)
+        totals = engine.io_stats()
+        assert sum(e.io.total_reads for e in executions) == totals.total_reads
+        assert sum(e.io.random_reads for e in executions) == totals.random_reads
+        assert (
+            sum(e.io.sequential_reads for e in executions)
+            == totals.sequential_reads
+        )
+        assert (
+            sum(e.io.objects_loaded for e in executions) == totals.objects_loaded
+        )
+        # The service's aggregate view agrees too.
+        stats = service.stats()
+        assert stats.io.total_reads == totals.total_reads
+        assert stats.queries == len(queries)
+
+    def test_mixed_hot_cold_batch_with_cache(self, engine, workload):
+        """A cache-enabled concurrent batch still matches serial answers."""
+        generator = ConcurrentLoadGenerator(
+            workload.objects, engine.corpus.analyzer, seed=3
+        )
+        batch = generator.batch(64, num_keywords=2, k=5, hot_fraction=0.6)
+        serial = {id(q): engine.query(q.point, q.keywords, k=q.k) for q in batch}
+        with QueryService(engine, workers=8, cache=True) as service:
+            parallel = service.run_batch(batch)
+        for query, execution in zip(batch, parallel):
+            assert execution.oids == serial[id(query)].oids
+        stats = service.stats()
+        assert stats.queries == 64
+        assert stats.cache_hits + stats.cache_misses == 64
+        assert stats.cache_hits > 0  # hot repeats must hit
+
+
+class TestTracing:
+    def test_every_execution_carries_a_populated_span(self, engine, workload):
+        queries = workload.queries(16, num_keywords=2, k=5)
+        with QueryService(engine, workers=4, cache=True) as service:
+            executions = service.run_batch(queries)
+        seen_ids = set()
+        for execution in executions:
+            span = execution.trace
+            assert isinstance(span, TraceSpan)
+            seen_ids.add(span.query_id)
+            assert span.algorithm == "IR2"
+            assert span.cache in ("hit", "miss")
+            assert span.keywords == execution.query.keywords
+            assert span.finished_at >= span.started_at >= span.submitted_at
+            assert span.queue_wait_ms >= 0.0
+            assert span.search_ms >= 0.0
+            assert span.num_results == len(execution.results)
+            if span.cache == "miss":
+                assert span.random_reads == execution.io.random_reads > 0
+            else:
+                assert span.random_reads == 0
+            assert span.worker.startswith("repro-query")
+        assert len(seen_ids) == 16  # distinct, service-assigned ids
+        assert len(service.trace_spans()) == 16
+
+    def test_trace_export_round_trips(self, engine, workload, tmp_path):
+        import json
+
+        path = str(tmp_path / "trace.json")
+        with QueryService(engine, workers=2) as service:
+            service.run_batch(workload.queries(6, 2, 5))
+            service.export_traces(path)
+        payload = json.loads(open(path).read())
+        assert payload["service"]["queries"] == 6
+        assert len(payload["spans"]) == 6
+        for row in payload["spans"]:
+            for key in ("queue_wait_ms", "search_ms", "cache", "random_reads"):
+                assert key in row
+
+    def test_trace_log_capacity_drops_oldest(self, engine, workload):
+        with QueryService(engine, workers=2, trace_capacity=4) as service:
+            service.run_batch(workload.queries(10, 1, 3))
+        assert len(service.trace_log) == 4
+        assert service.trace_log.dropped == 6
+
+
+class TestCacheSemantics:
+    def test_repeat_query_hits_and_costs_nothing(self, engine):
+        with QueryService(engine, workers=2, cache=True) as service:
+            first = service.query((0.5, 0.5), ["internet"], k=3)
+            second = service.query((0.5, 0.5), ["internet"], k=3)
+        assert second.oids == first.oids
+        assert first.trace.cache == "miss"
+        assert second.trace.cache == "hit"
+        assert second.io.total_accesses == 0
+        assert second.objects_inspected == 0
+
+    def test_add_object_and_rebuild_invalidate(self, engine, workload):
+        """The satellite's scenario: cache flushed by add_object + build."""
+        query = workload.query(num_keywords=1, k=5)
+        point, keywords = query.point, list(query.keywords)
+        with QueryService(engine, workers=2, cache=True) as service:
+            before = service.query(point, keywords, k=5)
+            assert service.query(point, keywords, k=5).trace.cache == "hit"
+            generation = service.cache.generation
+            # Insert an object right at the query point carrying the keyword.
+            service.add_object(999_999, point, " ".join(keywords) + " new")
+            service.build()  # full rebuild over the grown corpus
+            assert service.cache.generation == generation + 2
+            after = service.query(point, keywords, k=5)
+            assert after.trace.cache == "miss"
+            assert after.oids[0] == 999_999
+            assert before.oids[0] != 999_999
+
+    def test_delete_invalidates(self, engine, workload):
+        query = workload.query(num_keywords=1, k=3)
+        with QueryService(engine, workers=2, cache=True) as service:
+            first = service.query(query.point, list(query.keywords), k=3)
+            victim = first.oids[0]
+            assert service.delete(victim) is True
+            after = service.query(query.point, list(query.keywords), k=3)
+            assert after.trace.cache == "miss"
+            assert victim not in after.oids
+
+    def test_distinct_k_are_distinct_entries(self, engine):
+        with QueryService(engine, workers=2, cache=True) as service:
+            service.query((0.5, 0.5), ["internet"], k=2)
+            third = service.query((0.5, 0.5), ["internet"], k=3)
+        assert third.trace.cache == "miss"
+
+    def test_writes_interleaved_with_reads_stay_consistent(self, engine, workload):
+        """Mutations and queries race; every answer must be internally sane."""
+        queries = workload.queries(30, num_keywords=1, k=5)
+        errors = []
+        with QueryService(engine, workers=4, cache=True) as service:
+            def mutate():
+                try:
+                    for i in range(10):
+                        service.add_object(
+                            1_000_000 + i, (0.1 * i, 0.1 * i), f"word{i} extra"
+                        )
+                except Exception as exc:  # pragma: no cover - fail loud
+                    errors.append(exc)
+
+            thread = threading.Thread(target=mutate)
+            thread.start()
+            executions = service.run_batch(queries)
+            thread.join()
+        assert not errors
+        for execution in executions:
+            distances = [r.distance for r in execution.results]
+            assert distances == sorted(distances)
+
+
+class TestLifecycle:
+    def test_submit_after_close_raises(self, engine):
+        service = QueryService(engine, workers=1)
+        service.close()
+        with pytest.raises(ServiceError):
+            service.submit((0, 0), ["internet"])
+
+    def test_engine_serve_convenience(self, engine):
+        with engine.serve(workers=2, cache=False) as service:
+            assert isinstance(service, QueryService)
+            execution = service.query((0.5, 0.5), ["internet"], k=1)
+        assert execution.algorithm == "IR2"
+        assert service.cache is None
+
+    def test_workers_must_be_positive(self, engine):
+        with pytest.raises(ServiceError):
+            QueryService(engine, workers=0)
+
+    def test_query_error_propagates_and_is_counted(self, engine, monkeypatch):
+        with QueryService(engine, workers=1) as service:
+            future = service.submit_query(
+                SpatialKeywordQuery.of((0, 0), ["internet"], k=1)
+            )
+            future.result()
+
+            def explode(query):
+                raise RuntimeError("disk on fire")
+
+            monkeypatch.setattr(engine.index, "execute", explode)
+            with pytest.raises(RuntimeError, match="disk on fire"):
+                service.query((1, 1), ["internet"], k=1)
+        stats = service.stats()
+        assert stats.errors == 1
+        failed = [s for s in service.trace_spans() if s.error]
+        assert len(failed) == 1
+
+
+class TestReadWriteLock:
+    def test_readers_share_writers_exclude(self):
+        lock = ReadWriteLock()
+        state = {"readers": 0, "max_readers": 0, "writer_saw_readers": False}
+        gate = threading.Barrier(4)
+
+        def reader():
+            gate.wait()
+            with lock.read_locked():
+                state["readers"] += 1
+                state["max_readers"] = max(state["max_readers"], state["readers"])
+                threading.Event().wait(0.02)
+                state["readers"] -= 1
+
+        def writer():
+            gate.wait()
+            with lock.write_locked():
+                if state["readers"]:
+                    state["writer_saw_readers"] = True
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        threads.append(threading.Thread(target=writer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert state["max_readers"] >= 2  # readers genuinely overlapped
+        assert state["writer_saw_readers"] is False
+
+
+class TestResultCacheUnit:
+    def test_lru_eviction(self):
+        cache = QueryResultCache(capacity=2)
+        queries = [
+            SpatialKeywordQuery.of((i, i), ["w"], k=1) for i in range(3)
+        ]
+        from repro.core.query import QueryExecution
+
+        for q in queries:
+            cache.put(q, QueryExecution(query=q, results=[]))
+        assert len(cache) == 2
+        assert queries[0] not in cache
+        assert queries[2] in cache
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            QueryResultCache(capacity=0)
+
+    def test_hit_rate(self):
+        cache = QueryResultCache(capacity=4)
+        q = SpatialKeywordQuery.of((0, 0), ["w"], k=1)
+        assert cache.get(q) is None
+        from repro.core.query import QueryExecution
+
+        cache.put(q, QueryExecution(query=q, results=[]))
+        assert cache.get(q) is not None
+        assert cache.hit_rate == 0.5

@@ -97,3 +97,41 @@ class TestBatchHelpers:
         for original, cut in zip(base, narrowed):
             assert cut.keywords == original.keywords[:2]
             assert cut.k == original.k
+
+
+class TestConcurrentLoadGenerator:
+    def test_hot_queries_repeat(self, small_objects):
+        from repro.bench import ConcurrentLoadGenerator
+
+        generator = ConcurrentLoadGenerator(small_objects, DEFAULT_ANALYZER, seed=5)
+        batch = generator.batch(80, num_keywords=2, k=5, hot_fraction=0.6,
+                                hot_pool=4)
+        assert len(batch) == 80
+        counts: dict = {}
+        for query in batch:
+            counts[(query.point, query.keywords)] = (
+                counts.get((query.point, query.keywords), 0) + 1
+            )
+        # A hot pool of 4 over ~48 hot slots must repeat some query a lot.
+        assert max(counts.values()) >= 5
+
+    def test_deterministic(self, small_objects):
+        from repro.bench import ConcurrentLoadGenerator
+
+        a = ConcurrentLoadGenerator(small_objects, DEFAULT_ANALYZER, seed=7)
+        b = ConcurrentLoadGenerator(small_objects, DEFAULT_ANALYZER, seed=7)
+        assert a.batch(30, 2, 5) == b.batch(30, 2, 5)
+
+    def test_zero_hot_fraction_is_all_cold(self, small_objects):
+        from repro.bench import ConcurrentLoadGenerator
+
+        generator = ConcurrentLoadGenerator(small_objects, DEFAULT_ANALYZER, seed=5)
+        batch = generator.batch(20, num_keywords=1, k=3, hot_fraction=0.0)
+        assert len(batch) == 20
+
+    def test_invalid_hot_fraction_rejected(self, small_objects):
+        from repro.bench import ConcurrentLoadGenerator
+
+        generator = ConcurrentLoadGenerator(small_objects, DEFAULT_ANALYZER, seed=5)
+        with pytest.raises(DatasetError):
+            generator.batch(10, hot_fraction=1.5)
