@@ -27,7 +27,7 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 from repro.core.engine import SpatialKeywordEngine
@@ -117,7 +117,7 @@ class ServiceStats:
     cache_hits: int = 0
     cache_misses: int = 0
     errors: int = 0
-    io: IOStats = None  # type: ignore[assignment]
+    io: IOStats = field(default_factory=IOStats)
     queue_wait_ms_total: float = 0.0
     search_ms_total: float = 0.0
 
@@ -145,14 +145,14 @@ class ServiceStats:
             "errors": self.errors,
             "avg_queue_wait_ms": self.avg_queue_wait_ms,
             "avg_search_ms": self.avg_search_ms,
-            "random_reads": self.io.random_reads if self.io else 0,
-            "sequential_reads": self.io.sequential_reads if self.io else 0,
-            "objects_loaded": self.io.objects_loaded if self.io else 0,
+            "random_reads": self.io.random_reads,
+            "sequential_reads": self.io.sequential_reads,
+            "objects_loaded": self.io.objects_loaded,
         }
 
     def summary(self) -> str:
         """One-line human-readable summary."""
-        io = self.io or IOStats()
+        io = self.io
         return (
             f"{self.queries} queries ({self.cache_hits} cache hits, "
             f"{self.errors} errors), avg wait {self.avg_queue_wait_ms:.2f} ms, "
@@ -221,9 +221,13 @@ class QueryService:
         """Asynchronously run an already-constructed query."""
         if self._closed:
             raise ServiceError("cannot submit to a closed QueryService")
-        return self._pool.submit(
-            self._execute, query, next(self._qid), time.perf_counter()
-        )
+        try:
+            return self._pool.submit(
+                self._execute, query, next(self._qid), time.perf_counter()
+            )
+        except RuntimeError as exc:
+            # close() ran between the _closed check and the submit.
+            raise ServiceError("cannot submit to a closed QueryService") from exc
 
     def query(
         self, point: Sequence[float], keywords: Sequence[str], k: int = 10

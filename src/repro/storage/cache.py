@@ -12,12 +12,19 @@ count as disk accesses; the wrapped device's stats continue to reflect
 true disk traffic.  Writes are write-through (the paper's trees store
 nodes eagerly), updating the cached copy.
 
-The pool is safe under concurrent readers and writers: one reentrant lock
-protects the LRU map and the hit/miss counters together, so
-``hits + misses`` always equals the number of ``read_block`` calls and a
-reader can never observe a torn cache entry.  The serving layer
-(:mod:`repro.serve`) relies on this when many query threads share one
-buffered device.
+The pool is safe under concurrent readers and writers, and cache hits are
+not serialized behind in-flight disk reads: a short *pool lock* protects
+the LRU map and the hit/miss counters (so ``hits + misses`` always equals
+the number of ``read_block`` calls and a reader can never observe a torn
+cache entry), while a separate *inner lock* serializes access to the
+wrapped device only — its backends (notably
+:class:`~repro.storage.block.FileBlockDevice` with its single shared file
+handle) are not themselves safe under interleaved raw reads and writes.
+A miss releases the pool lock while the block is fetched, re-checks the
+cache before admitting, and skips admission entirely if any write landed
+in the window, so concurrent hits proceed and stale data is never cached.
+The serving layer (:mod:`repro.serve`) relies on this when many query
+threads share one buffered device.
 """
 
 from __future__ import annotations
@@ -44,6 +51,8 @@ class BufferPoolDevice(BlockDevice):
         self.capacity_blocks = capacity_blocks
         self._cache: OrderedDict[int, bytes] = OrderedDict()
         self._pool_lock = threading.RLock()
+        self._inner_lock = threading.Lock()
+        self._write_epoch = 0
         self.hits = 0
         self.misses = 0
 
@@ -63,7 +72,11 @@ class BufferPoolDevice(BlockDevice):
         self.inner._grow_to(num_blocks)
 
     def read_block(self, block_id: int, category: str = "data") -> bytes:
-        """Serve from cache when possible; otherwise read through."""
+        """Serve from cache when possible; otherwise read through.
+
+        The pool lock is released while the inner device is read, so hits
+        on other blocks proceed while a miss is on disk.
+        """
         with self._pool_lock:
             cached = self._cache.get(block_id)
             if cached is not None:
@@ -71,14 +84,29 @@ class BufferPoolDevice(BlockDevice):
                 self.hits += 1
                 return cached
             self.misses += 1
+            epoch = self._write_epoch
+        with self._inner_lock:
             data = self.inner.read_block(block_id, category)
-            self._admit(block_id, data)
+        with self._pool_lock:
+            current = self._cache.get(block_id)
+            if current is not None:
+                # Another miss (or a write-through) populated the entry
+                # while we were on disk; theirs is at least as fresh.
+                self._cache.move_to_end(block_id)
+                return current
+            if self._write_epoch == epoch:
+                self._admit(block_id, data)
+            # else: a write landed during our disk read and its cached
+            # copy was already evicted — admitting `data` could cache a
+            # pre-write block image, so serve it uncached instead.
             return data
 
     def write_block(self, block_id: int, data: bytes, category: str = "data") -> None:
         """Write through to the inner device and refresh the cached copy."""
         with self._pool_lock:
-            self.inner.write_block(block_id, data, category)
+            with self._inner_lock:
+                self.inner.write_block(block_id, data, category)
+            self._write_epoch += 1
             padded = data.ljust(self.block_size, b"\x00")
             if block_id in self._cache:
                 self._cache[block_id] = padded

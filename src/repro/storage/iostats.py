@@ -71,7 +71,14 @@ def collecting_io() -> Iterator["IOStats"]:
     try:
         yield collector
     finally:
-        stack.remove(collector)
+        # Remove by identity, not equality: IOStats is a dataclass whose
+        # generated __eq__ compares counter values, and nested collectors
+        # that saw the same events are equal — list.remove() would delete
+        # the wrong (usually the outer) one.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is collector:
+                del stack[i]
+                break
 
 
 @dataclass

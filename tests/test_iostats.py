@@ -232,6 +232,36 @@ class TestCollectingIO:
         assert inner.total_reads == 1
         assert outer.total_reads == 3
 
+    def test_collectors_nest_with_equal_counters(self):
+        # Regression: with no I/O between the two entries, inner and outer
+        # hold equal counter values at the inner exit; teardown must remove
+        # the *inner* collector (by identity), not whichever compares equal.
+        from repro.storage.iostats import collecting_io
+
+        stats = IOStats()
+        with collecting_io() as outer:
+            with collecting_io() as inner:
+                stats.record_read(0)
+            # The outer collector must still be installed here.
+            stats.record_read(10)
+        assert inner.total_reads == 1
+        assert outer.total_reads == 2
+
+    def test_sequential_exported_collectors_stay_isolated(self):
+        # Regression: two back-to-back collecting_io() windows must each see
+        # only their own window's I/O, even though the first collector's
+        # counters may equal the second's at teardown time.
+        from repro.storage.iostats import collecting_io
+
+        stats = IOStats()
+        with collecting_io() as first:
+            stats.record_read(0)
+            stats.record_read(1)
+        with collecting_io() as second:
+            stats.record_read(100)
+        assert first.total_reads == 2
+        assert second.total_reads == 1
+
     def test_collector_spans_multiple_devices(self):
         from repro.storage.iostats import collecting_io
 

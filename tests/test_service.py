@@ -199,6 +199,16 @@ class TestLifecycle:
         with pytest.raises(ServiceError):
             service.submit((0, 0), ["internet"])
 
+    def test_submit_racing_close_raises_service_error(self, engine):
+        # Simulate close() winning the race just after the _closed check:
+        # the executor rejects the submit with RuntimeError, which must
+        # surface as ServiceError, not leak through.
+        service = QueryService(engine, workers=1)
+        service._pool.shutdown(wait=True)
+        with pytest.raises(ServiceError):
+            service.submit((0, 0), ["internet"])
+        service.close()
+
     def test_engine_serve_convenience(self, engine):
         with engine.serve(workers=2, cache=False) as service:
             assert isinstance(service, QueryService)
@@ -209,6 +219,14 @@ class TestLifecycle:
     def test_workers_must_be_positive(self, engine):
         with pytest.raises(ServiceError):
             QueryService(engine, workers=0)
+
+    def test_default_service_stats_has_real_io(self):
+        from repro.serve.service import ServiceStats
+
+        stats = ServiceStats()
+        assert stats.io.random_reads == 0
+        assert stats.as_dict()["random_reads"] == 0
+        assert stats.summary().startswith("0 queries")
 
     def test_query_error_propagates_and_is_counted(self, engine, monkeypatch):
         with QueryService(engine, workers=1) as service:
