@@ -1,0 +1,128 @@
+"""Shard scaling — scatter-gather fan-out vs one monolithic engine.
+
+Reports per-query latency and aggregate I/O for the same IR2 corpus
+served by 1, 2, 4, and 8 shards.  Answers must stay identical (tie-aware)
+at every shard count — sharding is an execution strategy, never a
+semantics change.  The interesting trade: partition-MBB pruning skips
+whole shards (fewer blocks touched at higher counts on clustered data),
+while fan-out adds per-shard fixed costs (each opened shard pays its own
+root-to-leaf descent).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit_text
+from repro.bench import format_table
+from repro.bench.workloads import WorkloadGenerator
+from repro.core.engine import SpatialKeywordEngine
+from repro.datasets import DatasetConfig, SpatialTextDatasetGenerator
+from repro.shard import ShardedEngine
+
+N_OBJECTS = 1_500
+N_QUERIES = 24
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def _corpus():
+    config = DatasetConfig(
+        name="shard-scaling",
+        n_objects=N_OBJECTS,
+        vocabulary_size=3_000,
+        avg_unique_words=25,
+        clusters=8,
+        seed=17,
+    )
+    return SpatialTextDatasetGenerator(config).generate()
+
+
+def _queries(objects, analyzer):
+    workload = WorkloadGenerator(objects, analyzer, seed=6)
+    return workload.queries(N_QUERIES, 2, 10)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    objects = _corpus()
+    single = SpatialKeywordEngine(index="ir2")
+    single.add_all(objects)
+    single.build()
+    queries = _queries(objects, single.analyzer)
+
+    reference = [
+        sorted((round(r.distance, 9), r.obj.oid) for r in single.search(q).results)
+        for q in queries
+    ]
+
+    rows = []
+    measured = {}
+    for n_shards in SHARD_COUNTS:
+        engine = ShardedEngine(n_shards=n_shards, index="ir2")
+        engine.add_all(objects)
+        engine.build()
+        executions = [engine.search(q) for q in queries]
+        answers = [
+            sorted((round(r.distance, 9), r.obj.oid) for r in e.results)
+            for e in executions
+        ]
+        random_reads = sum(e.io.random_reads for e in executions)
+        seq_reads = sum(e.io.sequential_reads for e in executions)
+        nodes = sum(e.nodes_visited for e in executions)
+        simulated = sum(e.simulated_ms() for e in executions)
+        pruned = sum(
+            sum(1 for r in e.shards if r["pruned"]) for e in executions
+        )
+        rows.append((
+            n_shards,
+            round(random_reads / N_QUERIES, 1),
+            round(seq_reads / N_QUERIES, 1),
+            round(nodes / N_QUERIES, 1),
+            round(simulated / N_QUERIES, 2),
+            round(pruned / N_QUERIES, 2),
+        ))
+        measured[n_shards] = answers
+        engine.close()
+    text = format_table(
+        ("Shards", "Rand reads/q", "Seq reads/q", "Nodes/q",
+         "Simulated ms/q", "Shards pruned/q"),
+        rows,
+        title=f"Shard scaling: IR2 scatter-gather ({N_OBJECTS} objects, "
+              f"{N_QUERIES} queries)",
+    )
+    emit_text("shard_scaling", text)
+    return reference, measured
+
+
+def test_sharding_preserves_answers(comparison):
+    """Every shard count returns the single engine's (distance, oid) sets."""
+    reference, measured = comparison
+    for n_shards, answers in measured.items():
+        for got, expected in zip(answers, reference):
+            got_dists = [d for d, _ in got]
+            expected_dists = [d for d, _ in expected]
+            assert got_dists == expected_dists, f"n_shards={n_shards}"
+
+
+@pytest.mark.parametrize(
+    "n_shards", SHARD_COUNTS, ids=[f"shards{n}" for n in SHARD_COUNTS]
+)
+def test_shard_query_wallclock(benchmark, comparison, n_shards):
+    """Wall-clock of the query batch at each shard count."""
+    objects = _corpus()
+    engine = (
+        ShardedEngine(n_shards=n_shards, index="ir2")
+        if n_shards > 1
+        else SpatialKeywordEngine(index="ir2")
+    )
+    engine.add_all(objects)
+    engine.build()
+    queries = _queries(objects, engine.analyzer)[:8]
+
+    def run():
+        for query in queries:
+            engine.search(query)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+    if isinstance(engine, ShardedEngine):
+        engine.close()

@@ -15,6 +15,9 @@ The package implements the paper's complete system in pure Python:
 * :mod:`repro.datasets` — synthetic Hotels/Restaurants generators that
   stand in for the paper's (defunct) HPDRC datasets, plus the Figure-1
   running example;
+* :mod:`repro.shard` — spatial partitioning plus the
+  :class:`~repro.shard.ShardedEngine` scatter-gather engine, the same
+  API over N partitioned engines;
 * :mod:`repro.bench` — the experiment harness regenerating every table
   and figure of the evaluation section.
 
@@ -34,14 +37,16 @@ from repro.core.engine import SpatialKeywordEngine
 from repro.core.query import QueryExecution, SpatialKeywordQuery
 from repro.core.ranking import DistanceDecayRanking, LinearRanking
 from repro.model import SearchResult, SpatialObject
+from repro.shard import ShardedEngine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DistanceDecayRanking",
     "LinearRanking",
     "QueryExecution",
     "SearchResult",
+    "ShardedEngine",
     "SpatialKeywordEngine",
     "SpatialKeywordQuery",
     "SpatialObject",

@@ -28,6 +28,7 @@ Five subcommands cover the typical lifecycle:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -42,6 +43,7 @@ from repro.datasets import (
 )
 from repro.errors import ReproError
 from repro.persist import load_engine, save_engine
+from repro.shard import ShardedEngine
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,6 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="IIO posting codec (ignored by other indexes)")
     build.add_argument("--insert-build", action="store_true",
                        help="build by repeated insertion instead of bulk load")
+    build.add_argument("--shards", type=int, default=1,
+                       help="partition the dataset across N engines "
+                            "(1 = a plain single engine)")
+    build.add_argument("--partitioner", choices=("kd", "grid"), default="kd",
+                       help="spatial partitioning strategy for --shards > 1")
 
     query = commands.add_parser(
         "query", help="run a top-k spatial keyword query"
@@ -90,6 +97,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--ranked", action="store_true",
                        help="rank by f(distance, IRscore) instead of "
                             "conjunctive distance-first")
+    query.add_argument("--json", action="store_true",
+                       help="print the full execution payload as JSON "
+                            "instead of the human-readable listing")
 
     stats = commands.add_parser(
         "stats", help="dataset and index statistics for a saved engine"
@@ -113,7 +123,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-cache", action="store_true",
                        help="disable the result cache")
     serve.add_argument("--serve-trace", metavar="PATH",
-                       help="write per-query trace spans as JSON to PATH")
+                       help="write per-query trace spans and execution "
+                            "payloads as JSON to PATH")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="re-partition the loaded engine across N shards "
+                            "before serving (0 = keep the saved layout)")
     return parser
 
 
@@ -148,20 +162,26 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_build(args) -> int:
-    engine = SpatialKeywordEngine(
+    engine_kwargs = dict(
         index=args.index,
         signature_bytes=args.signature_bytes,
         bits_per_word=args.bits_per_word,
         block_size=args.block_size,
         compression=args.compression,
     )
+    if args.shards > 1:
+        engine = ShardedEngine(
+            n_shards=args.shards, partitioner=args.partitioner, **engine_kwargs
+        )
+    else:
+        engine = SpatialKeywordEngine(**engine_kwargs)
     count = 0
     for obj in iter_tsv(args.data):
         engine.add(obj)
         count += 1
     engine.build(bulk=not args.insert_build)
     manifest = save_engine(engine, args.out)
-    print(f"indexed {count} objects with {args.index.upper()}, "
+    print(f"indexed {count} objects with {_engine_label(engine)}, "
           f"saved to {manifest}")
     print(f"index size: {engine.index_size_mb():.2f} MB")
     return 0
@@ -173,6 +193,9 @@ def _cmd_query(args) -> int:
         execution = engine.query_ranked(tuple(args.point), args.keywords, k=args.k)
     else:
         execution = engine.query(tuple(args.point), args.keywords, k=args.k)
+    if args.json:
+        print(json.dumps(execution.to_dict(), indent=2, sort_keys=True))
+        return 0
     if not execution.results:
         print("no results")
     for rank, result in enumerate(execution.results, start=1):
@@ -194,7 +217,7 @@ def _cmd_stats(args) -> int:
     print(f"avg unique words/obj: {stats.avg_unique_words_per_object:.1f}")
     print(f"unique words        : {stats.unique_words}")
     print(f"avg blocks/object   : {stats.avg_blocks_per_object:.2f}")
-    print(f"index kind          : {engine.index.label}")
+    print(f"index kind          : {_engine_label(engine)}")
     print(f"index size          : {engine.index_size_mb():.2f} MB")
     return 0
 
@@ -204,10 +227,10 @@ def _cmd_serve(args) -> int:
     from repro.serve import QueryService
 
     engine = load_engine(args.engine)
-    objects = list(engine.corpus.objects())
-    workload = ConcurrentLoadGenerator(
-        objects, engine.corpus.analyzer, seed=args.seed
-    )
+    if args.shards > 1 and not isinstance(engine, ShardedEngine):
+        engine = _repartition(engine, args.shards)
+    objects = list(engine.objects())
+    workload = ConcurrentLoadGenerator(objects, engine.analyzer, seed=args.seed)
     batch = workload.batch(
         args.queries,
         num_keywords=args.num_keywords,
@@ -217,16 +240,31 @@ def _cmd_serve(args) -> int:
     with QueryService(
         engine, workers=args.workers, cache=not args.no_cache
     ) as service:
-        service.run_batch(batch)
+        executions = service.run_batch(batch)
         stats = service.stats()
         if args.serve_trace:
-            service.export_traces(args.serve_trace)
+            service.export_traces(args.serve_trace, executions=executions)
     print(f"served {stats.queries} queries with {args.workers} workers "
-          f"over {engine.index.label}")
+          f"over {_engine_label(engine)}")
     print(stats.summary())
     if args.serve_trace:
         print(f"trace spans written to {args.serve_trace}")
     return 0
+
+
+def _repartition(engine: SpatialKeywordEngine, n_shards: int) -> ShardedEngine:
+    """Spread a loaded single engine's corpus across a fresh sharded one."""
+    sharded = ShardedEngine(n_shards=n_shards, index=engine.index_kind)
+    sharded.add_all(engine.objects())
+    sharded.build()
+    return sharded
+
+
+def _engine_label(engine) -> str:
+    """Human-readable index label for either engine flavor."""
+    if isinstance(engine, ShardedEngine):
+        return f"{engine.index_kind.upper()} x{engine.n_shards} shards"
+    return engine.index_kind.upper()
 
 
 if __name__ == "__main__":  # pragma: no cover

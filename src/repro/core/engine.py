@@ -27,14 +27,20 @@ reader pool and adds a result cache and tracing.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.corpus import Corpus, CorpusStats
 from repro.core.indexes import SpatialKeywordIndex, make_index
 from repro.core.query import QueryExecution, SpatialKeywordQuery
-from repro.core.ranking import DistanceDecayRanking, RankingCallable, validate_monotonicity
+from repro.core.ranking import (
+    DistanceDecayRanking,
+    LinearRanking,
+    RankingCallable,
+    validate_monotonicity,
+)
+from repro.core.search import SearchCounters
 from repro.errors import IndexError_, QueryError
-from repro.model import SpatialObject
+from repro.model import SearchResult, SpatialObject
 from repro.spatial.geometry import Rect
 from repro.storage.block import DEFAULT_BLOCK_SIZE
 from repro.storage.iostats import IOStats
@@ -123,15 +129,71 @@ class SpatialKeywordEngine:
 
     # -- Queries ------------------------------------------------------------------
 
+    def search(self, query: SpatialKeywordQuery) -> QueryExecution:
+        """Unified entry point: execute any :class:`SpatialKeywordQuery`.
+
+        Dispatches on the query itself — a ``ranking`` function selects
+        the general ranked path (Section V.C), an ``area`` anchors the
+        distance-first search to a rectangle (Section III), and a plain
+        point query runs the paper's default distance-first algorithm.
+        :meth:`query`, :meth:`query_area`, and :meth:`query_ranked` are
+        thin conveniences that construct a query and call this method.
+        """
+        if query.ranking is not None:
+            return self._search_ranked(query)
+        return self.index.execute(query)
+
     def query(
         self, point: Sequence[float], keywords: Sequence[str], k: int = 10
     ) -> QueryExecution:
-        """Distance-first top-k spatial keyword query (the paper's default)."""
-        return self.index.execute(SpatialKeywordQuery.of(point, keywords, k))
+        """Distance-first top-k spatial keyword query (the paper's default).
+
+        Delegates to :meth:`search`.
+        """
+        return self.search(SpatialKeywordQuery.of(point, keywords, k))
+
+    def stream_results(
+        self,
+        query: SpatialKeywordQuery,
+        counters: SearchCounters | None = None,
+    ) -> Iterator[SearchResult]:
+        """Incremental distance-first stream for an arbitrary query target.
+
+        The low-level form of :meth:`query_incremental`: accepts a full
+        :class:`SpatialKeywordQuery` (so area targets work) and optionally
+        tallies per-pull cost counters — the hooks the sharded
+        scatter-gather merge needs.
+
+        Raises:
+            QueryError: when the index kind is non-incremental (its
+                :attr:`~repro.core.indexes.SpatialKeywordIndex.supports_incremental`
+                is False).
+        """
+        from repro.core.indexes import RTreeIndex
+        from repro.core.search import ir2_top_k_iter, rtree_top_k_iter
+
+        if not self.index.supports_incremental:
+            raise QueryError(
+                f"index kind {self._index_kind!r} cannot stream results "
+                "incrementally"
+            )
+        self.index.require_built()
+        if isinstance(self.index, RTreeIndex):
+            return rtree_top_k_iter(
+                self.index.tree, self.corpus.store, self.corpus.analyzer,
+                query, counters=counters,
+            )
+        return ir2_top_k_iter(
+            self.index.tree, self.corpus.store, self.corpus.analyzer,
+            query, counters=counters,
+        )
 
     def query_incremental(
-        self, point: Sequence[float], keywords: Sequence[str]
-    ):
+        self,
+        point: Sequence[float],
+        keywords: Sequence[str],
+        counters: SearchCounters | None = None,
+    ) -> Iterator[SearchResult]:
         """Lazily yield distance-first results, nearest first.
 
         The paper's algorithm is *incremental*: "each call to the
@@ -139,27 +201,15 @@ class SpatialKeywordEngine:
         This exposes that property at the engine level — pull one result,
         show a page, pull more — paying index I/O only for what is
         consumed.  Supported by the tree-based indexes ("rtree", "ir2",
-        "mir2"); IIO is inherently non-incremental (Section V.A).
+        "mir2"); the scan baselines ("iio", "sig", "stree") are inherently
+        non-incremental (Section V.A) and raise :class:`QueryError`.
 
         Yields:
             :class:`~repro.model.SearchResult` objects in non-decreasing
             distance order.
         """
-        from repro.core.search import ir2_top_k_iter, rtree_top_k_iter
-
-        if not hasattr(self.index, "tree"):
-            raise QueryError(
-                f"index kind {self._index_kind!r} cannot stream results "
-                "incrementally"
-            )
-        self.index._require_built()
-        query = SpatialKeywordQuery.of(point, keywords, k=1)
-        if self._index_kind == "rtree":
-            return rtree_top_k_iter(
-                self.index.tree, self.corpus.store, self.corpus.analyzer, query
-            )
-        return ir2_top_k_iter(
-            self.index.tree, self.corpus.store, self.corpus.analyzer, query
+        return self.stream_results(
+            SpatialKeywordQuery.of(point, keywords, k=1), counters=counters
         )
 
     def query_area(
@@ -173,7 +223,7 @@ class SpatialKeywordEngine:
 
         Section III: "an area could be used instead" of the query point.
         Objects inside the area rank first (distance 0), then by distance
-        to the area's nearest edge.
+        to the area's nearest edge.  Delegates to :meth:`search`.
 
         Args:
             lo: area's low corner (e.g. southwest point).
@@ -184,7 +234,7 @@ class SpatialKeywordEngine:
         area = Rect(
             tuple(float(c) for c in lo), tuple(float(c) for c in hi)
         )
-        return self.index.execute(SpatialKeywordQuery.of_area(area, keywords, k))
+        return self.search(SpatialKeywordQuery.of_area(area, keywords, k))
 
     def query_ranked(
         self,
@@ -197,21 +247,28 @@ class SpatialKeywordEngine:
         """General top-k query ranked by ``f(distance, IRscore)``.
 
         Only available on the signature-bearing indexes ("ir2"/"mir2").
+        Delegates to :meth:`search` with the ranking attached to the
+        query (a default :class:`DistanceDecayRanking` when omitted).
         """
+        query = SpatialKeywordQuery.of(point, keywords, k, ranking=ranking)
+        return self._search_ranked(query, prune_zero_ir=prune_zero_ir)
+
+    def _search_ranked(
+        self, query: SpatialKeywordQuery, prune_zero_ir: bool = True
+    ) -> QueryExecution:
+        """Ranked dispatch shared by :meth:`search` and :meth:`query_ranked`."""
         execute_ranked = getattr(self.index, "execute_ranked", None)
         if execute_ranked is None:
             raise QueryError(
                 f"index kind {self._index_kind!r} does not support ranked queries"
             )
+        ranking = query.ranking
         if ranking is None:
             ranking = DistanceDecayRanking(half_distance=self._default_half_distance())
-        else:
+            query = query.with_ranking(ranking)
+        elif not isinstance(ranking, (DistanceDecayRanking, LinearRanking)):
             validate_monotonicity(ranking)
-        return execute_ranked(
-            SpatialKeywordQuery.of(point, keywords, k),
-            ranking,
-            prune_zero_ir=prune_zero_ir,
-        )
+        return execute_ranked(query, ranking, prune_zero_ir=prune_zero_ir)
 
     def _default_half_distance(self) -> float:
         """A data-independent but sane decay scale: 10% of the data extent."""
@@ -245,6 +302,15 @@ class SpatialKeywordEngine:
     def index_kind(self) -> str:
         """The index kind string this engine was constructed with."""
         return self._index_kind
+
+    @property
+    def analyzer(self):
+        """The tokenizer shared by the corpus and every index over it."""
+        return self.corpus.analyzer
+
+    def objects(self) -> Iterator[SpatialObject]:
+        """Yield every live object (uncounted; for workloads and stats)."""
+        return self.corpus.objects()
 
     def __len__(self) -> int:
         return len(self.corpus)

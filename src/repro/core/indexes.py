@@ -69,15 +69,33 @@ class SpatialKeywordIndex:
     def _build_structure(self, items: list[BulkItem], bulk: bool, fill: float) -> None:
         raise NotImplementedError
 
-    def _require_built(self) -> None:
+    def require_built(self) -> None:
+        """Raise :class:`IndexError_` unless :meth:`build` has completed.
+
+        Public so facades (engine, sharded engine, service) can guard
+        operations without reaching into private state.
+        """
         if not self.built:
             raise IndexError_(f"{self.label} index has not been built yet")
+
+    # Backwards-compatible alias for pre-1.1 callers.
+    _require_built = require_built
+
+    @property
+    def supports_incremental(self) -> bool:
+        """Whether this index can stream results in distance order.
+
+        Only the R-Tree-family indexes traverse space nearest-first; the
+        scan baselines (IIO, SIG, S-Tree) materialize candidates in bulk
+        and are inherently non-incremental (paper Section V.A).
+        """
+        return False
 
     # -- Execution ------------------------------------------------------------------
 
     def execute(self, query: SpatialKeywordQuery) -> QueryExecution:
         """Run a distance-first query with full I/O accounting."""
-        self._require_built()
+        self.require_built()
         return self._measured(query, lambda: self._run(query), self.label)
 
     def _measured(
@@ -147,6 +165,11 @@ class _TreeIndex(SpatialKeywordIndex):
         self.capacity = capacity
         self.tree: RTree | None = None
 
+    @property
+    def supports_incremental(self) -> bool:
+        """Tree indexes stream results nearest-first (paper Section V.B)."""
+        return True
+
     def _make_tree(self) -> RTree:
         raise NotImplementedError
 
@@ -158,14 +181,14 @@ class _TreeIndex(SpatialKeywordIndex):
             insert_build(self.tree, items)
 
     def insert_object(self, pointer: int, obj: SpatialObject) -> None:
-        self._require_built()
+        self.require_built()
         terms = self.corpus.analyzer.terms(obj.text)
         self.tree.insert(
             pointer, Rect.from_point(obj.point), self.tree.scheme.object_signature(terms)
         )
 
     def delete_object(self, pointer: int, obj: SpatialObject) -> bool:
-        self._require_built()
+        self.require_built()
         return self.tree.delete(pointer, Rect.from_point(obj.point))
 
     @property
@@ -181,20 +204,29 @@ class _RankedTreeIndex(_TreeIndex):
         query: SpatialKeywordQuery,
         ranking: RankingCallable,
         prune_zero_ir: bool = True,
+        vocabulary=None,
     ) -> QueryExecution:
         """General ranked top-k with I/O accounting.
 
         Works on IR2- and MIR2-Trees "with no modification" (the paper's
         Section V.C remark).
+
+        Args:
+            query: the top-k query.
+            ranking: combined ranking function ``f(distance, ir_score)``.
+            prune_zero_ir: drop candidates with zero IR score.
+            vocabulary: idf statistics to score against; defaults to this
+                corpus's own.  A sharded engine passes the merged global
+                vocabulary so every shard scores with corpus-wide idf.
         """
-        self._require_built()
+        self.require_built()
         return self._measured(
             query,
             lambda: ranked_top_k(
                 self.tree,
                 self.corpus.store,
                 self.corpus.analyzer,
-                self.corpus.vocabulary,
+                vocabulary if vocabulary is not None else self.corpus.vocabulary,
                 query,
                 ranking,
                 prune_zero_ir=prune_zero_ir,
@@ -321,11 +353,11 @@ class IIOIndex(SpatialKeywordIndex):
         return iio_top_k(self.index, self.corpus.store, query)
 
     def insert_object(self, pointer: int, obj: SpatialObject) -> None:
-        self._require_built()
+        self.require_built()
         self.index.add(pointer, obj.text)
 
     def delete_object(self, pointer: int, obj: SpatialObject) -> bool:
-        self._require_built()
+        self.require_built()
         had = any(
             self.index.document_frequency(term)
             for term in self.corpus.analyzer.terms(obj.text)
@@ -392,11 +424,11 @@ class SignatureFileIndex(SpatialKeywordIndex):
         return outcome
 
     def insert_object(self, pointer: int, obj: SpatialObject) -> None:
-        self._require_built()
+        self.require_built()
         self.sigfile.add(pointer, obj.text)
 
     def delete_object(self, pointer: int, obj: SpatialObject) -> bool:
-        self._require_built()
+        self.require_built()
         from repro.errors import ObjectNotFoundError
 
         try:
@@ -466,7 +498,7 @@ class STreeIndex(SpatialKeywordIndex):
         return outcome
 
     def insert_object(self, pointer: int, obj: SpatialObject) -> None:
-        self._require_built()
+        self.require_built()
         self.stree.insert(pointer, obj.text)
 
     def delete_object(self, pointer: int, obj: SpatialObject) -> bool:

@@ -14,7 +14,8 @@ accesses, objects inspected, and simulated execution time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Callable
 
 from repro.errors import QueryError
 from repro.model import SearchResult
@@ -32,6 +33,12 @@ class SpatialKeywordQuery:
     ``area`` — distances are then measured to the nearest point of the
     area (objects inside it are at distance 0).
 
+    A query may additionally carry a ``ranking`` function, turning it
+    into the paper's *general* variant (Section V.C): results are then
+    ordered by ``f(distance, IRscore)`` instead of plain distance, and
+    :meth:`SpatialKeywordEngine.search` dispatches it to the ranked
+    execution path.
+
     Attributes:
         point: query location ``Q.p`` (the area's center for area queries).
         keywords: query keywords ``Q.t`` (order preserved, duplicates
@@ -39,12 +46,17 @@ class SpatialKeywordQuery:
         k: number of requested results ``Q.k``.
         area: optional query area; when present it supersedes ``point``
             as the spatial target.
+        ranking: optional combined ranking function ``f(distance,
+            ir_score)`` — decreasing in distance, increasing in IR score.
+            ``None`` means distance-first with a conjunctive keyword
+            filter (the paper's default and all of its experiments).
     """
 
     point: tuple[float, ...]
     keywords: tuple[str, ...]
     k: int
     area: Rect | None = None
+    ranking: Callable[[float, float], float] | None = None
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -58,18 +70,25 @@ class SpatialKeywordQuery:
                 f"area dimensionality {self.area.dims} != point "
                 f"dimensionality {len(self.point)}"
             )
+        if self.area is not None and self.ranking is not None:
+            raise QueryError("ranked area queries are not supported")
 
     @staticmethod
-    def of(point, keywords, k: int = 10) -> "SpatialKeywordQuery":
+    def of(point, keywords, k: int = 10, ranking=None) -> "SpatialKeywordQuery":
         """Convenience constructor accepting any iterables."""
         return SpatialKeywordQuery(
-            tuple(float(c) for c in point), tuple(keywords), int(k)
+            tuple(float(c) for c in point), tuple(keywords), int(k),
+            ranking=ranking,
         )
 
     @staticmethod
     def of_area(area: Rect, keywords, k: int = 10) -> "SpatialKeywordQuery":
         """An area-anchored query (objects inside rank at distance 0)."""
         return SpatialKeywordQuery(area.center, tuple(keywords), int(k), area)
+
+    def with_ranking(self, ranking) -> "SpatialKeywordQuery":
+        """This query with a (different) ranking function attached."""
+        return replace(self, ranking=ranking)
 
     @property
     def target(self):
@@ -95,10 +114,14 @@ class QueryExecution:
         false_positive_candidates: loaded objects that failed the keyword
             verification (signature or spatial-order false positives).
         nodes_visited: index nodes loaded during the query.
-        algorithm: short label ("RTREE", "IIO", "IR2", "MIR2").
+        algorithm: short label ("RTREE", "IIO", "IR2", "MIR2", or a
+            sharded composite like "SHARDED-IR2x4").
         trace: optional :class:`repro.serve.tracing.TraceSpan` attached by
             the concurrent service layer (queue wait, timings, cache
             status); ``None`` for direct engine queries.
+        shards: per-shard cost breakdown (JSON-ready dicts) attached by
+            :class:`repro.shard.ShardedEngine`; ``None`` for unsharded
+            executions.
     """
 
     query: SpatialKeywordQuery
@@ -109,6 +132,7 @@ class QueryExecution:
     nodes_visited: int = 0
     algorithm: str = ""
     trace: object | None = None
+    shards: list[dict] | None = None
 
     def simulated_ms(self, drive: DriveModel = DEFAULT_DRIVE) -> float:
         """Simulated execution time under the given drive model."""
@@ -118,6 +142,54 @@ class QueryExecution:
     def oids(self) -> list[int]:
         """Identifiers of the result objects, in rank order."""
         return [result.obj.oid for result in self.results]
+
+    def to_dict(self, drive: DriveModel = DEFAULT_DRIVE) -> dict:
+        """JSON-serializable result/cost payload for trace exports.
+
+        Used by the CLI's ``query --json`` output and the ``serve
+        --serve-trace`` execution dump; everything in the returned dict is
+        plain JSON types.  The per-shard breakdown appears only for
+        executions answered by a :class:`repro.shard.ShardedEngine`.
+        """
+        payload = {
+            "algorithm": self.algorithm,
+            "query": {
+                "point": list(self.query.point),
+                "keywords": list(self.query.keywords),
+                "k": self.query.k,
+                "area": (
+                    [list(self.query.area.lo), list(self.query.area.hi)]
+                    if self.query.area is not None else None
+                ),
+                "ranked": self.query.ranking is not None,
+            },
+            "results": [
+                {
+                    "oid": result.obj.oid,
+                    "point": list(result.obj.point),
+                    "distance": result.distance,
+                    "score": result.score,
+                    "ir_score": result.ir_score,
+                    "text": result.obj.text,
+                }
+                for result in self.results
+            ],
+            "oids": self.oids,
+            "io": {
+                "random_reads": self.io.random_reads,
+                "sequential_reads": self.io.sequential_reads,
+                "random_writes": self.io.random_writes,
+                "sequential_writes": self.io.sequential_writes,
+                "objects_loaded": self.io.objects_loaded,
+            },
+            "objects_inspected": self.objects_inspected,
+            "false_positive_candidates": self.false_positive_candidates,
+            "nodes_visited": self.nodes_visited,
+            "simulated_ms": self.simulated_ms(drive),
+        }
+        if self.shards is not None:
+            payload["shards"] = self.shards
+        return payload
 
     def summary(self) -> str:
         """Compact human-readable cost line for logs and examples."""

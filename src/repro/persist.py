@@ -7,11 +7,21 @@ directory, object pointers, tree shape, index configuration), and
 :func:`load_engine` reconstructs an equivalent engine — queries,
 insertions, and deletions continue exactly where they left off.
 
-Layout of a saved engine directory::
+Layout of a saved single engine directory::
 
     manifest.json    configuration + directory state
     objects.dat      the plain-text object file's blocks
     index.dat        the index structure's blocks
+
+A :class:`~repro.shard.ShardedEngine` saves as a manifest-of-manifests
+(format version 2): a top-level ``manifest.json`` carrying the fitted
+partitioner, the oid→shard routing table, and each partition's bounding
+box, plus one complete single-engine layout per shard::
+
+    manifest.json    {"sharded": true, partitioner, shard_of, mbbs, ...}
+    shard-000/       a full single-engine directory
+    shard-001/
+    ...
 
 Devices are reloaded into memory by default (matching the engine's
 default backend); the block images are identical either way because both
@@ -32,22 +42,67 @@ from repro.core.indexes import (
     SignatureFileIndex,
 )
 from repro.errors import DatasetError
+from repro.shard.engine import ShardedEngine
+from repro.shard.partitioner import partitioner_from_dict
+from repro.spatial.geometry import Rect
 from repro.storage.block import BlockDevice, InMemoryBlockDevice
 
 #: Manifest format version (bump on incompatible layout changes).
-MANIFEST_VERSION = 1
+#: Version 2 added sharded layouts; single-engine layouts are unchanged,
+#: so version-1 directories still load.
+MANIFEST_VERSION = 2
+
+_SUPPORTED_VERSIONS = frozenset({1, 2})
 
 _MANIFEST = "manifest.json"
 _OBJECTS = "objects.dat"
 _INDEX = "index.dat"
 
 
-def save_engine(engine: SpatialKeywordEngine, directory: str) -> str:
-    """Persist a built engine; returns the manifest path.
+def save_engine(
+    engine: SpatialKeywordEngine | ShardedEngine, directory: str
+) -> str:
+    """Persist a built engine (single or sharded); returns the manifest path.
 
     Raises:
         DatasetError: when the engine has not been built yet.
     """
+    if isinstance(engine, ShardedEngine):
+        return _save_sharded(engine, directory)
+    return _save_single(engine, directory)
+
+
+def load_engine(directory: str) -> SpatialKeywordEngine | ShardedEngine:
+    """Reopen an engine saved by :func:`save_engine`.
+
+    Returns a :class:`~repro.shard.ShardedEngine` when the directory holds
+    a sharded layout, a plain :class:`SpatialKeywordEngine` otherwise.
+    """
+    manifest = _read_manifest(directory)
+    if manifest.get("sharded"):
+        return _load_sharded(manifest, directory)
+    return _load_single(manifest, directory)
+
+
+def _read_manifest(directory: str) -> dict:
+    path = os.path.join(directory, _MANIFEST)
+    if not os.path.exists(path):
+        raise DatasetError(f"no engine manifest at {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("version") not in _SUPPORTED_VERSIONS:
+        raise DatasetError(
+            f"unsupported manifest version {manifest.get('version')!r}"
+        )
+    return manifest
+
+
+# ---------------------------------------------------------------------------
+# Single engines
+# ---------------------------------------------------------------------------
+
+
+def _save_single(engine: SpatialKeywordEngine, directory: str) -> str:
     if not engine.index.built:
         raise DatasetError("cannot save an engine before build()")
     os.makedirs(directory, exist_ok=True)
@@ -56,7 +111,7 @@ def save_engine(engine: SpatialKeywordEngine, directory: str) -> str:
     manifest = {
         "version": MANIFEST_VERSION,
         "block_size": engine.corpus.device.block_size,
-        "index_kind": engine._index_kind,
+        "index_kind": engine.index_kind,
         "dims": engine.corpus.dims,
         "pointers": {str(oid): ptr for oid, ptr in engine._pointers.items()},
         "store": {
@@ -71,17 +126,7 @@ def save_engine(engine: SpatialKeywordEngine, directory: str) -> str:
     return path
 
 
-def load_engine(directory: str) -> SpatialKeywordEngine:
-    """Reopen an engine saved by :func:`save_engine`."""
-    path = os.path.join(directory, _MANIFEST)
-    if not os.path.exists(path):
-        raise DatasetError(f"no engine manifest at {path}")
-    with open(path, "r", encoding="utf-8") as handle:
-        manifest = json.load(handle)
-    if manifest.get("version") != MANIFEST_VERSION:
-        raise DatasetError(
-            f"unsupported manifest version {manifest.get('version')!r}"
-        )
+def _load_single(manifest: dict, directory: str) -> SpatialKeywordEngine:
     state = manifest["index"]
     engine = SpatialKeywordEngine(
         index=manifest["index_kind"],
@@ -124,6 +169,68 @@ def load_engine(directory: str) -> SpatialKeywordEngine:
     _restore_index_state(engine.index, state)
     engine.index.built = True
     return engine
+
+
+# ---------------------------------------------------------------------------
+# Sharded engines
+# ---------------------------------------------------------------------------
+
+
+def _shard_dirname(shard_id: int) -> str:
+    return f"shard-{shard_id:03d}"
+
+
+def _save_sharded(engine: ShardedEngine, directory: str) -> str:
+    engine.require_built()
+    os.makedirs(directory, exist_ok=True)
+    shard_dirs = []
+    for shard_id, shard in enumerate(engine.shards):
+        name = _shard_dirname(shard_id)
+        _save_single(shard, os.path.join(directory, name))
+        shard_dirs.append(name)
+    manifest = {
+        "version": MANIFEST_VERSION,
+        "sharded": True,
+        "index_kind": engine.index_kind,
+        "n_shards": engine.n_shards,
+        "partitioner": engine.partitioner.to_dict(),
+        "shard_of": {
+            str(oid): shard_id
+            for oid, shard_id in engine._shard_of.items()
+            if shard_id >= 0
+        },
+        "mbbs": [
+            list(mbb.to_coords()) if mbb is not None else None
+            for mbb in engine.shard_mbbs
+        ],
+        "shards": shard_dirs,
+    }
+    path = os.path.join(directory, _MANIFEST)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    return path
+
+
+def _load_sharded(manifest: dict, directory: str) -> ShardedEngine:
+    shards = []
+    for name in manifest["shards"]:
+        shard_dir = os.path.join(directory, name)
+        shard_manifest = _read_manifest(shard_dir)
+        if shard_manifest.get("sharded"):
+            raise DatasetError(f"nested sharded layout at {shard_dir}")
+        shards.append(_load_single(shard_manifest, shard_dir))
+    return ShardedEngine.from_parts(
+        shards=shards,
+        partitioner=partitioner_from_dict(manifest["partitioner"]),
+        shard_of={
+            int(oid): shard_id
+            for oid, shard_id in manifest["shard_of"].items()
+        },
+        mbbs=[
+            Rect.from_coords(coords) if coords is not None else None
+            for coords in manifest["mbbs"]
+        ],
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -6,7 +6,7 @@ pure function of the built index — so identical queries can be answered
 from memory without touching a single block.  :class:`QueryResultCache`
 memoizes :class:`~repro.core.query.QueryExecution` objects keyed on the
 query's *semantic identity*: spatial target (point or area), keyword
-tuple, and ``k``.
+tuple, ``k``, and the ranking function (if any).
 
 Correctness requires **explicit invalidation**: any mutation of the
 underlying engine (insert, delete, rebuild) may change answers, so
@@ -22,8 +22,9 @@ from collections import OrderedDict
 
 from repro.core.query import QueryExecution, SpatialKeywordQuery
 
-#: Cache key: (point, area, keywords, k).  ``Rect`` is a frozen dataclass
-#: of tuples, so area queries are hashable too.
+#: Cache key: (point, area, keywords, k, ranking).  ``Rect`` is a frozen
+#: dataclass of tuples, so area queries are hashable too; ranking
+#: callables hash by identity, so distinct ranking objects never collide.
 CacheKey = tuple
 
 
@@ -47,7 +48,7 @@ class QueryResultCache:
     @staticmethod
     def key_of(query: SpatialKeywordQuery) -> CacheKey:
         """The semantic identity of a query (its answer's determinants)."""
-        return (query.point, query.area, query.keywords, query.k)
+        return (query.point, query.area, query.keywords, query.k, query.ranking)
 
     def get(self, query: SpatialKeywordQuery) -> QueryExecution | None:
         """Return the cached execution for ``query``, if any.

@@ -1,8 +1,10 @@
-"""Concurrent query service over a :class:`SpatialKeywordEngine`.
+"""Concurrent query service over a built engine.
 
 The paper's algorithms are strictly single-query; this module turns a
-built engine into something that can take parallel traffic while staying
-byte-for-byte faithful to them:
+built engine — a :class:`SpatialKeywordEngine` or a
+:class:`repro.shard.ShardedEngine`, anything exposing the unified
+``search()`` surface — into something that can take parallel traffic
+while staying byte-for-byte faithful to them:
 
 * queries are dispatched across a thread pool and executed by the
   engine's unmodified search algorithms;
@@ -166,8 +168,9 @@ class QueryService:
     """Thread-pooled, cached, traced front-end for one built engine.
 
     Args:
-        engine: a built :class:`SpatialKeywordEngine` (building it through
-            the service afterwards is also supported via :meth:`build`).
+        engine: a built :class:`SpatialKeywordEngine` or
+            :class:`repro.shard.ShardedEngine` (building it through the
+            service afterwards is also supported via :meth:`build`).
         workers: worker threads answering queries.
         cache: enable the LRU result cache.
         cache_capacity: maximum cached executions.
@@ -310,7 +313,7 @@ class QueryService:
             span.cache = CACHE_MISS
         else:
             span.cache = CACHE_BYPASS
-        execution = self.engine.index.execute(query)
+        execution = self.engine.search(query)
         if self.cache is not None:
             self.cache.put(query, execution)
         return execution
@@ -365,9 +368,24 @@ class QueryService:
         """Snapshot of the retained per-query trace spans."""
         return self.trace_log.spans()
 
-    def export_traces(self, path: str) -> None:
-        """Dump the service summary plus every retained span to JSON."""
-        self.trace_log.dump_json(path, extra={"service": self.stats().as_dict()})
+    def export_traces(
+        self, path: str, executions: Iterable[QueryExecution] | None = None
+    ) -> None:
+        """Dump the service summary plus every retained span to JSON.
+
+        Args:
+            path: output file.
+            executions: optionally, completed executions to embed as
+                JSON payloads (:meth:`QueryExecution.to_dict`) under an
+                ``"executions"`` key — results, per-query I/O, and the
+                per-shard breakdown for sharded engines.
+        """
+        extra: dict = {"service": self.stats().as_dict()}
+        if executions is not None:
+            extra["executions"] = [
+                execution.to_dict() for execution in executions
+            ]
+        self.trace_log.dump_json(path, extra=extra)
 
     # -- Lifecycle --------------------------------------------------------------
 

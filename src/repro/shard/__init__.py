@@ -1,0 +1,32 @@
+"""Sharded scatter-gather execution over partitioned engines.
+
+Public surface:
+
+* :class:`ShardedEngine` — N complete engines behind the single-engine
+  API, with tie-aware scatter-gather query execution.
+* :class:`KDPartitioner` / :class:`GridPartitioner` /
+  :func:`make_partitioner` / :func:`partitioner_from_dict` — spatial
+  partitioning strategies and their (de)serialization.
+* :class:`TopKMerger` — the thread-safe tie-aware top-k accumulator.
+"""
+
+from repro.shard.engine import ShardedEngine
+from repro.shard.merge import OPEN, TopKMerger
+from repro.shard.partitioner import (
+    GridPartitioner,
+    KDPartitioner,
+    SpatialPartitioner,
+    make_partitioner,
+    partitioner_from_dict,
+)
+
+__all__ = [
+    "ShardedEngine",
+    "SpatialPartitioner",
+    "KDPartitioner",
+    "GridPartitioner",
+    "make_partitioner",
+    "partitioner_from_dict",
+    "TopKMerger",
+    "OPEN",
+]

@@ -1,0 +1,628 @@
+"""Sharded engine: N independent engines behind one engine-shaped API.
+
+:class:`ShardedEngine` partitions a dataset spatially across ``n_shards``
+complete :class:`~repro.core.engine.SpatialKeywordEngine` instances —
+each shard owns its own corpus, devices, and index — and answers queries
+by tie-aware scatter-gather:
+
+* every shard's partition MBB gives a lower bound on the distance of any
+  result it can contribute (``MINDIST`` of the paper's Figure 3, lifted
+  to whole partitions);
+* shards fan out across a thread pool; incremental index kinds pull from
+  their nearest-first streams and stop as soon as the next distance
+  exceeds the global k-th distance, while scan kinds run their local
+  top-k and merge;
+* shards whose lower bound already exceeds the global k-th distance are
+  pruned without any I/O;
+* per-shard I/O, node, and object counters are aggregated into one
+  :class:`~repro.core.query.QueryExecution` with a per-shard breakdown
+  in :attr:`~repro.core.query.QueryExecution.shards`.
+
+The public surface mirrors the single engine (``add`` / ``build`` /
+``delete`` / ``search`` / ``query*`` / ``serve`` / stats), so the serving
+layer, persistence, and the CLI drive both interchangeably.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.engine import SpatialKeywordEngine
+from repro.core.corpus import CorpusStats
+from repro.core.query import QueryExecution, SpatialKeywordQuery
+from repro.core.ranking import DistanceDecayRanking, RankingCallable, validate_monotonicity
+from repro.core.search import SearchCounters
+from repro.errors import IndexError_, QueryError
+from repro.model import SearchResult, SpatialObject
+from repro.shard.merge import TopKMerger
+from repro.shard.partitioner import SpatialPartitioner, make_partitioner
+from repro.spatial.geometry import Rect, target_min_distance
+from repro.storage.iostats import IOStats, collecting_io
+
+
+class ShardedEngine:
+    """N spatial-keyword engines behind the single-engine API.
+
+    Args:
+        n_shards: number of partitions (each a full engine).
+        partitioner: partitioning strategy, "kd" (balanced recursive
+            splits, the default) or "grid" (uniform cells), or a
+            pre-constructed :class:`SpatialPartitioner`.
+        index: index kind every shard uses ("ir2", "mir2", "rtree",
+            "iio", "sig", ...).
+        workers: fan-out threads per query (defaults to ``n_shards``,
+            capped at 16).
+        **engine_kwargs: forwarded to every shard's
+            :class:`SpatialKeywordEngine` (``signature_bytes``,
+            ``block_size``, ``analyzer``, ...).
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        partitioner: str | SpatialPartitioner = "kd",
+        index: str = "ir2",
+        workers: int | None = None,
+        **engine_kwargs,
+    ) -> None:
+        if n_shards < 1:
+            raise QueryError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+        self._index_kind = index
+        self._engine_kwargs = dict(engine_kwargs)
+        self.partitioner = (
+            partitioner
+            if isinstance(partitioner, SpatialPartitioner)
+            else make_partitioner(partitioner, n_shards)
+        )
+        if self.partitioner.n_shards != n_shards:
+            raise QueryError(
+                f"partitioner covers {self.partitioner.n_shards} shards, "
+                f"engine expects {n_shards}"
+            )
+        self.shards: list[SpatialKeywordEngine] = [
+            SpatialKeywordEngine(index=index, **engine_kwargs)
+            for _ in range(n_shards)
+        ]
+        self._staged: list[SpatialObject] = []
+        self._shard_of: dict[int, int] = {}
+        self._mbbs: list[Rect | None] = [None] * n_shards
+        self.built = False
+        self._workers = min(workers or n_shards, 16)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_finalizer = None
+
+    @classmethod
+    def from_parts(
+        cls,
+        shards: Sequence[SpatialKeywordEngine],
+        partitioner: SpatialPartitioner,
+        shard_of: dict[int, int],
+        mbbs: Sequence[Rect | None],
+    ) -> "ShardedEngine":
+        """Reassemble a built sharded engine (the persistence load path)."""
+        partitioner.require_fitted()
+        self = cls.__new__(cls)
+        self.n_shards = len(shards)
+        self.shards = list(shards)
+        self._index_kind = shards[0].index_kind if shards else "ir2"
+        self._engine_kwargs = {}
+        self.partitioner = partitioner
+        self._staged = []
+        self._shard_of = dict(shard_of)
+        self._mbbs = list(mbbs)
+        self.built = all(shard.index.built for shard in shards)
+        self._workers = min(len(shards), 16)
+        self._pool = None
+        self._pool_finalizer = None
+        return self
+
+    # -- Population -------------------------------------------------------------
+
+    def add_object(self, oid: int, point: Sequence[float], text: str) -> None:
+        """Stage one object (before :meth:`build`) or insert it live (after)."""
+        self.add(SpatialObject(oid, tuple(float(c) for c in point), text))
+
+    def add(self, obj: SpatialObject) -> None:
+        """Stage or live-insert a :class:`~repro.model.SpatialObject`."""
+        if obj.oid in self._shard_of:
+            raise QueryError(f"object id {obj.oid} already present")
+        if not self.built:
+            # Staged objects get a provisional marker; the real shard is
+            # decided when build() fits the partitioner.
+            self._staged.append(obj)
+            self._shard_of[obj.oid] = -1
+            return
+        shard_id = self.partitioner.assign(obj.point)
+        self.shards[shard_id].add(obj)
+        self._shard_of[obj.oid] = shard_id
+        self._grow_mbb(shard_id, obj.point)
+
+    def add_all(self, objects: Iterable[SpatialObject]) -> None:
+        """Stage or live-insert many objects."""
+        for obj in objects:
+            self.add(obj)
+
+    def build(self, bulk: bool = True) -> None:
+        """Partition everything staged so far and build every shard.
+
+        A second call (e.g. :meth:`repro.serve.QueryService.build` after
+        live mutations) rebuilds each shard's index in place over its
+        current corpus; objects are not re-partitioned.
+        """
+        if not self.built:
+            self.partitioner.fit([obj.point for obj in self._staged])
+            for obj in self._staged:
+                shard_id = self.partitioner.assign(obj.point)
+                self.shards[shard_id].add(obj)
+                self._shard_of[obj.oid] = shard_id
+            self._staged = []
+        for shard in self.shards:
+            shard.build(bulk=bulk)
+        self._recompute_mbbs()
+        self.built = True
+
+    def delete(self, oid: int) -> bool:
+        """Remove an object from whichever shard holds it.
+
+        The shard's MBB is left untouched — a too-large bound can only
+        make pruning conservative, never wrong.
+        """
+        if not self.built:
+            raise IndexError_("build() the engine before deleting objects")
+        shard_id = self._shard_of.get(oid)
+        if shard_id is None or shard_id < 0:
+            return False
+        removed = self.shards[shard_id].delete(oid)
+        if removed:
+            del self._shard_of[oid]
+        return removed
+
+    def require_built(self) -> None:
+        """Raise :class:`IndexError_` unless :meth:`build` has completed."""
+        if not self.built:
+            raise IndexError_("sharded engine has not been built yet")
+
+    def _grow_mbb(self, shard_id: int, point: Sequence[float]) -> None:
+        rect = Rect.from_point(point)
+        mbb = self._mbbs[shard_id]
+        self._mbbs[shard_id] = rect if mbb is None else mbb.union(rect)
+
+    def _recompute_mbbs(self) -> None:
+        self._mbbs = [None] * self.n_shards
+        for shard_id, shard in enumerate(self.shards):
+            points = [obj.point for obj in shard.corpus.objects()]
+            if points:
+                self._mbbs[shard_id] = Rect.union_all(
+                    Rect.from_point(p) for p in points
+                )
+
+    # -- Queries ------------------------------------------------------------------
+
+    def search(self, query: SpatialKeywordQuery) -> QueryExecution:
+        """Unified entry point; same contract as the single engine's.
+
+        Distance-first queries (point or area) run the scatter-gather
+        fan-out; ranked queries execute on every shard with one shared
+        ranking function and merge by score.
+        """
+        self.require_built()
+        if query.ranking is not None:
+            return self._search_ranked(query)
+        return self._scatter_gather(query)
+
+    def query(
+        self, point: Sequence[float], keywords: Sequence[str], k: int = 10
+    ) -> QueryExecution:
+        """Distance-first top-k across every shard. Delegates to :meth:`search`."""
+        return self.search(SpatialKeywordQuery.of(point, keywords, k))
+
+    def query_area(
+        self,
+        lo: Sequence[float],
+        hi: Sequence[float],
+        keywords: Sequence[str],
+        k: int = 10,
+    ) -> QueryExecution:
+        """Area-anchored distance-first query. Delegates to :meth:`search`."""
+        area = Rect(tuple(float(c) for c in lo), tuple(float(c) for c in hi))
+        return self.search(SpatialKeywordQuery.of_area(area, keywords, k))
+
+    def query_ranked(
+        self,
+        point: Sequence[float],
+        keywords: Sequence[str],
+        k: int = 10,
+        ranking: RankingCallable | None = None,
+        prune_zero_ir: bool = True,
+    ) -> QueryExecution:
+        """General ranked top-k; one ranking function shared by all shards."""
+        if ranking is None:
+            ranking = DistanceDecayRanking(
+                half_distance=self._default_half_distance()
+            )
+        else:
+            validate_monotonicity(ranking)
+        query = SpatialKeywordQuery.of(point, keywords, k, ranking=ranking)
+        self.require_built()
+        return self._search_ranked(query, prune_zero_ir=prune_zero_ir)
+
+    def query_incremental(
+        self,
+        point: Sequence[float],
+        keywords: Sequence[str],
+        counters: SearchCounters | None = None,
+    ) -> Iterator[SearchResult]:
+        """Lazily merged nearest-first stream across every shard."""
+        return self.stream_results(
+            SpatialKeywordQuery.of(point, keywords, k=1), counters=counters
+        )
+
+    def stream_results(
+        self,
+        query: SpatialKeywordQuery,
+        counters: SearchCounters | None = None,
+    ) -> Iterator[SearchResult]:
+        """Incremental distance-first stream over all shards.
+
+        A lazy k-way merge: each shard enters the merge heap as its
+        partition's lower-bound distance and is only opened (paying its
+        first index I/O) once that bound reaches the head of the heap, so
+        consuming a few results touches only the nearest partitions.
+        """
+        self.require_built()
+        if not self._supports_incremental():
+            raise QueryError(
+                f"index kind {self._index_kind!r} cannot stream results "
+                "incrementally"
+            )
+        return self._merged_stream(query, counters)
+
+    def _merged_stream(
+        self, query: SpatialKeywordQuery, counters: SearchCounters | None
+    ) -> Iterator[SearchResult]:
+        sequence = itertools.count()
+        heap: list[tuple[float, int, str, int, SearchResult | None]] = []
+        streams: dict[int, Iterator[SearchResult]] = {}
+        for shard_id, mbb in enumerate(self._mbbs):
+            if mbb is None:
+                continue
+            bound = target_min_distance(mbb, query.target)
+            heapq.heappush(heap, (bound, next(sequence), "bound", shard_id, None))
+
+        def advance(shard_id: int) -> None:
+            result = next(streams[shard_id], None)
+            if result is not None:
+                heapq.heappush(
+                    heap,
+                    (result.distance, next(sequence), "result", shard_id, result),
+                )
+
+        while heap:
+            _, _, kind, shard_id, result = heapq.heappop(heap)
+            if kind == "bound":
+                streams[shard_id] = self.shards[shard_id].stream_results(
+                    query, counters=counters
+                )
+                advance(shard_id)
+            else:
+                yield result
+                advance(shard_id)
+
+    # -- Scatter-gather internals -------------------------------------------------
+
+    def _supports_incremental(self) -> bool:
+        return bool(self.shards) and self.shards[0].index.supports_incremental
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix="repro-shard"
+            )
+            self._pool = pool
+            # Wake idle workers if the engine is dropped without close().
+            self._pool_finalizer = weakref.finalize(
+                self, pool.shutdown, wait=False
+            )
+        return self._pool
+
+    def _scatter_gather(self, query: SpatialKeywordQuery) -> QueryExecution:
+        bounds = [
+            target_min_distance(mbb, query.target) if mbb is not None else None
+            for mbb in self._mbbs
+        ]
+        merger = TopKMerger(query.k)
+        incremental = self._supports_incremental()
+        reports: list[dict | None] = [None] * self.n_shards
+        ios: list[IOStats] = [IOStats() for _ in range(self.n_shards)]
+        totals_lock = threading.Lock()
+        totals = {"objects": 0, "false_pos": 0, "nodes": 0}
+
+        def run_shard(shard_id: int) -> None:
+            bound = bounds[shard_id]
+            report = {
+                "shard": shard_id,
+                "lower_bound": bound,
+                "pruned": False,
+                "results_offered": 0,
+                "objects_inspected": 0,
+                "nodes_visited": 0,
+                "random_reads": 0,
+                "sequential_reads": 0,
+            }
+            reports[shard_id] = report
+            if bound is None:  # empty shard
+                report["pruned"] = True
+                return
+            if bound > merger.threshold():
+                report["pruned"] = True
+                return
+            if incremental:
+                execution = self._pull_incremental(shard_id, query, merger)
+            else:
+                execution = self.shards[shard_id].search(query)
+                for result in execution.results:
+                    if result.distance > merger.threshold():
+                        break
+                    merger.offer(result)
+                    report["results_offered"] += 1
+            if incremental:
+                report["results_offered"] = execution.pop("offered")
+                io = execution.pop("io")
+                counters = execution.pop("counters")
+                objects_inspected = counters.objects_inspected
+                false_positives = counters.false_positives
+                nodes = io.category_reads("node")
+            else:
+                io = execution.io
+                objects_inspected = execution.objects_inspected
+                false_positives = execution.false_positive_candidates
+                nodes = execution.nodes_visited
+            ios[shard_id] = io
+            report["objects_inspected"] = objects_inspected
+            report["nodes_visited"] = nodes
+            report["random_reads"] = io.random_reads
+            report["sequential_reads"] = io.sequential_reads
+            with totals_lock:
+                totals["objects"] += objects_inspected
+                totals["false_pos"] += false_positives
+                totals["nodes"] += nodes
+
+        # Submit nearest shards first: with fewer workers than shards the
+        # far partitions often find the threshold already tight and prune
+        # themselves without touching a block.
+        order = sorted(
+            (i for i in range(self.n_shards)),
+            key=lambda i: bounds[i] if bounds[i] is not None else float("inf"),
+        )
+        pool = self._executor()
+        futures = [pool.submit(run_shard, shard_id) for shard_id in order]
+        for future in futures:
+            future.result()
+
+        io = IOStats()
+        for shard_io in ios:
+            io = io.merged_with(shard_io)
+        return QueryExecution(
+            query=query,
+            results=merger.results(),
+            io=io,
+            objects_inspected=totals["objects"],
+            false_positive_candidates=totals["false_pos"],
+            nodes_visited=totals["nodes"],
+            algorithm=self._algorithm_label(),
+            shards=[r for r in reports if r is not None],
+        )
+
+    def _pull_incremental(
+        self, shard_id: int, query: SpatialKeywordQuery, merger: TopKMerger
+    ) -> dict:
+        """Pull one shard's stream until it can no longer affect the top-k."""
+        counters = SearchCounters()
+        offered = 0
+        with collecting_io() as io:
+            for result in self.shards[shard_id].stream_results(
+                query, counters=counters
+            ):
+                if result.distance > merger.threshold():
+                    break
+                merger.offer(result)
+                offered += 1
+        return {"io": io, "counters": counters, "offered": offered}
+
+    def _search_ranked(
+        self, query: SpatialKeywordQuery, prune_zero_ir: bool = True
+    ) -> QueryExecution:
+        ranking = query.ranking
+        if ranking is None:
+            ranking = DistanceDecayRanking(
+                half_distance=self._default_half_distance()
+            )
+            query = query.with_ranking(ranking)
+        if not hasattr(self.shards[0].index, "execute_ranked"):
+            raise QueryError(
+                f"index kind {self._index_kind!r} does not support ranked queries"
+            )
+        # Per-shard idf values would skew scores toward whatever terms are
+        # locally rare; every shard scores against the merged corpus-wide
+        # vocabulary so sharded scores equal single-engine scores.
+        vocabulary = self._global_vocabulary()
+        executions: list[QueryExecution | None] = [None] * self.n_shards
+        nonempty = [i for i, mbb in enumerate(self._mbbs) if mbb is not None]
+
+        def run_shard(shard_id: int) -> None:
+            executions[shard_id] = self.shards[shard_id].index.execute_ranked(
+                query, ranking, prune_zero_ir=prune_zero_ir,
+                vocabulary=vocabulary,
+            )
+
+        pool = self._executor()
+        for future in [pool.submit(run_shard, i) for i in nonempty]:
+            future.result()
+
+        merged: list[SearchResult] = []
+        io = IOStats()
+        objects = false_pos = nodes = 0
+        reports = []
+        for shard_id in nonempty:
+            execution = executions[shard_id]
+            merged.extend(execution.results)
+            io = io.merged_with(execution.io)
+            objects += execution.objects_inspected
+            false_pos += execution.false_positive_candidates
+            nodes += execution.nodes_visited
+            reports.append({
+                "shard": shard_id,
+                "lower_bound": None,
+                "pruned": False,
+                "results_offered": len(execution.results),
+                "objects_inspected": execution.objects_inspected,
+                "nodes_visited": execution.nodes_visited,
+                "random_reads": execution.io.random_reads,
+                "sequential_reads": execution.io.sequential_reads,
+            })
+        merged.sort(key=lambda r: (-r.score, r.distance, r.obj.oid))
+        return QueryExecution(
+            query=query,
+            results=merged[: query.k],
+            io=io,
+            objects_inspected=objects,
+            false_positive_candidates=false_pos,
+            nodes_visited=nodes,
+            algorithm=f"{self._algorithm_label()}-RANKED",
+            shards=reports,
+        )
+
+    def _global_vocabulary(self):
+        """Merged document-frequency statistics across every shard.
+
+        Shards hold disjoint objects, so summing per-shard frequencies
+        reproduces the single-engine vocabulary exactly.  Recomputed per
+        ranked query — cheap next to index I/O, and always consistent
+        with live inserts and deletes.
+        """
+        vocabulary = self.shards[0].corpus.vocabulary
+        for shard in self.shards[1:]:
+            vocabulary = vocabulary.merged_with(shard.corpus.vocabulary)
+        return vocabulary
+
+    def _default_half_distance(self) -> float:
+        """10% of the *global* extent, identical on every shard.
+
+        Each shard's own default would depend on its partition's extent;
+        resolving the ranking once here keeps sharded scores equal to the
+        single-engine scores over the same corpus.
+        """
+        points = [obj.point for obj in self.objects()]
+        if not points:
+            return 1.0
+        dims = len(points[0])
+        spans = [
+            max(p[d] for p in points) - min(p[d] for p in points)
+            for d in range(dims)
+        ]
+        extent = max(spans) if spans else 1.0
+        return max(extent * 0.1, 1e-9)
+
+    def _algorithm_label(self) -> str:
+        return f"SHARDED-{self._index_kind.upper()}x{self.n_shards}"
+
+    # -- Serving ----------------------------------------------------------------
+
+    def serve(self, workers: int = 4, **kwargs):
+        """Wrap this engine in a concurrent :class:`~repro.serve.QueryService`."""
+        from repro.serve import QueryService
+
+        return QueryService(self, workers=workers, **kwargs)
+
+    # -- Introspection ----------------------------------------------------------
+
+    @property
+    def index_kind(self) -> str:
+        """The index kind string every shard was constructed with."""
+        return self._index_kind
+
+    @property
+    def analyzer(self):
+        """The tokenizer shared by every shard."""
+        return self.shards[0].analyzer
+
+    @property
+    def shard_mbbs(self) -> list[Rect | None]:
+        """Each shard's minimum bounding box (None for empty shards)."""
+        return list(self._mbbs)
+
+    def shard_of(self, oid: int) -> int | None:
+        """Shard id currently holding ``oid`` (None when absent/staged)."""
+        shard_id = self._shard_of.get(oid)
+        return shard_id if shard_id is not None and shard_id >= 0 else None
+
+    def objects(self) -> Iterator[SpatialObject]:
+        """Yield every live object across all shards (plus staged ones)."""
+        for shard in self.shards:
+            yield from shard.objects()
+        yield from self._staged
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards) + len(self._staged)
+
+    def corpus_stats(self) -> CorpusStats:
+        """Aggregate dataset statistics across every shard (Table 1 shape)."""
+        total = sum(len(shard) for shard in self.shards)
+        if total == 0:
+            return CorpusStats(0.0, 0, 0.0, 0, 0.0)
+        per_shard = [shard.corpus_stats() for shard in self.shards]
+        unique_terms = set()
+        for shard in self.shards:
+            unique_terms.update(shard.corpus.vocabulary.terms())
+        weighted_words = sum(
+            s.avg_unique_words_per_object * s.total_objects for s in per_shard
+        )
+        weighted_blocks = sum(
+            s.avg_blocks_per_object * s.total_objects for s in per_shard
+        )
+        return CorpusStats(
+            size_mb=sum(s.size_mb for s in per_shard),
+            total_objects=total,
+            avg_unique_words_per_object=weighted_words / total,
+            unique_words=len(unique_terms),
+            avg_blocks_per_object=weighted_blocks / total,
+        )
+
+    def index_size_mb(self) -> float:
+        """Summed index footprint across every shard."""
+        return sum(shard.index_size_mb() for shard in self.shards)
+
+    def io_stats(self) -> IOStats:
+        """Merged running I/O counters across every shard's devices."""
+        io = IOStats()
+        for shard in self.shards:
+            io = io.merged_with(shard.io_stats())
+        return io
+
+    def reset_io(self) -> None:
+        """Zero the I/O counters on every shard."""
+        for shard in self.shards:
+            shard.reset_io()
+
+    # -- Lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the fan-out thread pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+                self._pool_finalizer = None
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

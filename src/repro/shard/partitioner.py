@@ -1,0 +1,232 @@
+"""Spatial partitioners: assign every object to one of N shards.
+
+A production deployment splits a planet-scale dataset across machines;
+queries then fan out only to the partitions whose region can contain a
+result (the pressure behind QDR-Tree's quad-partitioned hybrid index,
+arXiv:1804.10726).  A partitioner learns a space decomposition from the
+staged object locations once, at build time, and afterwards maps any
+point — including live inserts and points outside the training extent —
+to a stable shard id.
+
+Two strategies:
+
+* :class:`KDPartitioner` (the default) — a recursive kd-split over the
+  actual object locations.  Each split halves the *object count* along
+  the widest dimension of the points in the cell, so shards stay balanced
+  even on heavily clustered data.
+* :class:`GridPartitioner` — a uniform grid over the dataset's bounding
+  box, factorized as close to square as the shard count allows.  Cheap
+  and predictable, but clustered data can leave cells nearly empty.
+
+Both serialize to plain JSON dicts (:meth:`SpatialPartitioner.to_dict` /
+:func:`partitioner_from_dict`) so a sharded engine layout can be reopened
+from disk without refitting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import DatasetError, IndexError_
+
+Point = Sequence[float]
+
+
+class SpatialPartitioner:
+    """Contract: fit once over staged points, then assign any point."""
+
+    kind = "?"
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise DatasetError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+        self.fitted = False
+
+    def fit(self, points: Sequence[Point]) -> None:
+        """Learn the space decomposition from the staged object locations."""
+        raise NotImplementedError
+
+    def assign(self, point: Point) -> int:
+        """Shard id in ``[0, n_shards)`` for ``point``; total over space."""
+        raise NotImplementedError
+
+    def require_fitted(self) -> None:
+        """Raise unless :meth:`fit` (or a deserialization) has run."""
+        if not self.fitted:
+            raise IndexError_(f"{self.kind} partitioner has not been fitted")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable state; inverse of :func:`partitioner_from_dict`."""
+        raise NotImplementedError
+
+
+class KDPartitioner(SpatialPartitioner):
+    """Recursive kd-split: median cuts along the locally widest dimension.
+
+    Splitting a cell of ``n`` target shards sends ``ceil(n/2)`` shards to
+    the low side with a proportional share of the points, so any shard
+    count is supported (not just powers of two) and object counts stay
+    balanced.  The split tree is a nested dict of ``{"dim", "value",
+    "left", "right"}`` nodes with ``{"shard": id}`` leaves, which makes it
+    trivially JSON-serializable.
+    """
+
+    kind = "kd"
+
+    def __init__(self, n_shards: int, tree: dict | None = None) -> None:
+        super().__init__(n_shards)
+        self._tree = tree
+        if tree is not None:
+            self.fitted = True
+
+    def fit(self, points: Sequence[Point]) -> None:
+        pts = [tuple(float(c) for c in p) for p in points]
+        self._next_shard = 0
+        self._tree = self._split(pts, self.n_shards)
+        del self._next_shard
+        self.fitted = True
+
+    def _split(self, points: list[tuple], n_shards: int) -> dict:
+        if n_shards == 1:
+            leaf = {"shard": self._next_shard}
+            self._next_shard += 1
+            return leaf
+        n_left = (n_shards + 1) // 2
+        dim, value, low, high = self._cut(points, n_left / n_shards)
+        return {
+            "dim": dim,
+            "value": value,
+            "left": self._split(low, n_left),
+            "right": self._split(high, n_shards - n_left),
+        }
+
+    @staticmethod
+    def _cut(points: list[tuple], fraction: float) -> tuple:
+        """Cut along the widest dimension at the ``fraction`` count quantile."""
+        if not points:
+            return 0, 0.0, [], []
+        dims = len(points[0])
+        spans = [
+            max(p[d] for p in points) - min(p[d] for p in points)
+            for d in range(dims)
+        ]
+        dim = max(range(dims), key=lambda d: spans[d])
+        ordered = sorted(points, key=lambda p: p[dim])
+        cut = min(max(int(round(len(ordered) * fraction)), 1), len(ordered))
+        value = ordered[cut - 1][dim]
+        # assign() sends point[dim] <= value to the low side, so points
+        # equal to the cut coordinate must stay together on that side.
+        low = [p for p in ordered if p[dim] <= value]
+        high = [p for p in ordered if p[dim] > value]
+        return dim, value, low, high
+
+    def assign(self, point: Point) -> int:
+        self.require_fitted()
+        node = self._tree
+        while "shard" not in node:
+            side = "left" if point[node["dim"]] <= node["value"] else "right"
+            node = node[side]
+        return node["shard"]
+
+    def to_dict(self) -> dict:
+        self.require_fitted()
+        return {"kind": self.kind, "n_shards": self.n_shards, "tree": self._tree}
+
+
+class GridPartitioner(SpatialPartitioner):
+    """Uniform grid over the fitted bounding box.
+
+    The shard count is factorized into per-dimension cell counts as close
+    to square as possible over the first two dimensions (one slab axis
+    for 1-D data).  Points outside the fitted extent clamp to the border
+    cells, so live inserts beyond the training data still land somewhere.
+    """
+
+    kind = "grid"
+
+    def __init__(
+        self,
+        n_shards: int,
+        lo: tuple | None = None,
+        hi: tuple | None = None,
+        cells: tuple | None = None,
+    ) -> None:
+        super().__init__(n_shards)
+        self._lo = lo
+        self._hi = hi
+        self._cells = cells
+        if lo is not None:
+            self.fitted = True
+
+    def fit(self, points: Sequence[Point]) -> None:
+        pts = [tuple(float(c) for c in p) for p in points]
+        dims = len(pts[0]) if pts else 2
+        if pts:
+            self._lo = tuple(min(p[d] for p in pts) for d in range(dims))
+            self._hi = tuple(max(p[d] for p in pts) for d in range(dims))
+        else:
+            self._lo = (0.0,) * dims
+            self._hi = (1.0,) * dims
+        self._cells = self._factorize(self.n_shards, dims)
+        self.fitted = True
+
+    @staticmethod
+    def _factorize(n: int, dims: int) -> tuple:
+        """Cell counts per dimension, product == n, near-square in 2-D."""
+        if dims == 1 or n == 1:
+            return (n,) + (1,) * (dims - 1)
+        best = 1
+        for a in range(1, int(math.isqrt(n)) + 1):
+            if n % a == 0:
+                best = a
+        return (n // best, best) + (1,) * (dims - 2)
+
+    def assign(self, point: Point) -> int:
+        self.require_fitted()
+        cell = 0
+        for d, count in enumerate(self._cells):
+            span = self._hi[d] - self._lo[d]
+            if span <= 0.0 or count == 1:
+                index = 0
+            else:
+                index = int((point[d] - self._lo[d]) / span * count)
+                index = min(max(index, 0), count - 1)
+            cell = cell * count + index
+        return cell
+
+    def to_dict(self) -> dict:
+        self.require_fitted()
+        return {
+            "kind": self.kind,
+            "n_shards": self.n_shards,
+            "lo": list(self._lo),
+            "hi": list(self._hi),
+            "cells": list(self._cells),
+        }
+
+
+def make_partitioner(kind: str, n_shards: int) -> SpatialPartitioner:
+    """Factory: ``kind`` in {"kd", "grid"} (case-insensitive)."""
+    normalized = kind.strip().lower()
+    if normalized == "kd":
+        return KDPartitioner(n_shards)
+    if normalized == "grid":
+        return GridPartitioner(n_shards)
+    raise DatasetError(f"unknown partitioner kind {kind!r}")
+
+
+def partitioner_from_dict(state: dict) -> SpatialPartitioner:
+    """Rebuild a fitted partitioner from its :meth:`to_dict` payload."""
+    kind = state.get("kind")
+    if kind == "kd":
+        return KDPartitioner(state["n_shards"], tree=state["tree"])
+    if kind == "grid":
+        return GridPartitioner(
+            state["n_shards"],
+            lo=tuple(state["lo"]),
+            hi=tuple(state["hi"]),
+            cells=tuple(state["cells"]),
+        )
+    raise DatasetError(f"unknown partitioner kind {kind!r}")

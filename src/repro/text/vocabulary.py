@@ -87,3 +87,21 @@ class Vocabulary:
     def terms(self) -> Iterable[str]:
         """Iterate over every known term."""
         return self._df.keys()
+
+    def merged_with(self, other: "Vocabulary") -> "Vocabulary":
+        """A new vocabulary with both corpora's statistics summed.
+
+        Documents are disjoint across the inputs (each object lives in
+        exactly one shard), so document frequencies and counts add up to
+        exactly the statistics of the combined corpus — the hook sharded
+        execution uses to score with *global* idf values.
+        """
+        merged = Vocabulary()
+        merged._df = dict(self._df)
+        for term, df in other._df.items():
+            merged._df[term] = merged._df.get(term, 0) + df
+        merged.document_count = self.document_count + other.document_count
+        merged._distinct_terms_total = (
+            self._distinct_terms_total + other._distinct_terms_total
+        )
+        return merged

@@ -74,6 +74,16 @@ class TestExamples:
         assert "per-query I/O sums to device totals" in out
         assert "new object ranked first" in out
 
+    def test_sharded_engine_small(self, capsys, monkeypatch):
+        module = load_example("sharded_engine")
+        monkeypatch.setattr(module, "N_OBJECTS", 250)
+        monkeypatch.setattr(module, "N_QUERIES", 6)
+        module.main()  # contains its own sharded-vs-single assertions
+        out = capsys.readouterr().out
+        assert "answers identical" in out
+        assert "round-trip OK" in out
+        assert "served 6 queries" in out
+
     def test_every_example_has_a_test(self):
         """Guard: adding an example without a smoke test fails here."""
         scripts = {
@@ -88,5 +98,6 @@ class TestExamples:
             "signature_anatomy",
             "index_maintenance",
             "concurrent_queries",
+            "sharded_engine",
         }
         assert scripts == tested

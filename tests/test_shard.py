@@ -1,0 +1,389 @@
+"""Sharded scatter-gather engine: partitioners, merge, and equivalence.
+
+The sharding acceptance oracle mirrors the cross-index differential
+harness: a :class:`~repro.shard.ShardedEngine` must answer every query
+*tie-aware equivalently* to a single engine over the same corpus — same
+result count, same distance multiset, identical strict prefix below the
+k-th distance — for every index kind and shard count, plus aggregate its
+per-shard cost breakdown consistently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.engine import SpatialKeywordEngine
+from repro.core.query import SpatialKeywordQuery
+from repro.datasets import DatasetConfig, SpatialTextDatasetGenerator
+from repro.errors import DatasetError, IndexError_, QueryError
+from repro.model import SearchResult, SpatialObject
+from repro.persist import load_engine, save_engine
+from repro.shard import (
+    GridPartitioner,
+    KDPartitioner,
+    ShardedEngine,
+    TopKMerger,
+    make_partitioner,
+    partitioner_from_dict,
+)
+from repro.spatial.geometry import target_point_distance
+
+EPS = 1e-9
+
+KINDS = ("ir2", "mir2", "rtree", "iio", "sig")
+SHARD_COUNTS = (1, 2, 5)
+
+
+def corpus_objects(n_objects, seed, vocabulary=300, avg_words=8, clusters=5):
+    config = DatasetConfig(
+        name=f"shard-{n_objects}-{seed}",
+        n_objects=n_objects,
+        vocabulary_size=vocabulary,
+        avg_unique_words=avg_words,
+        clusters=clusters,
+        seed=seed,
+    )
+    return SpatialTextDatasetGenerator(config).generate()
+
+
+def assert_tie_equivalent(execution, objects, analyzer, query):
+    """Tie-aware equivalence against the index-free oracle."""
+    terms = analyzer.query_terms(query.keywords)
+    matches = sorted(
+        (target_point_distance(obj.point, query.target), obj.oid)
+        for obj in objects
+        if analyzer.contains_all(obj.text, terms)
+    )
+    expected_n = min(query.k, len(matches))
+    expected_dists = [d for d, _ in matches[:expected_n]]
+    true_distance = dict((oid, d) for d, oid in matches)
+    kth = expected_dists[-1] if expected_n else 0.0
+    expected_prefix = {oid for d, oid in matches[:expected_n] if d < kth - EPS}
+    got = [(r.distance, r.obj.oid) for r in execution.results]
+    assert len(got) == expected_n
+    oids = [oid for _, oid in got]
+    assert len(set(oids)) == len(oids), "duplicate results"
+    for (distance, oid), expected in zip(got, expected_dists):
+        assert distance == pytest.approx(expected, abs=EPS)
+        assert oid in true_distance
+        assert distance == pytest.approx(true_distance[oid], abs=EPS)
+    prefix = {oid for d, oid in got if d < kth - EPS}
+    assert prefix == expected_prefix, "pre-tie prefix differs"
+
+
+# ---------------------------------------------------------------------------
+# Partitioners
+# ---------------------------------------------------------------------------
+
+
+class TestPartitioners:
+    @pytest.mark.parametrize("kind", ["kd", "grid"])
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 4, 7, 8])
+    def test_covers_every_shard_and_stays_in_range(self, kind, n_shards):
+        objects = corpus_objects(200, seed=3)
+        points = [obj.point for obj in objects]
+        part = make_partitioner(kind, n_shards)
+        part.fit(points)
+        assignments = [part.assign(p) for p in points]
+        assert all(0 <= a < n_shards for a in assignments)
+        if kind == "kd":
+            # kd balances object counts, so every shard is populated.
+            assert len(set(assignments)) == n_shards
+
+    def test_kd_balance(self):
+        points = [(float(i), float(i % 13)) for i in range(400)]
+        part = KDPartitioner(8)
+        part.fit(points)
+        counts = [0] * 8
+        for p in points:
+            counts[part.assign(p)] += 1
+        assert max(counts) - min(counts) <= len(points) // 4
+
+    @pytest.mark.parametrize("kind", ["kd", "grid"])
+    def test_dict_round_trip(self, kind):
+        points = [obj.point for obj in corpus_objects(80, seed=5)]
+        part = make_partitioner(kind, 6)
+        part.fit(points)
+        clone = partitioner_from_dict(json.loads(json.dumps(part.to_dict())))
+        assert type(clone) is type(part)
+        for p in points:
+            assert clone.assign(p) == part.assign(p)
+
+    def test_out_of_extent_points_still_land_somewhere(self):
+        points = [(float(i), float(i)) for i in range(10)]
+        for part in (KDPartitioner(4), GridPartitioner(4)):
+            part.fit(points)
+            for p in [(-100.0, -100.0), (100.0, 100.0), (0.0, 1e6)]:
+                assert 0 <= part.assign(p) < 4
+
+    def test_unfitted_raises(self):
+        with pytest.raises(IndexError_):
+            KDPartitioner(2).assign((0.0, 0.0))
+        with pytest.raises(IndexError_):
+            GridPartitioner(2).to_dict()
+
+    def test_bad_configuration_raises(self):
+        with pytest.raises(DatasetError):
+            make_partitioner("voronoi", 4)
+        with pytest.raises(DatasetError):
+            KDPartitioner(0)
+        with pytest.raises(DatasetError):
+            partitioner_from_dict({"kind": "nope"})
+
+
+class TestTopKMerger:
+    def test_threshold_opens_then_tightens(self):
+        merger = TopKMerger(2)
+        assert merger.threshold() == float("inf")
+        obj = lambda oid: SpatialObject(oid, (0.0, 0.0), "x")
+        merger.offer(SearchResult(obj(1), 5.0))
+        assert merger.threshold() == float("inf")
+        merger.offer(SearchResult(obj(2), 3.0))
+        assert merger.threshold() == 5.0
+        merger.offer(SearchResult(obj(3), 1.0))
+        assert merger.threshold() == 3.0
+        assert [r.obj.oid for r in merger.results()] == [3, 2]
+
+    def test_ties_keep_smallest_oids(self):
+        merger = TopKMerger(2)
+        obj = lambda oid: SpatialObject(oid, (0.0, 0.0), "x")
+        for oid in (9, 4, 7, 2):
+            merger.offer(SearchResult(obj(oid), 1.0))
+        assert [r.obj.oid for r in merger.results()] == [2, 4]
+
+
+# ---------------------------------------------------------------------------
+# Sharded vs single equivalence (the acceptance harness)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def shard_corpus():
+    return corpus_objects(150, seed=11)
+
+
+def build_sharded(objects, kind, n_shards, **kwargs):
+    engine = ShardedEngine(n_shards=n_shards, index=kind,
+                           signature_bytes=4, **kwargs)
+    engine.add_all(objects)
+    engine.build()
+    return engine
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_point_queries_match_oracle(self, shard_corpus, kind, n_shards):
+        objects = shard_corpus
+        with build_sharded(objects, kind, n_shards) as sharded:
+            analyzer = sharded.analyzer
+            terms = sorted(sharded._global_vocabulary().terms())
+            for point, keywords, k in [
+                ((50.0, 50.0), [terms[0]], 5),
+                ((10.0, 90.0), [terms[1], terms[2]], 3),
+                ((0.0, 0.0), ["zzznope"], 5),
+            ]:
+                query = SpatialKeywordQuery.of(point, keywords, k)
+                assert_tie_equivalent(
+                    sharded.search(query), objects, analyzer, query
+                )
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_matches_single_engine_answers(self, shard_corpus, n_shards):
+        objects = shard_corpus
+        single = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        single.add_all(objects)
+        single.build()
+        with build_sharded(objects, "ir2", n_shards) as sharded:
+            workload_terms = sorted(single.corpus.vocabulary.terms())[:6]
+            for term in workload_terms:
+                ref = single.query((40.0, 60.0), [term], k=7)
+                got = sharded.search(ref.query)
+                ref_pairs = sorted((r.distance, r.obj.oid) for r in ref.results)
+                got_pairs = [(r.distance, r.obj.oid) for r in got.results]
+                assert [d for d, _ in got_pairs] == pytest.approx(
+                    [d for d, _ in ref_pairs], abs=EPS
+                )
+
+    def test_area_query_equivalence(self, shard_corpus):
+        objects = shard_corpus
+        single = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        single.add_all(objects)
+        single.build()
+        term = sorted(single.corpus.vocabulary.terms())[0]
+        ref = single.query_area((20.0, 20.0), (60.0, 60.0), [term], k=8)
+        with build_sharded(objects, "ir2", 4) as sharded:
+            got = sharded.query_area((20.0, 20.0), (60.0, 60.0), [term], k=8)
+            assert sorted(r.distance for r in got.results) == pytest.approx(
+                sorted(r.distance for r in ref.results), abs=EPS
+            )
+            assert_tie_equivalent(got, objects, sharded.analyzer, ref.query)
+
+    def test_ranked_scores_equal_single_engine(self, shard_corpus):
+        objects = shard_corpus
+        single = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        single.add_all(objects)
+        single.build()
+        term = sorted(single.corpus.vocabulary.terms())[0]
+        ref = single.query_ranked((50.0, 50.0), [term], k=6)
+        with build_sharded(objects, "ir2", 3) as sharded:
+            got = sharded.query_ranked((50.0, 50.0), [term], k=6)
+            # Global idf merging makes sharded scores *equal*, not merely close.
+            assert [round(r.score, 9) for r in got.results] == [
+                round(r.score, 9) for r in ref.results
+            ]
+
+    def test_incremental_stream_is_globally_sorted(self, shard_corpus):
+        objects = shard_corpus
+        single = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        single.add_all(objects)
+        single.build()
+        term = sorted(single.corpus.vocabulary.terms())[0]
+        ref = [r.distance for r in single.query_incremental((50.0, 50.0), [term])]
+        with build_sharded(objects, "ir2", 4) as sharded:
+            got = [
+                r.distance
+                for r in sharded.query_incremental((50.0, 50.0), [term])
+            ]
+            assert got == sorted(got)
+            assert got == pytest.approx(ref, abs=EPS)
+
+    def test_more_shards_than_objects(self):
+        objects = corpus_objects(4, seed=2)
+        with build_sharded(objects, "ir2", 9) as sharded:
+            query = SpatialKeywordQuery.of((50.0, 50.0), ["w1"], 3)
+            assert_tie_equivalent(
+                sharded.search(query), objects, sharded.analyzer, query
+            )
+
+
+class TestShardBreakdown:
+    def test_breakdown_aggregates_to_totals(self, shard_corpus):
+        with build_sharded(shard_corpus, "ir2", 4) as sharded:
+            term = sorted(sharded._global_vocabulary().terms())[0]
+            execution = sharded.query((50.0, 50.0), [term], k=5)
+            assert execution.shards is not None
+            assert len(execution.shards) == 4
+            live = [r for r in execution.shards if not r["pruned"]]
+            assert sum(r["objects_inspected"] for r in live) == (
+                execution.objects_inspected
+            )
+            assert sum(r["nodes_visited"] for r in live) == (
+                execution.nodes_visited
+            )
+            assert execution.algorithm == "SHARDED-IR2x4"
+            payload = execution.to_dict()
+            json.dumps(payload)
+            assert payload["shards"] == execution.shards
+
+    def test_distant_shards_get_pruned(self):
+        # Two tight clusters far apart: querying inside one cluster with
+        # k smaller than the cluster population must prune the other side.
+        objects = [
+            SpatialObject(i, (float(i % 10), float(i // 10)), "cafe")
+            for i in range(100)
+        ]
+        objects += [
+            SpatialObject(1000 + i, (1e6 + i % 10, 1e6 + i // 10), "cafe")
+            for i in range(100)
+        ]
+        engine = ShardedEngine(n_shards=2, index="ir2")
+        engine.add_all(objects)
+        engine.build()
+        with engine:
+            execution = engine.query((5.0, 5.0), ["cafe"], k=5)
+            assert any(r["pruned"] for r in execution.shards)
+            assert all(oid < 1000 for oid in execution.oids)
+
+
+class TestShardedMutationAndLifecycle:
+    def test_live_insert_routes_to_owning_shard(self, shard_corpus):
+        with build_sharded(shard_corpus, "ir2", 4) as sharded:
+            sharded.add_object(5000, (50.0, 50.0), "uniqueword spa")
+            owner = sharded.shard_of(5000)
+            assert owner is not None
+            assert any(
+                obj.oid == 5000 for obj in sharded.shards[owner].objects()
+            )
+            assert owner == sharded.partitioner.assign((50.0, 50.0))
+            assert sharded.delete(5000) is True
+            assert sharded.shard_of(5000) is None
+            assert sharded.delete(5000) is False
+
+    def test_duplicate_oid_rejected(self, shard_corpus):
+        with build_sharded(shard_corpus, "ir2", 2) as sharded:
+            with pytest.raises(QueryError):
+                sharded.add_object(0, (1.0, 1.0), "dup")
+
+    def test_unbuilt_engine_raises(self):
+        engine = ShardedEngine(n_shards=2, index="ir2")
+        engine.add_object(1, (0.0, 0.0), "cafe")
+        with pytest.raises(IndexError_):
+            engine.query((0.0, 0.0), ["cafe"], k=1)
+        with pytest.raises(IndexError_):
+            engine.delete(1)
+
+    def test_len_and_stats_aggregate(self, shard_corpus):
+        single = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        single.add_all(shard_corpus)
+        single.build()
+        with build_sharded(shard_corpus, "ir2", 3) as sharded:
+            assert len(sharded) == len(single)
+            s_stats = sharded.corpus_stats()
+            r_stats = single.corpus_stats()
+            assert s_stats.total_objects == r_stats.total_objects
+            assert s_stats.unique_words == r_stats.unique_words
+            assert s_stats.avg_unique_words_per_object == pytest.approx(
+                r_stats.avg_unique_words_per_object
+            )
+            assert sharded.index_size_mb() > 0
+
+
+class TestShardedPersistence:
+    @pytest.mark.parametrize("kind", ["ir2", "iio"])
+    def test_save_load_round_trip(self, tmp_path, shard_corpus, kind):
+        directory = str(tmp_path / "engine")
+        with build_sharded(shard_corpus, kind, 3) as sharded:
+            term = sorted(sharded._global_vocabulary().terms())[0]
+            ref = sharded.query((50.0, 50.0), [term], k=6)
+            save_engine(sharded, directory)
+        manifest = json.load(open(os.path.join(directory, "manifest.json")))
+        assert manifest["version"] == 2
+        assert manifest["sharded"] is True
+        assert manifest["n_shards"] == 3
+        for name in manifest["shards"]:
+            assert os.path.isdir(os.path.join(directory, name))
+        reloaded = load_engine(directory)
+        assert isinstance(reloaded, ShardedEngine)
+        with reloaded:
+            got = reloaded.query((50.0, 50.0), [term], k=6)
+            assert got.oids == ref.oids
+            # The reopened engine remains fully live.
+            reloaded.add_object(7777, (50.0, 50.0), term)
+            assert reloaded.query((50.0, 50.0), [term], k=1).oids == [7777]
+
+    def test_single_engine_layout_still_loads(self, tmp_path, shard_corpus):
+        directory = str(tmp_path / "single")
+        single = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        single.add_all(shard_corpus)
+        single.build()
+        save_engine(single, directory)
+        reloaded = load_engine(directory)
+        assert isinstance(reloaded, SpatialKeywordEngine)
+
+
+class TestShardedServing:
+    def test_query_service_batch_matches_serial(self, shard_corpus):
+        with build_sharded(shard_corpus, "ir2", 3) as sharded:
+            terms = sorted(sharded._global_vocabulary().terms())[:4]
+            queries = [
+                SpatialKeywordQuery.of((30.0 + i, 40.0), [term], 5)
+                for i, term in enumerate(terms)
+            ]
+            serial = [sharded.search(q).oids for q in queries]
+            with sharded.serve(workers=3) as service:
+                batch = service.run_batch(queries)
+            assert [e.oids for e in batch] == serial
