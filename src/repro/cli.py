@@ -23,6 +23,11 @@ Five subcommands cover the typical lifecycle:
     :mod:`repro.serve` service layer (thread pool + result cache) and
     report throughput, cache, and latency statistics; ``--serve-trace``
     dumps every per-query trace span as JSON.
+
+``verify``
+    Check an on-disk engine directory's integrity: manifest parse and
+    version, per-file SHA-256 digests, shard layout, and a full load.
+    Exits non-zero on any corruption.
 """
 
 from __future__ import annotations
@@ -42,7 +47,7 @@ from repro.datasets import (
     save_tsv,
 )
 from repro.errors import ReproError
-from repro.persist import load_engine, save_engine
+from repro.persist import load_engine, save_engine, verify_engine
 from repro.shard import ShardedEngine
 
 
@@ -128,6 +133,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=0,
                        help="re-partition the loaded engine across N shards "
                             "before serving (0 = keep the saved layout)")
+
+    verify = commands.add_parser(
+        "verify", help="check an on-disk engine directory's integrity"
+    )
+    verify.add_argument("directory", help="engine directory to check")
+    verify.add_argument("--json", action="store_true",
+                        help="print the full verification report as JSON")
+    verify.add_argument("--no-load", action="store_true",
+                        help="digest and layout checks only; skip the "
+                             "full engine load")
     return parser
 
 
@@ -146,6 +161,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_stats(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "verify":
+            return _cmd_verify(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -250,6 +267,21 @@ def _cmd_serve(args) -> int:
     if args.serve_trace:
         print(f"trace spans written to {args.serve_trace}")
     return 0
+
+
+def _cmd_verify(args) -> int:
+    report = verify_engine(args.directory, load=not args.no_load)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["ok"] else 1
+    for check in report["checks"]:
+        detail = f"  ({check['detail']})" if check["detail"] else ""
+        print(f"{check['status']:>7}  {check['path']}{detail}")
+    for warning in report["warnings"]:
+        print(f"warning  {warning}")
+    verdict = "ok" if report["ok"] else "CORRUPT"
+    print(f"{report['directory']}: {verdict}")
+    return 0 if report["ok"] else 1
 
 
 def _repartition(engine: SpatialKeywordEngine, n_shards: int) -> ShardedEngine:

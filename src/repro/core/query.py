@@ -122,6 +122,12 @@ class QueryExecution:
         shards: per-shard cost breakdown (JSON-ready dicts) attached by
             :class:`repro.shard.ShardedEngine`; ``None`` for unsharded
             executions.
+        degraded: True when one or more shards failed and the engine's
+            ``"partial"`` failure policy returned the surviving shards'
+            answer instead of raising — the results may be missing
+            members that only the failed shards held.
+        failed_shards: shard ids that failed (after retries) when
+            ``degraded``; ``None``/empty otherwise.
     """
 
     query: SpatialKeywordQuery
@@ -133,6 +139,8 @@ class QueryExecution:
     algorithm: str = ""
     trace: object | None = None
     shards: list[dict] | None = None
+    degraded: bool = False
+    failed_shards: list[int] | None = None
 
     def simulated_ms(self, drive: DriveModel = DEFAULT_DRIVE) -> float:
         """Simulated execution time under the given drive model."""
@@ -186,6 +194,8 @@ class QueryExecution:
             "false_positive_candidates": self.false_positive_candidates,
             "nodes_visited": self.nodes_visited,
             "simulated_ms": self.simulated_ms(drive),
+            "degraded": self.degraded,
+            "failed_shards": list(self.failed_shards or []),
         }
         if self.shards is not None:
             payload["shards"] = self.shards
@@ -193,9 +203,13 @@ class QueryExecution:
 
     def summary(self) -> str:
         """Compact human-readable cost line for logs and examples."""
-        return (
+        line = (
             f"{self.algorithm or 'query'}: {len(self.results)} results, "
             f"{self.io.random.total} random + {self.io.sequential.total} "
             f"sequential block accesses, {self.objects_inspected} objects "
             f"inspected, {self.simulated_ms():.2f} ms simulated"
         )
+        if self.degraded:
+            failed = ", ".join(str(s) for s in self.failed_shards or [])
+            line += f" [DEGRADED: shard(s) {failed} failed]"
+        return line

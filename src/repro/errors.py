@@ -43,6 +43,26 @@ class AllocationError(StorageError):
     """The extent allocator was asked for an invalid allocation or free."""
 
 
+class DeviceFaultError(StorageError):
+    """A block device failed an individual read or write.
+
+    Raised (deliberately) by
+    :class:`repro.storage.faults.FaultInjectingDevice` and reserved for
+    real backends hitting unrecoverable media errors.  Callers that can
+    degrade gracefully (the sharded scatter-gather, the serving layer)
+    treat this as a *permanent* per-device failure.
+    """
+
+
+class TransientDeviceError(DeviceFaultError):
+    """A device failure that is expected to succeed when retried.
+
+    The retry helpers (:func:`repro.storage.faults.retry_transient`) and
+    the query layers retry this bounded-with-backoff before giving up and
+    treating it like a permanent :class:`DeviceFaultError`.
+    """
+
+
 class SerializationError(StorageError):
     """A node or object image could not be encoded or decoded."""
 
@@ -92,6 +112,16 @@ class QueryError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset file or generator configuration is invalid."""
+
+
+class PersistError(DatasetError):
+    """An on-disk engine directory failed an integrity check.
+
+    Raised by :mod:`repro.persist` when a saved engine's files are
+    missing, truncated, or fail their manifest SHA-256 digests.  Subclass
+    of :class:`DatasetError` so pre-existing callers that catch the
+    broader class keep working.
+    """
 
 
 class ServiceError(ReproError):

@@ -1,37 +1,77 @@
 """Engine persistence: save a built system to disk and reopen it.
 
 The paper's indexes are disk resident; a production deployment also needs
-them to *survive restarts*.  :func:`save_engine` writes an engine's block
-devices verbatim plus a JSON manifest of the in-memory bookkeeping (page
-directory, object pointers, tree shape, index configuration), and
-:func:`load_engine` reconstructs an equivalent engine — queries,
-insertions, and deletions continue exactly where they left off.
+them to *survive restarts* — including restarts in the middle of a save.
+:func:`save_engine` writes an engine's block devices verbatim plus a JSON
+manifest of the in-memory bookkeeping (page directory, object pointers,
+tree shape, index configuration), and :func:`load_engine` reconstructs an
+equivalent engine — queries, insertions, and deletions continue exactly
+where they left off.
 
 Layout of a saved single engine directory::
 
-    manifest.json    configuration + directory state
+    manifest.json    configuration + directory state + file digests
     objects.dat      the plain-text object file's blocks
     index.dat        the index structure's blocks
 
-A :class:`~repro.shard.ShardedEngine` saves as a manifest-of-manifests
-(format version 2): a top-level ``manifest.json`` carrying the fitted
-partitioner, the oid→shard routing table, and each partition's bounding
-box, plus one complete single-engine layout per shard::
+A :class:`~repro.shard.ShardedEngine` saves as a manifest-of-manifests: a
+top-level ``manifest.json`` carrying the fitted partitioner, the
+oid→shard routing table, and each partition's bounding box, plus one
+complete single-engine layout per shard::
 
     manifest.json    {"sharded": true, partitioner, shard_of, mbbs, ...}
     shard-000/       a full single-engine directory
     shard-001/
     ...
 
-Devices are reloaded into memory by default (matching the engine's
-default backend); the block images are identical either way because both
-backends share one serialization.
+Durability protocol (manifest version 3)
+----------------------------------------
+
+A crash half-way through a naive in-place save leaves a directory that
+*looks* valid but mixes old and new state.  ``save_engine`` therefore
+never touches the destination until the new state is complete:
+
+1. every artifact is written into a fresh ``<dir>.tmp-<nonce>`` sibling,
+   each file flushed and fsynced;
+2. each data file's SHA-256 digest and byte size are recorded in its
+   manifest (a sharded top manifest digests every shard's manifest,
+   chaining trust down to every block);
+3. the staging directory tree is fsynced, then swapped into place with
+   :func:`os.rename` — replacing the *whole* previous directory, so no
+   stale file from an earlier layout (e.g. a ``shard-002/`` from a
+   previous 3-shard save) can survive into the new one;
+4. the previous directory is deleted only after the swap.
+
+``load_engine`` re-hashes every file against the manifest digests before
+reconstructing anything and raises a typed
+:class:`~repro.errors.PersistError` (a :class:`DatasetError`) on any
+mismatch; corrupt or truncated manifests surface as :class:`DatasetError`
+naming the offending path, never as raw ``json`` / ``KeyError``
+exceptions.  The only non-atomic window is between the two renames of
+step 3, and it fails *loudly* (no directory → :class:`DatasetError`),
+never silently.  :func:`verify_engine` runs the same integrity checks
+without building an engine — the CLI exposes it as ``repro verify``.
+
+Version-1/2 directories (no digests) still load, with digest checks
+skipped.  Devices are reloaded into memory by default (matching the
+engine's default backend); the block images are identical either way
+because both backends share one serialization.
+
+Crash testing hooks: :func:`saving_fault_hook` installs a callback
+invoked at every named *fault point* inside a save; pairing it with
+:class:`repro.storage.faults.CrashTimer` simulates a power loss at any
+step (see ``tests/test_crash_safety.py``).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import secrets
+import shutil
+from contextlib import contextmanager
+from typing import Callable, Iterator
 
 from repro.core.engine import SpatialKeywordEngine
 from repro.core.indexes import (
@@ -41,60 +81,218 @@ from repro.core.indexes import (
     RTreeIndex,
     SignatureFileIndex,
 )
-from repro.errors import DatasetError
+from repro.errors import DatasetError, PersistError, ReproError
 from repro.shard.engine import ShardedEngine
 from repro.shard.partitioner import partitioner_from_dict
 from repro.spatial.geometry import Rect
 from repro.storage.block import BlockDevice, InMemoryBlockDevice
 
 #: Manifest format version (bump on incompatible layout changes).
-#: Version 2 added sharded layouts; single-engine layouts are unchanged,
-#: so version-1 directories still load.
-MANIFEST_VERSION = 2
+#: Version 2 added sharded layouts; version 3 added per-file SHA-256
+#: digests ("files") written by the atomic save protocol.  Loading is
+#: backward compatible: v1/v2 directories load with digest checks skipped.
+MANIFEST_VERSION = 3
 
-_SUPPORTED_VERSIONS = frozenset({1, 2})
+_SUPPORTED_VERSIONS = frozenset({1, 2, 3})
 
 _MANIFEST = "manifest.json"
 _OBJECTS = "objects.dat"
 _INDEX = "index.dat"
 
+#: Test hook: called with a label at each fault point during a save.
+_fault_hook: Callable[[str], None] | None = None
+
+
+@contextmanager
+def saving_fault_hook(hook: Callable[[str], None]) -> Iterator[None]:
+    """Install a fault-point callback for the duration of the block.
+
+    The hook is called with a label (``"objects-dumped"``,
+    ``"manifest-written"``, ``"swapped-out"``, ...) at every step of
+    :func:`save_engine`; raising from it simulates a crash at that
+    point.  Test-only — production saves run with no hook installed.
+    """
+    global _fault_hook
+    previous = _fault_hook
+    _fault_hook = hook
+    try:
+        yield
+    finally:
+        _fault_hook = previous
+
+
+def _fault_point(label: str) -> None:
+    if _fault_hook is not None:
+        _fault_hook(label)
+
 
 def save_engine(
     engine: SpatialKeywordEngine | ShardedEngine, directory: str
 ) -> str:
-    """Persist a built engine (single or sharded); returns the manifest path.
+    """Atomically persist a built engine; returns the manifest path.
+
+    The previous contents of ``directory`` (if any) are replaced
+    wholesale — either the complete new state is visible or the complete
+    previous state is, never a mixture.
 
     Raises:
         DatasetError: when the engine has not been built yet.
+        PersistError: when ``directory`` exists but is not a directory.
     """
     if isinstance(engine, ShardedEngine):
-        return _save_sharded(engine, directory)
-    return _save_single(engine, directory)
+        engine.require_built()
+    elif not engine.index.built:
+        raise DatasetError("cannot save an engine before build()")
+    directory = os.path.abspath(directory)
+    if os.path.exists(directory) and not os.path.isdir(directory):
+        raise PersistError(
+            f"save target {directory} exists and is not a directory"
+        )
+    nonce = secrets.token_hex(4)
+    staging = f"{directory}.tmp-{nonce}"
+    try:
+        if isinstance(engine, ShardedEngine):
+            _save_sharded(engine, staging)
+        else:
+            _save_single(engine, staging)
+        _fault_point("staged")
+        _swap_into_place(staging, directory, nonce)
+    except Exception:
+        # Polite failures (full disk, permission errors) clean their
+        # staging up; SimulatedCrash is a BaseException precisely so it
+        # skips this handler, like the power loss it stands in for.
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    return os.path.join(directory, _MANIFEST)
 
 
 def load_engine(directory: str) -> SpatialKeywordEngine | ShardedEngine:
     """Reopen an engine saved by :func:`save_engine`.
 
-    Returns a :class:`~repro.shard.ShardedEngine` when the directory holds
-    a sharded layout, a plain :class:`SpatialKeywordEngine` otherwise.
+    Verifies every file's SHA-256 digest against the manifest before
+    reconstructing anything (version-3 layouts).  Returns a
+    :class:`~repro.shard.ShardedEngine` when the directory holds a
+    sharded layout, a plain :class:`SpatialKeywordEngine` otherwise.
+
+    Raises:
+        DatasetError: missing/corrupt/truncated manifest, or unsupported
+            version.
+        PersistError: a file is missing, truncated, or fails its digest.
     """
     manifest = _read_manifest(directory)
-    if manifest.get("sharded"):
-        return _load_sharded(manifest, directory)
-    return _load_single(manifest, directory)
+    try:
+        if manifest.get("sharded"):
+            return _load_sharded(manifest, directory)
+        return _load_single(manifest, directory)
+    except PersistError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise DatasetError(
+            f"corrupt engine manifest under {directory}: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
 
 
 def _read_manifest(directory: str) -> dict:
     path = os.path.join(directory, _MANIFEST)
     if not os.path.exists(path):
         raise DatasetError(f"no engine manifest at {path}")
-    with open(path, "r", encoding="utf-8") as handle:
-        manifest = json.load(handle)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+        raise DatasetError(f"corrupt engine manifest at {path}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise DatasetError(
+            f"corrupt engine manifest at {path}: not a JSON object"
+        )
     if manifest.get("version") not in _SUPPORTED_VERSIONS:
         raise DatasetError(
-            f"unsupported manifest version {manifest.get('version')!r}"
+            f"unsupported manifest version {manifest.get('version')!r} "
+            f"at {path}"
         )
     return manifest
+
+
+# ---------------------------------------------------------------------------
+# Durability helpers
+# ---------------------------------------------------------------------------
+
+
+def _fsync_file(handle) -> None:
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def _fsync_dir(path: str) -> None:
+    # Directory fsync persists the entries themselves (the renames);
+    # not supported everywhere, so failures are non-fatal.
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def _file_digest(path: str) -> dict:
+    digest = hashlib.sha256()
+    size = 0
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+            size += len(chunk)
+    return {"sha256": digest.hexdigest(), "bytes": size}
+
+
+def _swap_into_place(staging: str, directory: str, nonce: str) -> None:
+    """Replace ``directory`` with ``staging`` via whole-directory renames."""
+    parent = os.path.dirname(directory) or "."
+    _fsync_dir(parent)
+    if os.path.exists(directory):
+        trash = f"{directory}.old-{nonce}"
+        os.rename(directory, trash)
+        _fault_point("swapped-out")
+        os.rename(staging, directory)
+        _fault_point("swapped-in")
+        _fsync_dir(parent)
+        shutil.rmtree(trash, ignore_errors=True)
+        _fault_point("cleaned-up")
+    else:
+        os.rename(staging, directory)
+        _fault_point("swapped-in")
+        _fsync_dir(parent)
+
+
+def _write_manifest(directory: str, manifest: dict) -> str:
+    path = os.path.join(directory, _MANIFEST)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        _fsync_file(handle)
+    return path
+
+
+def _verify_manifest_files(manifest: dict, directory: str) -> None:
+    """Re-hash every file the manifest covers; raise on any mismatch."""
+    for rel, meta in manifest.get("files", {}).items():
+        path = os.path.join(directory, rel)
+        if not os.path.exists(path):
+            raise PersistError(f"missing engine file {path}")
+        actual = _file_digest(path)
+        if actual["bytes"] != meta["bytes"]:
+            raise PersistError(
+                f"truncated engine file {path}: {actual['bytes']} bytes, "
+                f"manifest records {meta['bytes']}"
+            )
+        if actual["sha256"] != meta["sha256"]:
+            raise PersistError(
+                f"checksum mismatch for {path}: sha256 {actual['sha256']} "
+                f"!= manifest {meta['sha256']}"
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -106,8 +304,16 @@ def _save_single(engine: SpatialKeywordEngine, directory: str) -> str:
     if not engine.index.built:
         raise DatasetError("cannot save an engine before build()")
     os.makedirs(directory, exist_ok=True)
-    _dump_device(engine.corpus.device, os.path.join(directory, _OBJECTS))
-    _dump_device(engine.index.device, os.path.join(directory, _INDEX))
+    files = {
+        _OBJECTS: _dump_device(
+            engine.corpus.device, os.path.join(directory, _OBJECTS)
+        ),
+    }
+    _fault_point("objects-dumped")
+    files[_INDEX] = _dump_device(
+        engine.index.device, os.path.join(directory, _INDEX)
+    )
+    _fault_point("index-dumped")
     manifest = {
         "version": MANIFEST_VERSION,
         "block_size": engine.corpus.device.block_size,
@@ -119,14 +325,15 @@ def _save_single(engine: SpatialKeywordEngine, directory: str) -> str:
             "count": engine.corpus.store._count,
         },
         "index": _index_state(engine.index),
+        "files": files,
     }
-    path = os.path.join(directory, _MANIFEST)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
+    path = _write_manifest(directory, manifest)
+    _fault_point("manifest-written")
     return path
 
 
 def _load_single(manifest: dict, directory: str) -> SpatialKeywordEngine:
+    _verify_manifest_files(manifest, directory)
     state = manifest["index"]
     engine = SpatialKeywordEngine(
         index=manifest["index_kind"],
@@ -184,10 +391,13 @@ def _save_sharded(engine: ShardedEngine, directory: str) -> str:
     engine.require_built()
     os.makedirs(directory, exist_ok=True)
     shard_dirs = []
+    files = {}
     for shard_id, shard in enumerate(engine.shards):
         name = _shard_dirname(shard_id)
-        _save_single(shard, os.path.join(directory, name))
+        shard_manifest = _save_single(shard, os.path.join(directory, name))
+        files[f"{name}/{_MANIFEST}"] = _file_digest(shard_manifest)
         shard_dirs.append(name)
+        _fault_point(f"shard-{shard_id}-saved")
     manifest = {
         "version": MANIFEST_VERSION,
         "sharded": True,
@@ -204,14 +414,15 @@ def _save_sharded(engine: ShardedEngine, directory: str) -> str:
             for mbb in engine.shard_mbbs
         ],
         "shards": shard_dirs,
+        "files": files,
     }
-    path = os.path.join(directory, _MANIFEST)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
+    path = _write_manifest(directory, manifest)
+    _fault_point("manifest-written")
     return path
 
 
 def _load_sharded(manifest: dict, directory: str) -> ShardedEngine:
+    _verify_manifest_files(manifest, directory)
     shards = []
     for name in manifest["shards"]:
         shard_dir = os.path.join(directory, name)
@@ -234,17 +445,131 @@ def _load_sharded(manifest: dict, directory: str) -> ShardedEngine:
 
 
 # ---------------------------------------------------------------------------
+# Integrity verification (the `repro verify` command)
+# ---------------------------------------------------------------------------
+
+
+def verify_engine(directory: str, load: bool = True) -> dict:
+    """Check an on-disk engine directory's integrity without mutating it.
+
+    Runs the same checks :func:`load_engine` applies — manifest parse,
+    version, per-file size + SHA-256 digests, shard layout — and records
+    each as a check row instead of raising.  With ``load=True`` (the
+    default) it finishes by actually reconstructing the engine, which
+    additionally catches bookkeeping corruption the digests cannot see
+    (digests cover files written by us; a hand-edited manifest re-hashes
+    fine yet still cannot load).
+
+    Returns a JSON-serializable report::
+
+        {"directory": ..., "ok": bool,
+         "checks": [{"path", "status": "ok"|"skipped"|"error", "detail"}],
+         "warnings": [...]}
+    """
+    directory = os.path.abspath(directory)
+    checks: list[dict] = []
+    warnings: list[str] = []
+
+    def check(path: str, status: str, detail: str = "") -> None:
+        checks.append({"path": path, "status": status, "detail": detail})
+
+    _verify_directory(directory, directory, check)
+    # Leftover staging/trash siblings mean an earlier save crashed.
+    parent = os.path.dirname(directory) or "."
+    base = os.path.basename(directory)
+    if os.path.isdir(parent):
+        for entry in sorted(os.listdir(parent)):
+            if entry.startswith(f"{base}.tmp-") or entry.startswith(f"{base}.old-"):
+                warnings.append(
+                    f"leftover directory {os.path.join(parent, entry)} "
+                    "from an interrupted save (safe to delete)"
+                )
+    ok = all(row["status"] != "error" for row in checks)
+    if load and ok:
+        try:
+            load_engine(directory)
+            check(directory, "ok", "engine loads")
+        except ReproError as exc:
+            check(directory, "error", f"load failed: {exc}")
+            ok = False
+    return {
+        "directory": directory,
+        "ok": ok,
+        "checks": checks,
+        "warnings": warnings,
+    }
+
+
+def _verify_directory(directory: str, root: str, check) -> None:
+    """Structural + digest checks for one layout directory (recursive)."""
+
+    def rel(path: str) -> str:
+        return os.path.relpath(path, root)
+
+    manifest_path = os.path.join(directory, _MANIFEST)
+    try:
+        manifest = _read_manifest(directory)
+    except DatasetError as exc:
+        check(rel(manifest_path), "error", str(exc))
+        return
+    version = manifest.get("version")
+    sharded = bool(manifest.get("sharded"))
+    label = f"version {version}" + (", sharded" if sharded else "")
+    check(rel(manifest_path), "ok", label)
+    files = manifest.get("files")
+    if files is None:
+        check(rel(directory), "skipped",
+              "legacy layout without digests (manifest version < 3)")
+    else:
+        for file_rel, meta in sorted(files.items()):
+            path = os.path.join(directory, file_rel)
+            try:
+                _verify_manifest_files({"files": {file_rel: meta}}, directory)
+            except PersistError as exc:
+                check(rel(path), "error", str(exc))
+            else:
+                check(rel(path), "ok",
+                      f"sha256 ok, {meta['bytes']} bytes")
+    if sharded:
+        names = manifest.get("shards", [])
+        if not isinstance(names, list):
+            check(rel(manifest_path), "error", "invalid shard list")
+            return
+        for name in names:
+            shard_dir = os.path.join(directory, name)
+            if not os.path.isdir(shard_dir):
+                check(rel(shard_dir), "error", "missing shard directory")
+                continue
+            _verify_directory(shard_dir, root, check)
+        # A directory that looks like a shard but is not in the manifest
+        # is stale state from a different layout.
+        expected = set(names)
+        for entry in sorted(os.listdir(directory)):
+            if entry.startswith("shard-") and entry not in expected:
+                check(rel(os.path.join(directory, entry)), "error",
+                      "stale shard directory not in the manifest")
+
+
+# ---------------------------------------------------------------------------
 # Device images
 # ---------------------------------------------------------------------------
 
 
-def _dump_device(device: BlockDevice, path: str) -> None:
+def _dump_device(device: BlockDevice, path: str) -> dict:
+    digest = hashlib.sha256()
+    size = 0
     with open(path, "wb") as handle:
         for block in device.iter_blocks():
             handle.write(block)
+            digest.update(block)
+            size += len(block)
+        _fsync_file(handle)
+    return {"sha256": digest.hexdigest(), "bytes": size}
 
 
 def _load_device(device: InMemoryBlockDevice, path: str, block_size: int) -> None:
+    if not os.path.exists(path):
+        raise PersistError(f"missing engine file {path}")
     with open(path, "rb") as handle:
         data = handle.read()
     if len(data) % block_size:

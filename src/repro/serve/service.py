@@ -38,6 +38,7 @@ from repro.errors import ServiceError
 from repro.model import SpatialObject
 from repro.serve.resultcache import QueryResultCache
 from repro.serve.tracing import CACHE_BYPASS, CACHE_HIT, CACHE_MISS, TraceLog, TraceSpan
+from repro.storage.faults import retry_transient
 from repro.storage.iostats import IOStats
 
 
@@ -110,6 +111,9 @@ class ServiceStats:
         cache_misses: executions that ran the search algorithms (with the
             cache enabled); with caching disabled both counters stay 0.
         errors: executions that raised.
+        degraded: executions answered with partial results because one
+            or more shards failed (see
+            :attr:`repro.core.query.QueryExecution.degraded`).
         io: element-wise sum of every execution's per-query I/O delta.
         queue_wait_ms_total: summed queue wait across executions.
         search_ms_total: summed search time across executions.
@@ -119,6 +123,7 @@ class ServiceStats:
     cache_hits: int = 0
     cache_misses: int = 0
     errors: int = 0
+    degraded: int = 0
     io: IOStats = field(default_factory=IOStats)
     queue_wait_ms_total: float = 0.0
     search_ms_total: float = 0.0
@@ -145,6 +150,7 @@ class ServiceStats:
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
             "errors": self.errors,
+            "degraded": self.degraded,
             "avg_queue_wait_ms": self.avg_queue_wait_ms,
             "avg_search_ms": self.avg_search_ms,
             "random_reads": self.io.random_reads,
@@ -157,7 +163,8 @@ class ServiceStats:
         io = self.io
         return (
             f"{self.queries} queries ({self.cache_hits} cache hits, "
-            f"{self.errors} errors), avg wait {self.avg_queue_wait_ms:.2f} ms, "
+            f"{self.errors} errors, {self.degraded} degraded), "
+            f"avg wait {self.avg_queue_wait_ms:.2f} ms, "
             f"avg search {self.avg_search_ms:.2f} ms, "
             f"{io.random_reads} random + {io.sequential_reads} sequential reads, "
             f"{io.objects_loaded} objects loaded"
@@ -175,6 +182,12 @@ class QueryService:
         cache: enable the LRU result cache.
         cache_capacity: maximum cached executions.
         trace_capacity: maximum retained trace spans (None = unbounded).
+        retries: bounded retries (exponential backoff) per execution for
+            :class:`~repro.errors.TransientDeviceError` raised by the
+            engine's devices.  A :class:`~repro.shard.ShardedEngine` also
+            retries internally per shard; this is the outer guard for
+            single engines and fail-fast sharded ones.
+        retry_backoff_s: initial retry backoff; doubles per retry.
 
     The service is a context manager; :meth:`close` drains the pool::
 
@@ -189,11 +202,15 @@ class QueryService:
         cache: bool = True,
         cache_capacity: int = 256,
         trace_capacity: int | None = None,
+        retries: int = 2,
+        retry_backoff_s: float = 0.005,
     ) -> None:
         if workers < 1:
             raise ServiceError("a query service needs at least one worker")
         self.engine = engine
         self.workers = workers
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-query"
         )
@@ -208,6 +225,7 @@ class QueryService:
         self._hits = 0
         self._misses = 0
         self._errors = 0
+        self._degraded = 0
         self._io = IOStats()
         self._queue_ms = 0.0
         self._search_ms = 0.0
@@ -286,6 +304,8 @@ class QueryService:
                 self._hits += 1
             elif span.cache == CACHE_MISS:
                 self._misses += 1
+            if execution.degraded:
+                self._degraded += 1
             self._io = self._io.merged_with(execution.io)
             self._queue_ms += span.queue_wait_ms
             self._search_ms += span.search_ms
@@ -313,8 +333,14 @@ class QueryService:
             span.cache = CACHE_MISS
         else:
             span.cache = CACHE_BYPASS
-        execution = self.engine.search(query)
-        if self.cache is not None:
+        execution = retry_transient(
+            lambda: self.engine.search(query),
+            self.retries, self.retry_backoff_s,
+        )
+        if self.cache is not None and not execution.degraded:
+            # A degraded (partial) answer must not outlive the fault that
+            # caused it: once the shard recovers, the same query should
+            # run fully, not replay the partial result from cache.
             self.cache.put(query, execution)
         return execution
 
@@ -359,6 +385,7 @@ class QueryService:
                 cache_hits=self._hits,
                 cache_misses=self._misses,
                 errors=self._errors,
+                degraded=self._degraded,
                 io=self._io.snapshot(),
                 queue_wait_ms_total=self._queue_ms,
                 search_ms_total=self._search_ms,

@@ -10,7 +10,7 @@ Public surface:
 * :class:`TopKMerger` — the thread-safe tie-aware top-k accumulator.
 """
 
-from repro.shard.engine import ShardedEngine
+from repro.shard.engine import FAIL_FAST, PARTIAL, ShardedEngine
 from repro.shard.merge import OPEN, TopKMerger
 from repro.shard.partitioner import (
     GridPartitioner,
@@ -21,6 +21,8 @@ from repro.shard.partitioner import (
 )
 
 __all__ = [
+    "FAIL_FAST",
+    "PARTIAL",
     "ShardedEngine",
     "SpatialPartitioner",
     "KDPartitioner",

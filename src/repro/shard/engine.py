@@ -37,12 +37,18 @@ from repro.core.corpus import CorpusStats
 from repro.core.query import QueryExecution, SpatialKeywordQuery
 from repro.core.ranking import DistanceDecayRanking, RankingCallable, validate_monotonicity
 from repro.core.search import SearchCounters
-from repro.errors import IndexError_, QueryError
+from repro.errors import IndexError_, QueryError, StorageError
+from repro.storage.faults import retry_transient
 from repro.model import SearchResult, SpatialObject
 from repro.shard.merge import TopKMerger
 from repro.shard.partitioner import SpatialPartitioner, make_partitioner
 from repro.spatial.geometry import Rect, target_min_distance
 from repro.storage.iostats import IOStats, collecting_io
+
+#: Per-shard failure policies (see :class:`ShardedEngine`).
+FAIL_FAST = "fail-fast"
+PARTIAL = "partial"
+_FAILURE_POLICIES = frozenset({FAIL_FAST, PARTIAL})
 
 
 class ShardedEngine:
@@ -57,6 +63,16 @@ class ShardedEngine:
             "iio", "sig", ...).
         workers: fan-out threads per query (defaults to ``n_shards``,
             capped at 16).
+        failure_policy: what a query does when one shard keeps failing
+            with a :class:`~repro.errors.StorageError` after retries —
+            ``"fail-fast"`` (the default) re-raises the shard's error;
+            ``"partial"`` answers from the surviving shards and marks the
+            execution :attr:`~repro.core.query.QueryExecution.degraded`
+            with the failed shard ids.
+        retries: bounded retries (with exponential backoff) per shard for
+            :class:`~repro.errors.TransientDeviceError` before the
+            failure policy applies.
+        retry_backoff_s: initial retry backoff; doubles per retry.
         **engine_kwargs: forwarded to every shard's
             :class:`SpatialKeywordEngine` (``signature_bytes``,
             ``block_size``, ``analyzer``, ...).
@@ -68,10 +84,21 @@ class ShardedEngine:
         partitioner: str | SpatialPartitioner = "kd",
         index: str = "ir2",
         workers: int | None = None,
+        failure_policy: str = FAIL_FAST,
+        retries: int = 2,
+        retry_backoff_s: float = 0.005,
         **engine_kwargs,
     ) -> None:
         if n_shards < 1:
             raise QueryError(f"n_shards must be >= 1, got {n_shards}")
+        if failure_policy not in _FAILURE_POLICIES:
+            raise QueryError(
+                f"failure_policy must be one of {sorted(_FAILURE_POLICIES)}, "
+                f"got {failure_policy!r}"
+            )
+        self.failure_policy = failure_policy
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
         self.n_shards = n_shards
         self._index_kind = index
         self._engine_kwargs = dict(engine_kwargs)
@@ -104,10 +131,16 @@ class ShardedEngine:
         partitioner: SpatialPartitioner,
         shard_of: dict[int, int],
         mbbs: Sequence[Rect | None],
+        failure_policy: str = FAIL_FAST,
+        retries: int = 2,
+        retry_backoff_s: float = 0.005,
     ) -> "ShardedEngine":
         """Reassemble a built sharded engine (the persistence load path)."""
         partitioner.require_fitted()
         self = cls.__new__(cls)
+        self.failure_policy = failure_policy
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
         self.n_shards = len(shards)
         self.shards = list(shards)
         self._index_kind = shards[0].index_kind if shards else "ir2"
@@ -340,6 +373,7 @@ class ShardedEngine:
         incremental = self._supports_incremental()
         reports: list[dict | None] = [None] * self.n_shards
         ios: list[IOStats] = [IOStats() for _ in range(self.n_shards)]
+        errors: list[StorageError | None] = [None] * self.n_shards
         totals_lock = threading.Lock()
         totals = {"objects": 0, "false_pos": 0, "nodes": 0}
 
@@ -349,6 +383,8 @@ class ShardedEngine:
                 "shard": shard_id,
                 "lower_bound": bound,
                 "pruned": False,
+                "failed": False,
+                "error": None,
                 "results_offered": 0,
                 "objects_inspected": 0,
                 "nodes_visited": 0,
@@ -362,15 +398,30 @@ class ShardedEngine:
             if bound > merger.threshold():
                 report["pruned"] = True
                 return
-            if incremental:
-                execution = self._pull_incremental(shard_id, query, merger)
-            else:
-                execution = self.shards[shard_id].search(query)
-                for result in execution.results:
-                    if result.distance > merger.threshold():
-                        break
-                    merger.offer(result)
-                    report["results_offered"] += 1
+            try:
+                if incremental:
+                    # Retrying re-offers results the failed attempt already
+                    # merged; TopKMerger deduplicates by oid, so a restart
+                    # from the top of the stream is idempotent.
+                    execution = retry_transient(
+                        lambda: self._pull_incremental(shard_id, query, merger),
+                        self.retries, self.retry_backoff_s,
+                    )
+                else:
+                    execution = retry_transient(
+                        lambda: self.shards[shard_id].search(query),
+                        self.retries, self.retry_backoff_s,
+                    )
+                    for result in execution.results:
+                        if result.distance > merger.threshold():
+                            break
+                        merger.offer(result)
+                        report["results_offered"] += 1
+            except StorageError as exc:
+                report["failed"] = True
+                report["error"] = f"{type(exc).__name__}: {exc}"
+                errors[shard_id] = exc
+                return
             if incremental:
                 report["results_offered"] = execution.pop("offered")
                 io = execution.pop("io")
@@ -405,6 +456,9 @@ class ShardedEngine:
         for future in futures:
             future.result()
 
+        failed = [i for i, exc in enumerate(errors) if exc is not None]
+        if failed and self.failure_policy == FAIL_FAST:
+            raise errors[failed[0]]
         io = IOStats()
         for shard_io in ios:
             io = io.merged_with(shard_io)
@@ -417,6 +471,8 @@ class ShardedEngine:
             nodes_visited=totals["nodes"],
             algorithm=self._algorithm_label(),
             shards=[r for r in reports if r is not None],
+            degraded=bool(failed),
+            failed_shards=failed or None,
         )
 
     def _pull_incremental(
@@ -453,24 +509,49 @@ class ShardedEngine:
         # vocabulary so sharded scores equal single-engine scores.
         vocabulary = self._global_vocabulary()
         executions: list[QueryExecution | None] = [None] * self.n_shards
+        errors: list[StorageError | None] = [None] * self.n_shards
         nonempty = [i for i, mbb in enumerate(self._mbbs) if mbb is not None]
 
         def run_shard(shard_id: int) -> None:
-            executions[shard_id] = self.shards[shard_id].index.execute_ranked(
-                query, ranking, prune_zero_ir=prune_zero_ir,
-                vocabulary=vocabulary,
-            )
+            try:
+                executions[shard_id] = retry_transient(
+                    lambda: self.shards[shard_id].index.execute_ranked(
+                        query, ranking, prune_zero_ir=prune_zero_ir,
+                        vocabulary=vocabulary,
+                    ),
+                    self.retries, self.retry_backoff_s,
+                )
+            except StorageError as exc:
+                errors[shard_id] = exc
 
         pool = self._executor()
         for future in [pool.submit(run_shard, i) for i in nonempty]:
             future.result()
 
+        failed = [i for i, exc in enumerate(errors) if exc is not None]
+        if failed and self.failure_policy == FAIL_FAST:
+            raise errors[failed[0]]
         merged: list[SearchResult] = []
         io = IOStats()
         objects = false_pos = nodes = 0
         reports = []
         for shard_id in nonempty:
             execution = executions[shard_id]
+            if execution is None:  # failed shard under the partial policy
+                exc = errors[shard_id]
+                reports.append({
+                    "shard": shard_id,
+                    "lower_bound": None,
+                    "pruned": False,
+                    "failed": True,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "results_offered": 0,
+                    "objects_inspected": 0,
+                    "nodes_visited": 0,
+                    "random_reads": 0,
+                    "sequential_reads": 0,
+                })
+                continue
             merged.extend(execution.results)
             io = io.merged_with(execution.io)
             objects += execution.objects_inspected
@@ -480,6 +561,8 @@ class ShardedEngine:
                 "shard": shard_id,
                 "lower_bound": None,
                 "pruned": False,
+                "failed": False,
+                "error": None,
                 "results_offered": len(execution.results),
                 "objects_inspected": execution.objects_inspected,
                 "nodes_visited": execution.nodes_visited,
@@ -496,6 +579,8 @@ class ShardedEngine:
             nodes_visited=nodes,
             algorithm=f"{self._algorithm_label()}-RANKED",
             shards=reports,
+            degraded=bool(failed),
+            failed_shards=failed or None,
         )
 
     def _global_vocabulary(self):

@@ -40,6 +40,10 @@ class TopKMerger:
         # Max-heap on (distance, oid) via negation: the root is the
         # current worst member of the top-k, i.e. the pruning threshold.
         self._heap: list[tuple[float, int, SearchResult]] = []
+        # Oids currently in the heap: duplicate offers (a shard retried
+        # after a transient device error re-offers what it already sent)
+        # must be idempotent, not occupy two of the k slots.
+        self._oids: set[int] = set()
 
     def threshold(self) -> float:
         """Current k-th distance, or +inf while fewer than k results."""
@@ -56,14 +60,23 @@ class TopKMerger:
 
         Results farther than the threshold are discarded; ties at the
         threshold displace members with larger oids, keeping the merged
-        answer deterministic.
+        answer deterministic.  Offering a result that is already a member
+        (same oid) is a no-op, and only the ``(-distance, -oid)`` key is
+        ever compared — a full-entry comparison would fall through to the
+        unorderable :class:`SearchResult` payload on an exact
+        ``(distance, oid)`` tie and raise ``TypeError``.
         """
         entry = (-result.distance, -result.obj.oid, result)
         with self._lock:
+            if result.obj.oid in self._oids:
+                return self._threshold_locked()
             if len(self._heap) < self.k:
                 heapq.heappush(self._heap, entry)
-            elif entry > self._heap[0]:
-                heapq.heapreplace(self._heap, entry)
+                self._oids.add(result.obj.oid)
+            elif entry[:2] > self._heap[0][:2]:
+                evicted = heapq.heapreplace(self._heap, entry)
+                self._oids.discard(evicted[2].obj.oid)
+                self._oids.add(result.obj.oid)
             return self._threshold_locked()
 
     def results(self) -> list[SearchResult]:

@@ -13,6 +13,14 @@ from repro.storage.block import (
     InMemoryBlockDevice,
 )
 from repro.storage.cache import BufferPoolDevice
+from repro.storage.faults import (
+    CrashTimer,
+    FaultInjectingDevice,
+    FaultPlan,
+    SimulatedCrash,
+    inject_engine_faults,
+    retry_transient,
+)
 from repro.storage.iostats import AccessCounts, IOStats, collecting_io
 from repro.storage.objectstore import OBJECT_CATEGORY, ObjectStore, decode_row, encode_row
 from repro.storage.pagestore import PageStore
@@ -31,14 +39,18 @@ __all__ = [
     "AccessCounts",
     "BlockDevice",
     "BufferPoolDevice",
+    "CrashTimer",
     "DEFAULT_BLOCK_SIZE",
     "DEFAULT_DRIVE",
     "DriveModel",
     "ExtentAllocator",
+    "FaultInjectingDevice",
+    "FaultPlan",
     "FileBlockDevice",
     "HEADER_SIZE",
     "IOStats",
     "InMemoryBlockDevice",
+    "SimulatedCrash",
     "OBJECT_CATEGORY",
     "ObjectStore",
     "PageStore",
@@ -49,6 +61,8 @@ __all__ = [
     "encode_node",
     "encode_row",
     "entry_size",
+    "inject_engine_faults",
     "node_byte_size",
     "node_capacity",
+    "retry_transient",
 ]

@@ -163,7 +163,7 @@ class TestExecutionPayload:
     EXPECTED_KEYS = {
         "algorithm", "query", "results", "oids", "io",
         "objects_inspected", "false_positive_candidates",
-        "nodes_visited", "simulated_ms",
+        "nodes_visited", "simulated_ms", "degraded", "failed_shards",
     }
 
     def test_to_dict_is_json_clean(self, engine):

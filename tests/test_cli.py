@@ -178,3 +178,38 @@ class TestParser:
             build_parser().parse_args(
                 ["build", "--data", "x", "--out", "y", "--index", "btree"]
             )
+
+
+class TestVerify:
+    def test_intact_engine_verifies_clean(self, engine_dir, capsys):
+        assert main(["verify", engine_dir]) == 0
+        out = capsys.readouterr().out
+        assert "manifest.json" in out
+        assert "engine loads" in out
+        assert out.strip().endswith(": ok")
+
+    def test_corrupt_engine_fails_with_nonzero_exit(self, engine_dir, capsys):
+        import os
+
+        with open(os.path.join(engine_dir, "objects.dat"), "ab") as handle:
+            handle.write(b"x")
+        assert main(["verify", engine_dir]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out
+        assert "error" in out
+
+    def test_json_report(self, engine_dir, capsys):
+        import json
+
+        assert main(["verify", "--json", engine_dir]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert any(c["path"] == "manifest.json" for c in report["checks"])
+
+    def test_no_load_skips_the_load_check(self, engine_dir, capsys):
+        assert main(["verify", "--no-load", engine_dir]) == 0
+        assert "engine loads" not in capsys.readouterr().out
+
+    def test_missing_directory_fails_cleanly(self, tmp_path, capsys):
+        assert main(["verify", str(tmp_path / "nope")]) == 1
+        assert "CORRUPT" in capsys.readouterr().out

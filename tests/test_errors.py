@@ -31,6 +31,23 @@ class TestHierarchy:
         # Deliberately NOT the builtin IndexError.
         assert not issubclass(errors.IndexError_, IndexError)
 
+    def test_fault_family(self):
+        assert issubclass(errors.DeviceFaultError, errors.StorageError)
+        # Transient faults are retryable device faults.
+        assert issubclass(errors.TransientDeviceError, errors.DeviceFaultError)
+        # On-disk integrity failures are dataset errors, so existing
+        # `except DatasetError` callers keep working.
+        assert issubclass(errors.PersistError, errors.DatasetError)
+
+    def test_simulated_crash_escapes_exception_handlers(self):
+        from repro.storage import SimulatedCrash
+
+        # A simulated power loss must not be caught by `except Exception`
+        # cleanup code — that is the whole point of the simulation.
+        assert issubclass(SimulatedCrash, BaseException)
+        assert not issubclass(SimulatedCrash, Exception)
+        assert SimulatedCrash("staged").point == "staged"
+
 
 class TestMessages:
     def test_block_out_of_range_carries_context(self):

@@ -9,8 +9,8 @@ import pytest
 from repro import SpatialKeywordEngine, SpatialObject
 from repro.core import SpatialKeywordQuery, brute_force_top_k
 from repro.datasets import figure1_hotels
-from repro.errors import DatasetError
-from repro.persist import load_engine, save_engine
+from repro.errors import DatasetError, PersistError
+from repro.persist import MANIFEST_VERSION, load_engine, save_engine
 
 
 def build_engine(kind, objects):
@@ -125,3 +125,70 @@ class TestErrors:
             handle.write(b"garbage")  # no longer block aligned
         with pytest.raises(DatasetError):
             load_engine(str(target))
+
+    def test_save_over_a_plain_file_rejected(self, tmp_path):
+        engine = build_engine("ir2", figure1_hotels())
+        target = tmp_path / "saved"
+        target.write_text("not a directory")
+        with pytest.raises(PersistError):
+            save_engine(engine, str(target))
+
+
+class TestDurability:
+    def test_manifest_carries_digests_for_every_data_file(self, tmp_path):
+        import json
+
+        engine = build_engine("ir2", figure1_hotels())
+        target = tmp_path / "saved"
+        save_engine(engine, str(target))
+        manifest = json.loads((target / "manifest.json").read_text())
+        assert manifest["version"] == MANIFEST_VERSION
+        assert set(manifest["files"]) == {"objects.dat", "index.dat"}
+        for rel, meta in manifest["files"].items():
+            assert meta["bytes"] == (target / rel).stat().st_size
+            assert len(meta["sha256"]) == 64
+
+    def test_legacy_manifest_without_digests_still_loads(self, tmp_path):
+        import json
+
+        engine = build_engine("ir2", figure1_hotels())
+        target = tmp_path / "saved"
+        save_engine(engine, str(target))
+        manifest_path = target / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = 2
+        del manifest["files"]
+        manifest_path.write_text(json.dumps(manifest))
+        reloaded = load_engine(str(target))
+        before = engine.query((30.5, 100.0), ["internet", "pool"], k=2)
+        after = reloaded.query((30.5, 100.0), ["internet", "pool"], k=2)
+        assert after.oids == before.oids
+
+    def test_tampered_file_raises_persist_error_naming_it(self, tmp_path):
+        engine = build_engine("ir2", figure1_hotels())
+        target = tmp_path / "saved"
+        save_engine(engine, str(target))
+        path = target / "objects.dat"
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0x01  # same size, one flipped bit
+        path.write_bytes(bytes(data))
+        with pytest.raises(PersistError, match="objects.dat"):
+            load_engine(str(target))
+
+    def test_resave_replaces_the_directory_wholesale(self, tmp_path):
+        engine = build_engine("ir2", figure1_hotels())
+        target = tmp_path / "saved"
+        save_engine(engine, str(target))
+        junk = target / "leftover.dat"
+        junk.write_bytes(b"stale state from an older layout")
+        save_engine(engine, str(target))
+        assert not junk.exists()
+        assert load_engine(str(target)).query(
+            (30.5, 100.0), ["internet", "pool"], k=2
+        ).oids == [7, 2]
+        # No staging/trash siblings survive a successful save either.
+        leftovers = [
+            name for name in (p.name for p in tmp_path.iterdir())
+            if name.startswith("saved.tmp-") or name.startswith("saved.old-")
+        ]
+        assert leftovers == []

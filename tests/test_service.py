@@ -304,3 +304,82 @@ class TestResultCacheUnit:
         cache.put(q, QueryExecution(query=q, results=[]))
         assert cache.get(q) is not None
         assert cache.hit_rate == 0.5
+
+
+class TestFaultHandling:
+    """Transient retries and degraded-execution semantics in the service."""
+
+    def test_transient_engine_fault_is_retried_to_success(self, engine):
+        from repro.errors import TransientDeviceError
+
+        real_search = engine.search
+        calls = []
+
+        def flaky(query):
+            calls.append(1)
+            if len(calls) == 1:
+                raise TransientDeviceError("blip")
+            return real_search(query)
+
+        engine.search = flaky
+        with QueryService(engine, workers=2, retry_backoff_s=0.0) as service:
+            execution = service.query((0.0, 0.0), ["hotel"], k=3)
+            assert len(calls) == 2
+            assert service.stats().errors == 0
+        reference = real_search(
+            SpatialKeywordQuery.of((0.0, 0.0), ["hotel"], 3)
+        )
+        assert execution.oids == reference.oids
+
+    def test_permanent_fault_surfaces_and_is_counted(self, engine):
+        from repro.errors import DeviceFaultError
+
+        def broken(query):
+            raise DeviceFaultError("dead sector")
+
+        engine.search = broken
+        with QueryService(engine, workers=2, retry_backoff_s=0.0) as service:
+            with pytest.raises(DeviceFaultError):
+                service.query((0.0, 0.0), ["hotel"], k=3)
+            assert service.stats().errors == 1
+
+    def degraded_setup(self, small_objects):
+        from repro.shard import PARTIAL, ShardedEngine
+        from repro.storage import inject_engine_faults
+
+        sharded = ShardedEngine(
+            n_shards=3, index="ir2", signature_bytes=8,
+            failure_policy=PARTIAL,
+        )
+        sharded.add_all(small_objects)
+        sharded.build()
+        plans = [
+            inject_engine_faults(shard, read_error_rate=1.0)
+            for shard in sharded.shards
+        ]
+        return sharded, plans
+
+    def test_degraded_execution_is_counted_and_never_cached(
+        self, small_objects
+    ):
+        sharded, plans = self.degraded_setup(small_objects)
+        term = sorted(sharded._global_vocabulary().terms())[0]
+        with sharded, QueryService(sharded, workers=2) as service:
+            degraded = service.query((50.0, 50.0), [term], k=5)
+            assert degraded.degraded
+            stats = service.stats()
+            assert stats.degraded == 1
+            assert stats.cache_misses == 1
+            # The fault clears; the same query must re-execute in full,
+            # not replay the partial answer from the cache.
+            for plan in plans:
+                plan.disarm()
+            healed = service.query((50.0, 50.0), [term], k=5)
+            assert not healed.degraded
+            stats = service.stats()
+            assert stats.cache_hits == 0 and stats.cache_misses == 2
+            # The full answer *is* cacheable: third time is a hit.
+            again = service.query((50.0, 50.0), [term], k=5)
+            assert again.oids == healed.oids
+            assert service.stats().cache_hits == 1
+            assert service.stats().degraded == 1

@@ -18,10 +18,11 @@ import pytest
 from repro.core.engine import SpatialKeywordEngine
 from repro.core.query import SpatialKeywordQuery
 from repro.datasets import DatasetConfig, SpatialTextDatasetGenerator
-from repro.errors import DatasetError, IndexError_, QueryError
+from repro.errors import DatasetError, DeviceFaultError, IndexError_, QueryError
 from repro.model import SearchResult, SpatialObject
-from repro.persist import load_engine, save_engine
+from repro.persist import MANIFEST_VERSION, load_engine, save_engine
 from repro.shard import (
+    PARTIAL,
     GridPartitioner,
     KDPartitioner,
     ShardedEngine,
@@ -29,6 +30,7 @@ from repro.shard import (
     make_partitioner,
     partitioner_from_dict,
 )
+from repro.storage import inject_engine_faults
 from repro.spatial.geometry import target_point_distance
 
 EPS = 1e-9
@@ -153,6 +155,36 @@ class TestTopKMerger:
         for oid in (9, 4, 7, 2):
             merger.offer(SearchResult(obj(oid), 1.0))
         assert [r.obj.oid for r in merger.results()] == [2, 4]
+
+    def test_exact_distance_oid_tie_on_full_heap_does_not_raise(self):
+        # Regression: a full-entry heap comparison fell through to the
+        # unorderable SearchResult payload on an exact (distance, oid)
+        # tie and raised TypeError; only the key may be compared.
+        merger = TopKMerger(1)
+        obj = SpatialObject(5, (0.0, 0.0), "x")
+        merger.offer(SearchResult(obj, 2.0))
+        merger.offer(SearchResult(SpatialObject(5, (0.0, 0.0), "x"), 2.0))
+        assert [r.obj.oid for r in merger.results()] == [5]
+
+    def test_duplicate_offers_are_idempotent(self):
+        # A shard retried after a transient fault re-offers everything it
+        # already merged; duplicates must not occupy extra top-k slots.
+        merger = TopKMerger(3)
+        obj = lambda oid: SpatialObject(oid, (0.0, 0.0), "x")
+        for oid, distance in ((1, 1.0), (2, 2.0)):
+            merger.offer(SearchResult(obj(oid), distance))
+        for oid, distance in ((1, 1.0), (2, 2.0), (3, 3.0)):
+            merger.offer(SearchResult(obj(oid), distance))
+        assert [r.obj.oid for r in merger.results()] == [1, 2, 3]
+        assert merger.threshold() == 3.0
+
+    def test_eviction_forgets_the_evicted_oid(self):
+        merger = TopKMerger(1)
+        obj = lambda oid: SpatialObject(oid, (0.0, 0.0), "x")
+        merger.offer(SearchResult(obj(9), 5.0))
+        merger.offer(SearchResult(obj(1), 1.0))  # evicts 9
+        merger.offer(SearchResult(obj(9), 0.5))  # 9 may re-enter
+        assert [r.obj.oid for r in merger.results()] == [9]
 
 
 # ---------------------------------------------------------------------------
@@ -351,7 +383,7 @@ class TestShardedPersistence:
             ref = sharded.query((50.0, 50.0), [term], k=6)
             save_engine(sharded, directory)
         manifest = json.load(open(os.path.join(directory, "manifest.json")))
-        assert manifest["version"] == 2
+        assert manifest["version"] == MANIFEST_VERSION
         assert manifest["sharded"] is True
         assert manifest["n_shards"] == 3
         for name in manifest["shards"]:
@@ -387,3 +419,82 @@ class TestShardedServing:
             with sharded.serve(workers=3) as service:
                 batch = service.run_batch(queries)
             assert [e.oids for e in batch] == serial
+
+
+class TestDegradation:
+    """Per-shard failure policies under injected storage faults."""
+
+    def common_term(self, sharded):
+        return sorted(sharded._global_vocabulary().terms())[0]
+
+    def break_shard(self, sharded, shard_id, **plan_kwargs):
+        return inject_engine_faults(sharded.shards[shard_id], **plan_kwargs)
+
+    def test_fail_fast_reraises_the_shard_error(self, shard_corpus):
+        with build_sharded(shard_corpus, "ir2", 3) as sharded:
+            term = self.common_term(sharded)
+            self.break_shard(sharded, 0, read_error_rate=1.0)
+            self.break_shard(sharded, 1, read_error_rate=1.0)
+            self.break_shard(sharded, 2, read_error_rate=1.0)
+            with pytest.raises(DeviceFaultError):
+                sharded.query((50.0, 50.0), [term], k=8)
+
+    def test_partial_policy_answers_from_surviving_shards(self, shard_corpus):
+        with build_sharded(shard_corpus, "ir2", 3) as healthy:
+            term = self.common_term(healthy)
+            full = healthy.query((50.0, 50.0), [term], k=8)
+        with build_sharded(
+            shard_corpus, "ir2", 3, failure_policy=PARTIAL
+        ) as sharded:
+            broken = 1
+            self.break_shard(sharded, broken, read_error_rate=1.0)
+            execution = sharded.query((50.0, 50.0), [term], k=8)
+            assert execution.degraded
+            assert execution.failed_shards == [broken]
+            # Nothing from the broken shard, and every full-answer member
+            # owned by a healthy shard still present — the answer is the
+            # true top-k over the surviving shards, never garbage.
+            assert all(sharded.shard_of(oid) != broken for oid in execution.oids)
+            survivors = {
+                oid for oid in full.oids if sharded.shard_of(oid) != broken
+            }
+            assert survivors <= set(execution.oids)
+            report = [r for r in execution.shards if r["shard"] == broken][0]
+            assert report["failed"] and "DeviceFaultError" in report["error"]
+            assert "DEGRADED" in execution.summary()
+            payload = execution.to_dict()
+            assert payload["degraded"] is True
+            assert payload["failed_shards"] == [broken]
+
+    def test_partial_policy_for_ranked_queries(self, shard_corpus):
+        with build_sharded(
+            shard_corpus, "ir2", 3, failure_policy=PARTIAL
+        ) as sharded:
+            term = self.common_term(sharded)
+            self.break_shard(sharded, 2, read_error_rate=1.0)
+            execution = sharded.query_ranked((50.0, 50.0), [term], k=8)
+            assert execution.degraded
+            assert execution.failed_shards == [2]
+            assert all(sharded.shard_of(oid) != 2 for oid in execution.oids)
+
+    def test_transient_fault_is_retried_to_a_full_answer(self, shard_corpus):
+        with build_sharded(shard_corpus, "ir2", 3) as healthy:
+            term = self.common_term(healthy)
+            full = healthy.query((50.0, 50.0), [term], k=8)
+        with build_sharded(
+            shard_corpus, "ir2", 3, retry_backoff_s=0.0
+        ) as sharded:
+            # Every shard's first block access fails once, transiently
+            # (some shards may prune themselves and never read at all).
+            plans = [
+                self.break_shard(sharded, i, fail_read_at=(0,), transient=True)
+                for i in range(3)
+            ]
+            execution = sharded.query((50.0, 50.0), [term], k=8)
+            assert not execution.degraded
+            assert execution.oids == full.oids
+            assert sum(p.failures_injected for p in plans) >= 1
+
+    def test_bad_failure_policy_rejected(self):
+        with pytest.raises(QueryError, match="failure_policy"):
+            ShardedEngine(n_shards=2, failure_policy="shrug")
