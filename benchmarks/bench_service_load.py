@@ -1,0 +1,270 @@
+"""Macro-benchmark: mixed serving load through :class:`QueryService`.
+
+Drives one seeded, mixed workload — hot repeats, cold point queries,
+area queries, and (where the index supports them) ranked queries —
+through the full serving stack for several index kinds and shard
+counts, and writes a machine-readable baseline (``BENCH_PR4.json`` at
+the repo root) from the service's own metrics snapshot:
+
+* ``p50_ms`` / ``p95_ms`` — end-to-end latency quantiles from the
+  ``service.total_ms`` histogram of a multi-worker timed pass;
+* ``qps`` — the timed pass's completed queries over its wall time;
+* ``io_per_query`` — block reads and object loads per query from a
+  separate single-worker *metered* pass (service workers = 1 **and**
+  shard fan-out workers = 1), which makes the counts independent of
+  thread scheduling and therefore stable enough for CI to diff;
+* ``cache_hit_rate`` — the result cache's hit fraction on the workload.
+
+Run directly (``python benchmarks/bench_service_load.py``) to regenerate
+the full baseline, or with ``--quick`` for the small configuration CI's
+perf-smoke job uses; ``--check BASELINE`` compares the current quick
+numbers against a committed baseline and exits 2 when any config's
+total reads per query regressed by more than ``--tolerance`` (default
+2x).  Wall-clock fields (latency, QPS) are machine-dependent and are
+never compared — only the deterministic I/O counts gate CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.bench.workloads import ConcurrentLoadGenerator  # noqa: E402
+from repro.core.engine import SpatialKeywordEngine  # noqa: E402
+from repro.core.ranking import DistanceDecayRanking  # noqa: E402
+from repro.datasets import DatasetConfig, SpatialTextDatasetGenerator  # noqa: E402
+from repro.serve import QueryService  # noqa: E402
+from repro.shard import ShardedEngine  # noqa: E402
+
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR4.json")
+
+#: Index kinds x shard counts the full baseline covers.  Ranked queries
+#: are injected only for kinds whose index implements ``execute_ranked``.
+FULL_CONFIGS = [
+    ("ir2", 1), ("ir2", 4),
+    ("rtree", 1), ("rtree", 4),
+    ("iio", 1), ("iio", 4),
+]
+QUICK_CONFIGS = [("ir2", 1), ("ir2", 2), ("rtree", 1), ("iio", 1)]
+RANKED_KINDS = frozenset({"ir2", "mir2"})
+
+FULL_SCALE = dict(n_objects=1_200, n_queries=48, timed_workers=4)
+QUICK_SCALE = dict(n_objects=300, n_queries=16, timed_workers=2)
+
+WORKLOAD_MIX = dict(
+    num_keywords=2, k=10, hot_fraction=0.3, hot_pool=6,
+    area_fraction=0.2, ranked_fraction=0.2,
+)
+SEED = 1234
+
+
+def _corpus(n_objects: int):
+    config = DatasetConfig(
+        name="service-load",
+        n_objects=n_objects,
+        vocabulary_size=2_500,
+        avg_unique_words=20,
+        clusters=6,
+        seed=SEED,
+    )
+    return SpatialTextDatasetGenerator(config).generate()
+
+
+def _half_distance(objects) -> float:
+    """Engine-independent decay scale: 10% of the widest dataset span."""
+    dims = objects[0].dims
+    spans = [
+        max(o.point[d] for o in objects) - min(o.point[d] for o in objects)
+        for d in range(dims)
+    ]
+    return max(max(spans) * 0.1, 1e-9)
+
+
+def _build_engine(objects, index: str, shards: int, shard_workers: int | None):
+    if shards > 1:
+        engine = ShardedEngine(n_shards=shards, index=index, workers=shard_workers)
+    else:
+        engine = SpatialKeywordEngine(index=index)
+    engine.add_all(objects)
+    engine.build()
+    return engine
+
+
+def _batch(objects, analyzer, index: str, n_queries: int):
+    workload = ConcurrentLoadGenerator(objects, analyzer, seed=SEED)
+    ranking = (
+        DistanceDecayRanking(half_distance=_half_distance(objects))
+        if index in RANKED_KINDS
+        else None
+    )
+    mix = dict(WORKLOAD_MIX)
+    if ranking is None:
+        mix["ranked_fraction"] = 0.0
+    return workload.mixed_batch(n_queries, ranking=ranking, **mix)
+
+
+def run_config(objects, index: str, shards: int, scale: dict) -> dict:
+    """Measure one (index kind, shard count) cell: metered then timed."""
+    n_queries = scale["n_queries"]
+
+    # Pass 1 (metered): single service worker, single shard worker.
+    # Every source of thread-schedule nondeterminism is removed, so the
+    # I/O counts are reproducible and CI can compare them across runs.
+    engine = _build_engine(objects, index, shards, shard_workers=1)
+    batch = _batch(objects, engine.analyzer, index, n_queries)
+    with QueryService(engine, workers=1) as service:
+        service.run_batch(batch)
+        metered = service.stats()
+    if shards > 1:
+        engine.close()
+    io_per_query = {
+        "random_reads": metered.io.random_reads / n_queries,
+        "sequential_reads": metered.io.sequential_reads / n_queries,
+        "total_reads": (
+            metered.io.random_reads + metered.io.sequential_reads
+        ) / n_queries,
+        "objects_loaded": metered.io.objects_loaded / n_queries,
+    }
+
+    # Pass 2 (timed): concurrent workers, wall-clock latency and QPS.
+    engine = _build_engine(objects, index, shards, shard_workers=None)
+    batch = _batch(objects, engine.analyzer, index, n_queries)
+    with QueryService(engine, workers=scale["timed_workers"]) as service:
+        t0 = time.perf_counter()
+        service.run_batch(batch)
+        elapsed = time.perf_counter() - t0
+        timed = service.stats()
+    if shards > 1:
+        engine.close()
+    total_ms = timed.metrics["histograms"]["service.total_ms"]
+
+    return {
+        "index": index,
+        "shards": shards,
+        "queries": n_queries,
+        "p50_ms": total_ms["p50"],
+        "p95_ms": total_ms["p95"],
+        "qps": n_queries / elapsed if elapsed > 0 else 0.0,
+        "cache_hit_rate": metered.cache_hit_rate,
+        "degraded": metered.degraded,
+        "io_per_query": io_per_query,
+    }
+
+
+def run_mode(configs, scale: dict) -> dict:
+    objects = _corpus(scale["n_objects"])
+    results = []
+    for index, shards in configs:
+        label = f"{index} x{shards}"
+        t0 = time.perf_counter()
+        cell = run_config(objects, index, shards, scale)
+        print(
+            f"  {label:<10} p50={cell['p50_ms']:8.2f} ms  "
+            f"p95={cell['p95_ms']:8.2f} ms  qps={cell['qps']:7.1f}  "
+            f"reads/q={cell['io_per_query']['total_reads']:8.1f}  "
+            f"hit_rate={cell['cache_hit_rate']:.2f}  "
+            f"[{time.perf_counter() - t0:.1f}s]"
+        )
+        results.append(cell)
+    return {
+        "n_objects": scale["n_objects"],
+        "n_queries": scale["n_queries"],
+        "timed_workers": scale["timed_workers"],
+        "workload": dict(WORKLOAD_MIX, seed=SEED),
+        "configs": results,
+    }
+
+
+def check_regression(current: dict, baseline_path: str, tolerance: float) -> int:
+    """Compare quick-mode I/O per query against a committed baseline.
+
+    Returns a process exit code: 0 when every config's total reads per
+    query stays within ``tolerance`` x the baseline (and the baseline
+    parses), 2 on any regression, 1 when the baseline is unusable.
+    """
+    try:
+        with open(baseline_path, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
+        return 1
+    base_quick = baseline.get("quick", {}).get("configs", [])
+    base_by_key = {(c["index"], c["shards"]): c for c in base_quick}
+    failures = []
+    for cell in current["configs"]:
+        key = (cell["index"], cell["shards"])
+        base = base_by_key.get(key)
+        if base is None:
+            print(f"note: no baseline entry for {key}, skipping")
+            continue
+        now = cell["io_per_query"]["total_reads"]
+        then = base["io_per_query"]["total_reads"]
+        status = "ok"
+        if then > 0 and now > then * tolerance:
+            status = "REGRESSION"
+            failures.append(key)
+        print(
+            f"  {cell['index']} x{cell['shards']}: {now:.1f} reads/q "
+            f"vs baseline {then:.1f} ({status})"
+        )
+    if failures:
+        print(
+            f"I/O regression (> {tolerance}x baseline) in: {failures}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small CI configuration only")
+    parser.add_argument("--out", default=None,
+                        help=f"output JSON path (default: {DEFAULT_OUT}; "
+                             "'-' skips writing)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare quick-mode I/O per query against a "
+                             "committed baseline JSON; exit 2 on regression")
+    parser.add_argument("--tolerance", type=float, default=2.0,
+                        help="allowed I/O growth factor for --check")
+    args = parser.parse_args(argv)
+
+    payload = {
+        "benchmark": "bench_service_load",
+        "seed": SEED,
+        "note": (
+            "io_per_query comes from a single-worker metered pass and is "
+            "deterministic; latency/qps are wall-clock and machine-dependent"
+        ),
+    }
+    if args.quick:
+        print("quick mode:")
+        quick = run_mode(QUICK_CONFIGS, QUICK_SCALE)
+        payload["quick"] = quick
+    else:
+        print("full mode:")
+        payload.update(run_mode(FULL_CONFIGS, FULL_SCALE))
+        print("quick mode (CI baseline section):")
+        payload["quick"] = run_mode(QUICK_CONFIGS, QUICK_SCALE)
+
+    out = args.out if args.out is not None else DEFAULT_OUT
+    if out != "-":
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {out}")
+
+    if args.check:
+        return check_regression(payload["quick"], args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,11 +13,12 @@ the *same* query list, and benchmark runs are reproducible.
 from __future__ import annotations
 
 import random
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.query import SpatialKeywordQuery
 from repro.errors import DatasetError
 from repro.model import SpatialObject
+from repro.spatial.geometry import Rect
 from repro.text.analyzer import Analyzer
 
 
@@ -196,6 +197,89 @@ class ConcurrentLoadGenerator(WorkloadGenerator):
             else self.query(num_keywords, k)
             for _ in range(count)
         ]
+
+    def area_query(
+        self, num_keywords: int, k: int, extent_fraction: float = 0.05
+    ) -> SpatialKeywordQuery:
+        """One area-anchored query: a random box of the given extent.
+
+        The box spans ``extent_fraction`` of the dataset's bounding box
+        per dimension, centred on a uniform random point (clamped to the
+        dataset extent).
+        """
+        center = self.random_point()
+        lo, hi = [], []
+        for d, c in enumerate(center):
+            half = (self._hi[d] - self._lo[d]) * extent_fraction / 2.0
+            lo.append(max(self._lo[d], c - half))
+            hi.append(min(self._hi[d], c + half))
+        return SpatialKeywordQuery.of_area(
+            Rect(tuple(lo), tuple(hi)), self.sample_keywords(num_keywords), k
+        )
+
+    def mixed_batch(
+        self,
+        count: int,
+        num_keywords: int = 2,
+        k: int = 10,
+        hot_fraction: float = 0.3,
+        hot_pool: int = 8,
+        area_fraction: float = 0.2,
+        ranked_fraction: float = 0.2,
+        ranking: Callable[[float, float], float] | None = None,
+        area_extent: float = 0.05,
+    ) -> list[SpatialKeywordQuery]:
+        """A serving-shaped mix of point, area, and ranked queries.
+
+        Slots are assigned deterministically from the generator's RNG:
+        first ``hot_fraction`` draws repeat a hot point-query pool, then
+        ``area_fraction`` of the remainder are area queries and
+        ``ranked_fraction`` ranked queries (only when a ``ranking``
+        callable is supplied — pass **one shared instance**, since the
+        result cache keys ranking functions by identity); everything
+        else is a cold point query.
+
+        Args:
+            count: batch size.
+            num_keywords: keywords per query.
+            k: requested results per query.
+            hot_fraction: probability a slot repeats the hot pool.
+            hot_pool: number of distinct hot point queries.
+            area_fraction: probability a cold slot is an area query.
+            ranked_fraction: probability a cold slot is a ranked query
+                (ignored without ``ranking``).
+            ranking: shared combined-ranking function for ranked slots.
+            area_extent: per-dimension area size as a fraction of the
+                dataset extent.
+        """
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise DatasetError(
+                f"hot_fraction must be in [0, 1], got {hot_fraction}"
+            )
+        if area_fraction + ranked_fraction > 1.0:
+            raise DatasetError("area_fraction + ranked_fraction must be <= 1")
+        pool = (
+            [self.query(num_keywords, k) for _ in range(max(1, hot_pool))]
+            if hot_fraction > 0.0
+            else []
+        )
+        batch: list[SpatialKeywordQuery] = []
+        for _ in range(count):
+            if pool and self._rng.random() < hot_fraction:
+                batch.append(self._rng.choice(pool))
+                continue
+            slot = self._rng.random()
+            if slot < area_fraction:
+                batch.append(
+                    self.area_query(num_keywords, k, extent_fraction=area_extent)
+                )
+            elif ranking is not None and slot < area_fraction + ranked_fraction:
+                batch.append(
+                    self.query(num_keywords, k).with_ranking(ranking)
+                )
+            else:
+                batch.append(self.query(num_keywords, k))
+        return batch
 
 
 def with_k(queries: Sequence[SpatialKeywordQuery], k: int) -> list[SpatialKeywordQuery]:

@@ -22,7 +22,14 @@ Five subcommands cover the typical lifecycle:
     Replay a concurrent query workload against a saved engine through the
     :mod:`repro.serve` service layer (thread pool + result cache) and
     report throughput, cache, and latency statistics; ``--serve-trace``
-    dumps every per-query trace span as JSON.
+    dumps every per-query trace span as JSON, ``--serve-metrics`` the
+    metrics snapshot (histograms, counters, gauges) plus the slow-query
+    log.
+
+``metrics``
+    Probe a saved engine with a small seeded workload and print the
+    resulting metrics snapshot as JSON — the quickest way to see which
+    metric names and histogram buckets a deployment exports.
 
 ``verify``
     Check an on-disk engine directory's integrity: manifest parse and
@@ -130,9 +137,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--serve-trace", metavar="PATH",
                        help="write per-query trace spans and execution "
                             "payloads as JSON to PATH")
+    serve.add_argument("--serve-metrics", metavar="PATH",
+                       help="write the metrics snapshot (per-stage latency "
+                            "histograms, fan-out counters, storage gauges) "
+                            "and the slow-query log as JSON to PATH")
+    serve.add_argument("--slow-query-ms", type=float, default=100.0,
+                       help="total-latency threshold for the slow-query log")
     serve.add_argument("--shards", type=int, default=0,
                        help="re-partition the loaded engine across N shards "
                             "before serving (0 = keep the saved layout)")
+
+    metrics = commands.add_parser(
+        "metrics", help="probe a saved engine and print its metrics snapshot"
+    )
+    metrics.add_argument("directory", help="engine directory to probe")
+    metrics.add_argument("--queries", type=int, default=32,
+                         help="probe workload size")
+    metrics.add_argument("--workers", type=int, default=4,
+                         help="query worker threads for the probe")
+    metrics.add_argument("--seed", type=int, default=42,
+                         help="probe workload RNG seed")
+    metrics.add_argument("--out", metavar="PATH",
+                         help="also write the snapshot JSON to PATH")
 
     verify = commands.add_parser(
         "verify", help="check an on-disk engine directory's integrity"
@@ -161,6 +187,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_stats(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "metrics":
+            return _cmd_metrics(args)
         if args.command == "verify":
             return _cmd_verify(args)
     except ReproError as exc:
@@ -255,17 +283,47 @@ def _cmd_serve(args) -> int:
         hot_fraction=args.hot_fraction,
     )
     with QueryService(
-        engine, workers=args.workers, cache=not args.no_cache
+        engine, workers=args.workers, cache=not args.no_cache,
+        slow_query_ms=args.slow_query_ms,
     ) as service:
         executions = service.run_batch(batch)
         stats = service.stats()
         if args.serve_trace:
             service.export_traces(args.serve_trace, executions=executions)
+        if args.serve_metrics:
+            service.export_metrics(args.serve_metrics)
     print(f"served {stats.queries} queries with {args.workers} workers "
           f"over {_engine_label(engine)}")
     print(stats.summary())
     if args.serve_trace:
         print(f"trace spans written to {args.serve_trace}")
+    if args.serve_metrics:
+        print(f"metrics snapshot written to {args.serve_metrics}")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.bench.workloads import ConcurrentLoadGenerator
+    from repro.serve import QueryService
+
+    engine = load_engine(args.directory)
+    objects = list(engine.objects())
+    workload = ConcurrentLoadGenerator(objects, engine.analyzer, seed=args.seed)
+    batch = workload.batch(args.queries, num_keywords=2, k=10, hot_fraction=0.5)
+    with QueryService(engine, workers=args.workers) as service:
+        service.run_batch(batch)
+        stats = service.stats()
+        payload = {
+            "engine": _engine_label(engine),
+            "probe_queries": stats.queries,
+            "service": stats.as_dict(),
+            "metrics": stats.metrics,
+            "slow_queries": service.slow_log.as_dicts(),
+        }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
     return 0
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.core.query import SpatialKeywordQuery
 from repro.core.search import SearchOutcome
-from repro.model import SearchResult
+from repro.model import SearchResult, result_sort_key
 from repro.spatial.geometry import target_point_distance
 from repro.storage.objectstore import ObjectStore
 from repro.text.inverted_index import InvertedIndex
@@ -43,6 +43,6 @@ def iio_top_k(
         outcome.counters.objects_inspected += 1
         distance = target_point_distance(obj.point, query.target)
         scored.append(SearchResult(obj, distance, score=-distance))
-    scored.sort(key=lambda r: (r.distance, r.obj.oid))
+    scored.sort(key=result_sort_key)
     outcome.results = scored[: query.k]
     return outcome

@@ -146,6 +146,15 @@ class QueryExecution:
         """Simulated execution time under the given drive model."""
         return drive.simulated_ms(self.io)
 
+    def with_result_copies(self) -> "QueryExecution":
+        """A shallow replica whose results are per-entry copies.
+
+        The result cache stores these so that a caller mutating the
+        execution it was handed (either this one or a later cache hit)
+        can never reach the cached entry's state.
+        """
+        return replace(self, results=[result.copy() for result in self.results])
+
     @property
     def oids(self) -> list[int]:
         """Identifiers of the result objects, in rank order."""

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.core.query import SpatialKeywordQuery
-from repro.model import SearchResult
+from repro.model import SearchResult, result_sort_key
 from repro.spatial.geometry import target_point_distance
 from repro.spatial.nearest import NNTrace, incremental_nearest
 from repro.spatial.rtree import RTree
@@ -78,6 +78,34 @@ def ir2_top_k_iter(
             counters.false_positives += 1
 
 
+def drain_top_k(
+    iterator: Iterator[SearchResult], k: int
+) -> list[SearchResult]:
+    """Top ``k`` of a non-decreasing distance stream, ties cut by oid.
+
+    Stopping at exactly ``k`` results would truncate the tie group at
+    the k-th distance in heap-traversal order, so two correct indexes
+    (or a single vs a sharded engine) could legitimately return
+    different tie members.  Instead the *whole* tie group at the k-th
+    distance is drained and the cut is made on ``(distance, oid)`` —
+    the brute-force oracle's order, and the order
+    :class:`repro.shard.merge.TopKMerger` guarantees — so single,
+    sharded, and oracle answers are byte-identical.
+    """
+    results: list[SearchResult] = []
+    kth = 0.0
+    for result in iterator:
+        if len(results) < k:
+            results.append(result)
+            kth = result.distance  # stream is non-decreasing
+            continue
+        if result.distance > kth:
+            break
+        results.append(result)  # tie member at the k-th distance
+    results.sort(key=result_sort_key)
+    return results[:k]
+
+
 def ir2_top_k(
     tree: RTree,
     store: ObjectStore,
@@ -90,10 +118,7 @@ def ir2_top_k(
     iterator = ir2_top_k_iter(
         tree, store, analyzer, query, counters=outcome.counters, trace=trace
     )
-    for result in iterator:
-        outcome.results.append(result)
-        if len(outcome.results) >= query.k:
-            break
+    outcome.results = drain_top_k(iterator, query.k)
     return outcome
 
 
@@ -133,10 +158,7 @@ def rtree_top_k(
     iterator = rtree_top_k_iter(
         tree, store, analyzer, query, counters=outcome.counters
     )
-    for result in iterator:
-        outcome.results.append(result)
-        if len(outcome.results) >= query.k:
-            break
+    outcome.results = drain_top_k(iterator, query.k)
     return outcome
 
 
@@ -157,7 +179,7 @@ def brute_force_top_k(
         for obj in objects
         if analyzer.contains_all(obj.text, terms)
     ]
-    matches.sort(key=lambda r: (r.distance, r.obj.oid))
+    matches.sort(key=result_sort_key)
     for result in matches:
         result.score = -result.distance
     return matches[: query.k]

@@ -60,3 +60,24 @@ class SearchResult:
     def oid(self) -> int:
         """Identifier of the matching object."""
         return self.obj.oid
+
+    def copy(self) -> "SearchResult":
+        """An independent copy (``obj`` is frozen and safely shared).
+
+        The serving layer's result cache hands each hit copies so a
+        caller mutating a returned result (e.g. re-scoring in place)
+        cannot corrupt the cached answer for later hits.
+        """
+        return SearchResult(self.obj, self.distance, self.score, self.ir_score)
+
+
+def result_sort_key(result: SearchResult) -> tuple[float, int]:
+    """The canonical ``(distance, oid)`` tie-breaking order.
+
+    Every code path that cuts a distance-first result list at ``k`` —
+    the single-engine searches, the scan baselines, the sharded
+    :class:`~repro.shard.merge.TopKMerger`, and the brute-force oracle —
+    sorts by this key, which is what makes their answers byte-identical
+    under exact distance ties.
+    """
+    return (result.distance, result.obj.oid)

@@ -1,0 +1,60 @@
+"""Observability layer: metrics, latency histograms, slow-query log.
+
+The serving, sharding, and storage layers all record into one
+:class:`MetricsRegistry`:
+
+* :class:`repro.serve.QueryService` — per-stage latency histograms
+  (queue wait, lock wait, search, merge) and cache / degradation /
+  retry counters;
+* :class:`repro.shard.ShardedEngine` — per-shard fan-out counters
+  (pruned, failed, retried, results offered);
+* the storage devices — I/O read/write mixes and buffer-pool hit rates,
+  published at snapshot time by :func:`export_engine`.
+
+Surface it with ``repro metrics <engine-dir>`` (probe an engine and
+print the snapshot), ``repro serve --serve-metrics out.json`` (dump
+after a workload), or programmatically::
+
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    with QueryService(engine, metrics=registry) as service:
+        service.run_batch(queries)
+        print(registry.snapshot()["histograms"]["service.search_ms"]["p95"])
+
+:class:`SlowQueryLog` rides along in the service: the worst trace spans
+above a configurable latency threshold, so every dump names concrete
+offender queries next to the aggregate distributions.
+"""
+
+from repro.obs.export import (
+    export_device,
+    export_engine,
+    export_iostats,
+    metric_token,
+)
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.obs.slowlog import SlowQueryLog
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_MS",
+    "MetricsRegistry",
+    "SlowQueryLog",
+    "export_device",
+    "export_engine",
+    "export_iostats",
+    "merge_snapshots",
+    "metric_token",
+]

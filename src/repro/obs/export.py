@@ -1,0 +1,107 @@
+"""Bridge running storage/engine state into a :class:`MetricsRegistry`.
+
+The device layer keeps its own running state (:class:`IOStats` counters,
+:class:`~repro.storage.cache.BufferPoolDevice` hit/miss tallies) — hot
+paths should not pay a registry lookup per block access.  These helpers
+publish that state into a registry *at snapshot time*: the serving layer
+calls :func:`export_engine` from ``QueryService.stats()`` so every
+metrics dump reflects the devices as of that instant.
+
+Gauge names are ``storage.<device>.<metric>``; device names are
+sanitized to dotted-path-safe tokens (``lru(ir2-index)`` becomes
+``lru_ir2_index``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import MetricsRegistry
+from repro.storage.cache import BufferPoolDevice
+from repro.storage.iostats import IOStats
+
+_SANITIZE = re.compile(r"[^A-Za-z0-9_]+")
+
+
+def metric_token(name: str) -> str:
+    """A device/shard name reduced to a dotted-path-safe token."""
+    token = _SANITIZE.sub("_", name).strip("_")
+    return token or "device"
+
+
+def export_iostats(
+    registry: MetricsRegistry, prefix: str, io: IOStats
+) -> None:
+    """Publish one :class:`IOStats` as gauges under ``prefix``.
+
+    Covers the read/write mix the paper's evaluation cares about:
+    random vs sequential, reads vs writes, plus logical object loads.
+    """
+    snap = io.snapshot()
+    registry.gauge(f"{prefix}.random_reads").set(snap.random.reads)
+    registry.gauge(f"{prefix}.sequential_reads").set(snap.sequential.reads)
+    registry.gauge(f"{prefix}.random_writes").set(snap.random.writes)
+    registry.gauge(f"{prefix}.sequential_writes").set(snap.sequential.writes)
+    registry.gauge(f"{prefix}.objects_loaded").set(snap.objects_loaded)
+    total_reads = snap.random.reads + snap.sequential.reads
+    total_writes = snap.random.writes + snap.sequential.writes
+    total = total_reads + total_writes
+    registry.gauge(f"{prefix}.read_fraction").set(
+        total_reads / total if total else 0.0
+    )
+    registry.gauge(f"{prefix}.sequential_fraction").set(
+        (snap.sequential.reads + snap.sequential.writes) / total if total else 0.0
+    )
+
+
+def export_device(registry: MetricsRegistry, device) -> None:
+    """Publish one block device's running state.
+
+    Every device exports its :class:`IOStats`; a
+    :class:`BufferPoolDevice` additionally exports its hit/miss counts
+    and hit rate (and its inner device is exported too, so cached and
+    true disk traffic are both visible).
+    """
+    prefix = f"storage.{metric_token(device.name)}"
+    export_iostats(registry, f"{prefix}.io", device.stats)
+    if isinstance(device, BufferPoolDevice):
+        registry.gauge(f"{prefix}.pool.hits").set(device.hits)
+        registry.gauge(f"{prefix}.pool.misses").set(device.misses)
+        registry.gauge(f"{prefix}.pool.hit_rate").set(device.hit_rate)
+        registry.gauge(f"{prefix}.pool.cached_blocks").set(len(device._cache))
+
+
+def _engine_devices(engine) -> list:
+    devices = []
+    index = getattr(engine, "index", None)
+    if index is not None and getattr(index, "device", None) is not None:
+        devices.append(index.device)
+    corpus = getattr(engine, "corpus", None)
+    if corpus is not None and getattr(corpus, "device", None) is not None:
+        devices.append(corpus.device)
+    return devices
+
+
+def export_engine(registry: MetricsRegistry, engine) -> None:
+    """Publish every device of a single or sharded engine.
+
+    For a :class:`~repro.shard.ShardedEngine`, each shard's devices are
+    exported with a ``shard<N>`` path segment and the merged running I/O
+    additionally lands under ``storage.all_shards.io``.
+    """
+    shards = getattr(engine, "shards", None)
+    if shards is None:
+        for device in _engine_devices(engine):
+            export_device(registry, device)
+        return
+    merged = IOStats()
+    for shard_id, shard in enumerate(shards):
+        for device in _engine_devices(shard):
+            prefix = f"storage.shard{shard_id}.{metric_token(device.name)}"
+            export_iostats(registry, f"{prefix}.io", device.stats)
+            if isinstance(device, BufferPoolDevice):
+                registry.gauge(f"{prefix}.pool.hits").set(device.hits)
+                registry.gauge(f"{prefix}.pool.misses").set(device.misses)
+                registry.gauge(f"{prefix}.pool.hit_rate").set(device.hit_rate)
+            merged = merged.merged_with(device.stats.snapshot())
+    export_iostats(registry, "storage.all_shards.io", merged)

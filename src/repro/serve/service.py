@@ -16,15 +16,22 @@ while staying byte-for-byte faithful to them:
   mutations (insert / delete / rebuild) get exclusive access;
 * an LRU result cache (:class:`~repro.serve.resultcache.QueryResultCache`)
   answers repeated queries from memory and is invalidated on every
-  mutation;
+  mutation; both cache hits and cached entries carry *copies* of the
+  result objects, so a caller mutating a returned result can never
+  corrupt later answers;
 * every execution carries a :class:`~repro.serve.tracing.TraceSpan`
   (queue wait, search time, I/O counts, cache disposition), aggregated
-  into a :class:`ServiceStats` summary.
+  into a :class:`ServiceStats` summary;
+* per-stage latency histograms (queue wait, lock wait, search, merge),
+  cache / degradation / retry counters, and a slow-query log are
+  recorded into a :class:`repro.obs.MetricsRegistry`, snapshotted by
+  :attr:`ServiceStats.metrics` and :meth:`QueryService.export_metrics`.
 """
 
 from __future__ import annotations
 
 import itertools
+import json
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -36,6 +43,7 @@ from repro.core.engine import SpatialKeywordEngine
 from repro.core.query import QueryExecution, SpatialKeywordQuery
 from repro.errors import ServiceError
 from repro.model import SpatialObject
+from repro.obs import COUNT_BUCKETS, MetricsRegistry, SlowQueryLog, export_engine
 from repro.serve.resultcache import QueryResultCache
 from repro.serve.tracing import CACHE_BYPASS, CACHE_HIT, CACHE_MISS, TraceLog, TraceSpan
 from repro.storage.faults import retry_transient
@@ -117,6 +125,11 @@ class ServiceStats:
         io: element-wise sum of every execution's per-query I/O delta.
         queue_wait_ms_total: summed queue wait across executions.
         search_ms_total: summed search time across executions.
+        retries: transient-error retries spent across executions.
+        metrics: JSON-ready :meth:`repro.obs.MetricsRegistry.snapshot`
+            taken with this stats snapshot — per-stage latency
+            histograms, cache/degradation/retry counters, per-shard
+            fan-out counters, and device/buffer-pool gauges.
     """
 
     queries: int = 0
@@ -127,6 +140,8 @@ class ServiceStats:
     io: IOStats = field(default_factory=IOStats)
     queue_wait_ms_total: float = 0.0
     search_ms_total: float = 0.0
+    retries: int = 0
+    metrics: dict = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -151,6 +166,7 @@ class ServiceStats:
             "cache_hit_rate": self.cache_hit_rate,
             "errors": self.errors,
             "degraded": self.degraded,
+            "retries": self.retries,
             "avg_queue_wait_ms": self.avg_queue_wait_ms,
             "avg_search_ms": self.avg_search_ms,
             "random_reads": self.io.random_reads,
@@ -188,6 +204,14 @@ class QueryService:
             retries internally per shard; this is the outer guard for
             single engines and fail-fast sharded ones.
         retry_backoff_s: initial retry backoff; doubles per retry.
+        metrics: the :class:`repro.obs.MetricsRegistry` to record into; a
+            private one is created when omitted.  A sharded engine with
+            no registry of its own is attached to the service's, so its
+            fan-out counters land in the same snapshot.
+        slow_query_ms: total-latency threshold above which a query's
+            span is admitted to the slow-query log.
+        slow_log_capacity: maximum spans retained by the slow-query log
+            (the slowest ones win when it overflows).
 
     The service is a context manager; :meth:`close` drains the pool::
 
@@ -204,6 +228,9 @@ class QueryService:
         trace_capacity: int | None = None,
         retries: int = 2,
         retry_backoff_s: float = 0.005,
+        metrics: MetricsRegistry | None = None,
+        slow_query_ms: float = 100.0,
+        slow_log_capacity: int = 32,
     ) -> None:
         if workers < 1:
             raise ServiceError("a query service needs at least one worker")
@@ -211,6 +238,13 @@ class QueryService:
         self.workers = workers
         self.retries = retries
         self.retry_backoff_s = retry_backoff_s
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if getattr(engine, "metrics", False) is None:
+            # A sharded engine built without a registry inherits ours.
+            engine.metrics = self.metrics
+        self.slow_log = SlowQueryLog(
+            threshold_ms=slow_query_ms, capacity=slow_log_capacity
+        )
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-query"
         )
@@ -226,6 +260,7 @@ class QueryService:
         self._misses = 0
         self._errors = 0
         self._degraded = 0
+        self._retries_taken = 0
         self._io = IOStats()
         self._queue_ms = 0.0
         self._search_ms = 0.0
@@ -281,22 +316,29 @@ class QueryService:
             worker=threading.current_thread().name,
         )
         try:
-            with self._rw.read_locked():
+            self._rw.acquire_read()
+            span.lock_acquired_at = time.perf_counter()
+            try:
                 execution = self._answer(query, span)
+            finally:
+                self._rw.release_read()
         except Exception as exc:
             span.finished_at = time.perf_counter()
             span.error = f"{type(exc).__name__}: {exc}"
             self.trace_log.append(span)
             with self._stats_lock:
                 self._errors += 1
+                self._retries_taken += span.retries
+            self.metrics.counter("service.errors").inc()
+            self.slow_log.offer(span)
             raise
-        span.finished_at = time.perf_counter()
         span.algorithm = execution.algorithm
         span.random_reads = execution.io.random_reads
         span.sequential_reads = execution.io.sequential_reads
         span.objects_loaded = execution.io.objects_loaded
         span.num_results = len(execution.results)
         execution.trace = span
+        span.finished_at = time.perf_counter()
         self.trace_log.append(span)
         with self._stats_lock:
             self._queries += 1
@@ -306,10 +348,33 @@ class QueryService:
                 self._misses += 1
             if execution.degraded:
                 self._degraded += 1
+            self._retries_taken += span.retries
             self._io = self._io.merged_with(execution.io)
             self._queue_ms += span.queue_wait_ms
             self._search_ms += span.search_ms
+        self._record_metrics(span, execution)
+        self.slow_log.offer(span)
         return execution
+
+    def _record_metrics(
+        self, span: TraceSpan, execution: QueryExecution
+    ) -> None:
+        """Emit one completed execution into the metrics registry."""
+        m = self.metrics
+        m.counter("service.queries").inc()
+        m.counter(f"service.cache.{span.cache}").inc()
+        if execution.degraded:
+            m.counter("service.degraded").inc()
+        if span.retries:
+            m.counter("service.retries").inc(span.retries)
+        m.histogram("service.queue_wait_ms").observe(span.queue_wait_ms)
+        m.histogram("service.lock_wait_ms").observe(span.lock_wait_ms)
+        m.histogram("service.search_ms").observe(span.engine_ms)
+        m.histogram("service.merge_ms").observe(span.merge_ms)
+        m.histogram("service.total_ms").observe(span.total_ms)
+        m.histogram(
+            "service.reads_per_query", buckets=COUNT_BUCKETS
+        ).observe(execution.io.random_reads + execution.io.sequential_reads)
 
     def _answer(
         self, query: SpatialKeywordQuery, span: TraceSpan
@@ -319,11 +384,14 @@ class QueryService:
             cached = self.cache.get(query)
             if cached is not None:
                 span.cache = CACHE_HIT
-                # A fresh execution sharing the (immutable) result list:
-                # a hit costs no I/O and inspects no objects.
+                span.search_done_at = time.perf_counter()
+                # A fresh execution carrying *copies* of the cached
+                # results — a caller mutating its answer in place must
+                # never reach the cached entry.  A hit costs no I/O and
+                # inspects no objects.
                 return QueryExecution(
                     query=query,
-                    results=list(cached.results),
+                    results=[result.copy() for result in cached.results],
                     io=IOStats(),
                     objects_inspected=0,
                     false_positive_candidates=0,
@@ -333,15 +401,23 @@ class QueryService:
             span.cache = CACHE_MISS
         else:
             span.cache = CACHE_BYPASS
+
+        def count_retry(attempt: int, exc: Exception) -> None:
+            span.retries += 1
+
         execution = retry_transient(
             lambda: self.engine.search(query),
             self.retries, self.retry_backoff_s,
+            on_retry=count_retry,
         )
+        span.search_done_at = time.perf_counter()
         if self.cache is not None and not execution.degraded:
             # A degraded (partial) answer must not outlive the fault that
             # caused it: once the shard recovers, the same query should
             # run fully, not replay the partial result from cache.
-            self.cache.put(query, execution)
+            # The cached entry gets its own result copies so the caller
+            # of *this* (miss) execution cannot mutate them afterwards.
+            self.cache.put(query, execution.with_result_copies())
         return execution
 
     # -- Mutations (exclusive against the reader pool) --------------------------
@@ -378,7 +454,13 @@ class QueryService:
     # -- Introspection ----------------------------------------------------------
 
     def stats(self) -> ServiceStats:
-        """A consistent snapshot of the service-lifetime aggregates."""
+        """A consistent snapshot of the service-lifetime aggregates.
+
+        Refreshes the storage/buffer-pool gauges from the engine's
+        devices first, so :attr:`ServiceStats.metrics` carries a
+        current metrics snapshot alongside the counters.
+        """
+        export_engine(self.metrics, self.engine)
         with self._stats_lock:
             return ServiceStats(
                 queries=self._queries,
@@ -389,7 +471,26 @@ class QueryService:
                 io=self._io.snapshot(),
                 queue_wait_ms_total=self._queue_ms,
                 search_ms_total=self._search_ms,
+                retries=self._retries_taken,
+                metrics=self.metrics.snapshot(),
             )
+
+    def slow_queries(self) -> list[TraceSpan]:
+        """The retained slow-query spans, slowest first."""
+        return self.slow_log.spans()
+
+    def export_metrics(self, path: str) -> None:
+        """Dump the service summary, metrics snapshot, and slow-query
+        log to ``path`` as one JSON document (the CLI's
+        ``serve --serve-metrics`` output)."""
+        stats = self.stats()
+        payload = {
+            "service": stats.as_dict(),
+            "metrics": stats.metrics,
+            "slow_queries": self.slow_log.as_dicts(),
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
 
     def trace_spans(self) -> list[TraceSpan]:
         """Snapshot of the retained per-query trace spans."""

@@ -36,11 +36,16 @@ class TraceSpan:
         cache: one of ``"hit"`` / ``"miss"`` / ``"bypass"``.
         submitted_at: perf-counter time the query entered the service.
         started_at: perf-counter time a worker picked it up.
+        lock_acquired_at: perf-counter time the worker obtained the read
+            lock (0.0 if it never got that far).
+        search_done_at: perf-counter time the engine search (or the
+            cache lookup, for hits) returned (0.0 if it never got there).
         finished_at: perf-counter time the execution completed.
         random_reads: per-query random block reads.
         sequential_reads: per-query sequential block reads.
         objects_loaded: per-query logical object loads.
         num_results: number of results returned.
+        retries: transient-error retries spent by this execution.
         worker: name of the thread that executed the query.
         error: exception message when the execution failed, else None.
     """
@@ -52,11 +57,14 @@ class TraceSpan:
     cache: str = CACHE_BYPASS
     submitted_at: float = 0.0
     started_at: float = 0.0
+    lock_acquired_at: float = 0.0
+    search_done_at: float = 0.0
     finished_at: float = 0.0
     random_reads: int = 0
     sequential_reads: int = 0
     objects_loaded: int = 0
     num_results: int = 0
+    retries: int = 0
     worker: str = ""
     error: str | None = None
 
@@ -69,6 +77,27 @@ class TraceSpan:
     def search_ms(self) -> float:
         """Milliseconds the search itself took (cache hits are ~0)."""
         return max(0.0, self.finished_at - self.started_at) * 1000.0
+
+    @property
+    def lock_wait_ms(self) -> float:
+        """Milliseconds spent waiting for the read lock (0.0 if unknown)."""
+        if not self.lock_acquired_at:
+            return 0.0
+        return max(0.0, self.lock_acquired_at - self.started_at) * 1000.0
+
+    @property
+    def engine_ms(self) -> float:
+        """Milliseconds inside the engine search / cache lookup proper."""
+        if not self.lock_acquired_at or not self.search_done_at:
+            return 0.0
+        return max(0.0, self.search_done_at - self.lock_acquired_at) * 1000.0
+
+    @property
+    def merge_ms(self) -> float:
+        """Milliseconds merging/finalizing the answer (cache put, span)."""
+        if not self.search_done_at:
+            return 0.0
+        return max(0.0, self.finished_at - self.search_done_at) * 1000.0
 
     @property
     def total_ms(self) -> float:
@@ -84,12 +113,16 @@ class TraceSpan:
             "k": self.k,
             "cache": self.cache,
             "queue_wait_ms": self.queue_wait_ms,
+            "lock_wait_ms": self.lock_wait_ms,
+            "engine_ms": self.engine_ms,
+            "merge_ms": self.merge_ms,
             "search_ms": self.search_ms,
             "total_ms": self.total_ms,
             "random_reads": self.random_reads,
             "sequential_reads": self.sequential_reads,
             "objects_loaded": self.objects_loaded,
             "num_results": self.num_results,
+            "retries": self.retries,
             "worker": self.worker,
             "error": self.error,
         }

@@ -38,6 +38,7 @@ from repro.core.query import QueryExecution, SpatialKeywordQuery
 from repro.core.ranking import DistanceDecayRanking, RankingCallable, validate_monotonicity
 from repro.core.search import SearchCounters
 from repro.errors import IndexError_, QueryError, StorageError
+from repro.obs import MetricsRegistry
 from repro.storage.faults import retry_transient
 from repro.model import SearchResult, SpatialObject
 from repro.shard.merge import TopKMerger
@@ -73,6 +74,11 @@ class ShardedEngine:
             :class:`~repro.errors.TransientDeviceError` before the
             failure policy applies.
         retry_backoff_s: initial retry backoff; doubles per retry.
+        metrics: optional :class:`repro.obs.MetricsRegistry` receiving
+            per-query fan-out counters (``shard.fanout.*`` plus a
+            ``shard.<id>.*`` family per shard).  ``None`` records
+            nothing; :class:`repro.serve.QueryService` attaches its own
+            registry to an unset engine.
         **engine_kwargs: forwarded to every shard's
             :class:`SpatialKeywordEngine` (``signature_bytes``,
             ``block_size``, ``analyzer``, ...).
@@ -87,6 +93,7 @@ class ShardedEngine:
         failure_policy: str = FAIL_FAST,
         retries: int = 2,
         retry_backoff_s: float = 0.005,
+        metrics: MetricsRegistry | None = None,
         **engine_kwargs,
     ) -> None:
         if n_shards < 1:
@@ -99,6 +106,7 @@ class ShardedEngine:
         self.failure_policy = failure_policy
         self.retries = retries
         self.retry_backoff_s = retry_backoff_s
+        self.metrics = metrics
         self.n_shards = n_shards
         self._index_kind = index
         self._engine_kwargs = dict(engine_kwargs)
@@ -141,6 +149,7 @@ class ShardedEngine:
         self.failure_policy = failure_policy
         self.retries = retries
         self.retry_backoff_s = retry_backoff_s
+        self.metrics = None
         self.n_shards = len(shards)
         self.shards = list(shards)
         self._index_kind = shards[0].index_kind if shards else "ir2"
@@ -390,6 +399,7 @@ class ShardedEngine:
                 "nodes_visited": 0,
                 "random_reads": 0,
                 "sequential_reads": 0,
+                "retries": 0,
             }
             reports[shard_id] = report
             if bound is None:  # empty shard
@@ -398,6 +408,10 @@ class ShardedEngine:
             if bound > merger.threshold():
                 report["pruned"] = True
                 return
+
+            def count_retry(attempt: int, exc: Exception) -> None:
+                report["retries"] += 1
+
             try:
                 if incremental:
                     # Retrying re-offers results the failed attempt already
@@ -406,11 +420,13 @@ class ShardedEngine:
                     execution = retry_transient(
                         lambda: self._pull_incremental(shard_id, query, merger),
                         self.retries, self.retry_backoff_s,
+                        on_retry=count_retry,
                     )
                 else:
                     execution = retry_transient(
                         lambda: self.shards[shard_id].search(query),
                         self.retries, self.retry_backoff_s,
+                        on_retry=count_retry,
                     )
                     for result in execution.results:
                         if result.distance > merger.threshold():
@@ -457,6 +473,7 @@ class ShardedEngine:
             future.result()
 
         failed = [i for i, exc in enumerate(errors) if exc is not None]
+        self._record_fanout_metrics(reports)
         if failed and self.failure_policy == FAIL_FAST:
             raise errors[failed[0]]
         io = IOStats()
@@ -510,9 +527,13 @@ class ShardedEngine:
         vocabulary = self._global_vocabulary()
         executions: list[QueryExecution | None] = [None] * self.n_shards
         errors: list[StorageError | None] = [None] * self.n_shards
+        retries_taken = [0] * self.n_shards
         nonempty = [i for i, mbb in enumerate(self._mbbs) if mbb is not None]
 
         def run_shard(shard_id: int) -> None:
+            def count_retry(attempt: int, exc: Exception) -> None:
+                retries_taken[shard_id] += 1
+
             try:
                 executions[shard_id] = retry_transient(
                     lambda: self.shards[shard_id].index.execute_ranked(
@@ -520,6 +541,7 @@ class ShardedEngine:
                         vocabulary=vocabulary,
                     ),
                     self.retries, self.retry_backoff_s,
+                    on_retry=count_retry,
                 )
             except StorageError as exc:
                 errors[shard_id] = exc
@@ -550,6 +572,7 @@ class ShardedEngine:
                     "nodes_visited": 0,
                     "random_reads": 0,
                     "sequential_reads": 0,
+                    "retries": retries_taken[shard_id],
                 })
                 continue
             merged.extend(execution.results)
@@ -568,7 +591,9 @@ class ShardedEngine:
                 "nodes_visited": execution.nodes_visited,
                 "random_reads": execution.io.random_reads,
                 "sequential_reads": execution.io.sequential_reads,
+                "retries": retries_taken[shard_id],
             })
+        self._record_fanout_metrics(reports)
         merged.sort(key=lambda r: (-r.score, r.distance, r.obj.oid))
         return QueryExecution(
             query=query,
@@ -616,6 +641,39 @@ class ShardedEngine:
 
     def _algorithm_label(self) -> str:
         return f"SHARDED-{self._index_kind.upper()}x{self.n_shards}"
+
+    def _record_fanout_metrics(self, reports: list[dict | None]) -> None:
+        """Emit one query's per-shard reports into the metrics registry.
+
+        Records both the fleet-wide ``shard.fanout.*`` counters and a
+        per-shard ``shard.<id>.*`` family, so a hot or flaky partition is
+        visible individually.  A no-op without a registry attached.
+        """
+        m = self.metrics
+        if m is None:
+            return
+        m.counter("shard.fanout.queries").inc()
+        for report in reports:
+            if report is None:
+                continue
+            shard_id = report["shard"]
+            if report["pruned"]:
+                m.counter("shard.fanout.pruned").inc()
+                m.counter(f"shard.{shard_id}.pruned").inc()
+                continue
+            m.counter("shard.fanout.searched").inc()
+            m.counter(f"shard.{shard_id}.searched").inc()
+            if report["failed"]:
+                m.counter("shard.fanout.failed").inc()
+                m.counter(f"shard.{shard_id}.failed").inc()
+            if report["retries"]:
+                m.counter("shard.fanout.retried").inc(report["retries"])
+                m.counter(f"shard.{shard_id}.retried").inc(report["retries"])
+            if report["results_offered"]:
+                m.counter("shard.fanout.offers").inc(report["results_offered"])
+                m.counter(f"shard.{shard_id}.offers").inc(
+                    report["results_offered"]
+                )
 
     # -- Serving ----------------------------------------------------------------
 

@@ -23,8 +23,12 @@ handle) are not themselves safe under interleaved raw reads and writes.
 A miss releases the pool lock while the block is fetched, re-checks the
 cache before admitting, and skips admission entirely if any write landed
 in the window, so concurrent hits proceed and stale data is never cached.
-The serving layer (:mod:`repro.serve`) relies on this when many query
-threads share one buffered device.
+Writes hold only the inner lock across the disk write and take the pool
+lock just for the in-memory epoch bump and cache refresh afterwards, so
+hits are never serialized behind disk *write* latency either — the pool
+lock is never held across any disk I/O.  The serving layer
+(:mod:`repro.serve`) relies on this when many query threads share one
+buffered device.
 """
 
 from __future__ import annotations
@@ -102,17 +106,30 @@ class BufferPoolDevice(BlockDevice):
             return data
 
     def write_block(self, block_id: int, data: bytes, category: str = "data") -> None:
-        """Write through to the inner device and refresh the cached copy."""
-        with self._pool_lock:
-            with self._inner_lock:
-                self.inner.write_block(block_id, data, category)
-            self._write_epoch += 1
-            padded = data.ljust(self.block_size, b"\x00")
-            if block_id in self._cache:
-                self._cache[block_id] = padded
-                self._cache.move_to_end(block_id)
-            else:
-                self._admit(block_id, padded)
+        """Write through to the inner device and refresh the cached copy.
+
+        The pool lock is **not** held across the inner disk write —
+        otherwise every concurrent cache hit would stall behind disk
+        write latency, contradicting the module contract.  Instead the
+        inner lock is taken first and the pool lock only wraps the
+        (memory-speed) epoch bump and cache update after the disk write
+        completes.  Because concurrent writers serialize on the inner
+        lock and each updates the cache while still holding it, the
+        cache update order always matches the disk write order; the
+        epoch bump preserves the read path's stale-admission guard
+        exactly as before (a miss that read the disk inside a write
+        window is never admitted).
+        """
+        padded = data.ljust(self.block_size, b"\x00")
+        with self._inner_lock:
+            self.inner.write_block(block_id, data, category)
+            with self._pool_lock:
+                self._write_epoch += 1
+                if block_id in self._cache:
+                    self._cache[block_id] = padded
+                    self._cache.move_to_end(block_id)
+                else:
+                    self._admit(block_id, padded)
 
     def _admit(self, block_id: int, data: bytes) -> None:
         self._cache[block_id] = data

@@ -290,6 +290,7 @@ def retry_transient(
     retries: int = 2,
     backoff_s: float = 0.005,
     sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[int, TransientDeviceError], None] | None = None,
 ):
     """Call ``fn``, retrying :class:`TransientDeviceError` with backoff.
 
@@ -299,6 +300,9 @@ def retry_transient(
         backoff_s: initial sleep; doubles per retry (bounded overall by
             ``backoff_s * (2**retries - 1)``).
         sleep: injection point for tests (defaults to :func:`time.sleep`).
+        on_retry: observer called as ``on_retry(attempt, error)`` once per
+            retry actually taken (not for the final, re-raised failure) —
+            the metrics layer counts retries through this hook.
 
     Permanent :class:`~repro.errors.DeviceFaultError` and every other
     exception propagate immediately; the last transient error propagates
@@ -308,8 +312,10 @@ def retry_transient(
     while True:
         try:
             return fn()
-        except TransientDeviceError:
+        except TransientDeviceError as exc:
             if attempt >= retries:
                 raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
             sleep(backoff_s * (2 ** attempt))
             attempt += 1

@@ -114,6 +114,64 @@ class TestConcurrentReadWrite:
         for block_id, cached in pool._cache.items():
             assert cached == expected_content(block_id)
 
+    def test_cache_hits_do_not_stall_behind_a_slow_disk_write(self):
+        """Regression: the pool lock must never be held across disk I/O.
+
+        An earlier version of ``write_block`` held the pool lock around
+        the inner device write, so every concurrent cache hit stalled
+        for the full disk write latency.  Here a writer is parked inside
+        a deliberately slow inner write while a reader serves hits from
+        the cache; the reader must finish while the write is still in
+        flight.
+        """
+        write_started = threading.Event()
+        release_write = threading.Event()
+
+        class SlowWriteDevice(InMemoryBlockDevice):
+            def write_block(self, block_id, data, category="data"):
+                write_started.set()
+                assert release_write.wait(timeout=10.0), "test hung"
+                super().write_block(block_id, data, category)
+
+        inner = SlowWriteDevice(BLOCK_SIZE)
+        # Populate through the parent class so the events stay unset.
+        for block_id in range(8):
+            InMemoryBlockDevice.write_block(
+                inner, block_id, expected_content(block_id)
+            )
+        pool = BufferPoolDevice(inner, capacity_blocks=8)
+        for block_id in range(4):
+            pool.read_block(block_id)  # warm the cache
+        hits_before = pool.hits
+
+        writer = threading.Thread(
+            target=pool.write_block, args=(7, expected_content(7))
+        )
+        writer.start()
+        assert write_started.wait(timeout=10.0)
+
+        observed: list[bytes] = []
+        reader = threading.Thread(
+            target=lambda: observed.extend(
+                pool.read_block(block_id) for block_id in range(4)
+            )
+        )
+        reader.start()
+        reader.join(timeout=5.0)
+        stalled = reader.is_alive()
+        # Release the writer before asserting so a failure cannot leak a
+        # parked thread past the test.
+        release_write.set()
+        writer.join(timeout=10.0)
+        if stalled:
+            reader.join(timeout=10.0)
+        assert not stalled, "cache hits stalled behind an in-flight disk write"
+        assert observed == [expected_content(b) for b in range(4)]
+        assert pool.hits == hits_before + 4  # all four served from cache
+        # The write itself landed: disk and cache agree on the new block.
+        assert inner.read_block(7) == expected_content(7)
+        assert pool.read_block(7) == expected_content(7)
+
     def test_concurrent_clear_is_safe(self):
         pool = make_pool(capacity=16)
         failures: list[str] = []

@@ -7,21 +7,16 @@ harness builds every index kind ("ir2", "mir2", "rtree", "iio", "sig")
 over the same randomized corpora and checks each one's top-k list against
 an index-free brute-force oracle and against the others.
 
-Ties at the k-th distance need care: the tree algorithms break ties by
-heap insertion order while the scan baselines sort by (distance, oid), so
-two correct indexes may legitimately return *different* members of the
-tie group at rank k.  Equivalence is therefore asserted as:
-
-* identical result length and identical distance multiset (so the
-  distances agree everywhere, including inside the tie group);
-* every returned (oid, distance) pair is a true match at its true
-  distance;
-* the strict prefix — results closer than the k-th distance — is the
-  *identical set* across every index (it is uniquely determined);
-* no duplicate oids.
-
-For queries without ties at rank k this collapses to byte-identical
-(oid, distance) lists across all five kinds.
+Ties at the k-th distance are part of the contract: every execution
+path — tree algorithms (via :func:`repro.core.search.drain_top_k`),
+scan baselines, the brute-force oracle, and sharded scatter-gather
+(via :class:`repro.shard.merge.TopKMerger`) — drains the whole tie
+group at the k-th distance and cuts it by ``(distance, oid)``.  Answers
+are therefore **byte-identical** ``(distance, oid)`` lists across every
+index kind and every shard count, ties or no ties; the harness asserts
+exactly that, plus oracle agreement on each pair.  The exact-tie sweep
+(:class:`TestExactTieSweep`) stresses the contract with duplicate
+locations and shared keywords so the tie groups are large and exact.
 """
 
 from __future__ import annotations
@@ -63,16 +58,19 @@ def oracle_matches(objects, analyzer, query):
 
 
 def assert_equivalent(engines, objects, query):
-    """All index kinds answer ``query`` equivalently (tie-aware, see module)."""
+    """All engines return the oracle's byte-identical (distance, oid) list.
+
+    ``oracle_matches`` sorts by ``(distance, oid)`` — exactly the
+    canonical cut order every execution path implements — so the whole
+    list comparison is exact; the per-pair distance check additionally
+    stays tolerant so a genuine mismatch reports which object is off
+    rather than just "lists differ".
+    """
     analyzer = next(iter(engines.values())).corpus.analyzer
     matches = oracle_matches(objects, analyzer, query)
     expected_n = min(query.k, len(matches))
-    expected_dists = [d for d, _ in matches[:expected_n]]
+    expected = matches[:expected_n]
     true_distance = dict((oid, d) for d, oid in matches)
-    kth = expected_dists[-1] if expected_n else 0.0
-    expected_prefix = {
-        oid for d, oid in matches[:expected_n] if d < kth - EPS
-    }
     for kind, engine in engines.items():
         execution = engine.query(query.point, query.keywords, k=query.k)
         got = [(r.distance, r.obj.oid) for r in execution.results]
@@ -80,12 +78,10 @@ def assert_equivalent(engines, objects, query):
         assert len(got) == expected_n, label
         oids = [oid for _, oid in got]
         assert len(set(oids)) == len(oids), f"duplicate results: {label}"
-        for (distance, oid), expected in zip(got, expected_dists):
-            assert distance == pytest.approx(expected, abs=EPS), label
+        for distance, oid in got:
             assert oid in true_distance, f"non-match returned: {label}"
             assert distance == pytest.approx(true_distance[oid], abs=EPS), label
-        prefix = {oid for d, oid in got if d < kth - EPS}
-        assert prefix == expected_prefix, f"pre-tie prefix differs: {label}"
+        assert got == expected, f"answer not byte-identical: {label}"
 
 
 def corpus_objects(n_objects, seed, vocabulary=300, avg_words=8, clusters=5):
@@ -169,6 +165,77 @@ class TestTiesAtK:
             for kind, engine in engines.items()
         }
         assert all(oids == [1] for oids in lists.values()), lists
+
+
+class TestExactTieSweep:
+    """Duplicate locations + shared keywords: large exact tie groups.
+
+    Every engine flavor — brute force, all five index kinds, and
+    {1, 2, 5}-shard scatter-gather engines — must return byte-identical
+    ``(distance, oid)`` answers for every cut through the tie groups.
+    """
+
+    SHARD_COUNTS = (1, 2, 5)
+
+    @pytest.fixture(scope="class")
+    def tie_world(self):
+        import random
+
+        from repro.model import SpatialObject
+        from repro.shard import ShardedEngine
+
+        # A 4x4 grid of locations, each hosting 4 objects with exactly
+        # duplicated coordinates; keywords overlap heavily so queries
+        # match whole co-located groups and ties are exact floats.
+        rng = random.Random(99)
+        themes = ["cafe wifi", "cafe garden", "cafe wifi garden", "cafe bar"]
+        objects = []
+        oid = 0
+        for gx in range(4):
+            for gy in range(4):
+                point = (float(gx) * 2.0, float(gy) * 2.0)
+                for _ in range(4):
+                    objects.append(
+                        SpatialObject(oid, point, rng.choice(themes))
+                    )
+                    oid += 1
+        engines = dict(build_engines(objects, signature_bytes=4))
+        for n_shards in self.SHARD_COUNTS:
+            sharded = ShardedEngine(n_shards=n_shards, index="ir2")
+            sharded.add_all(objects)
+            sharded.build()
+            engines[f"sharded-ir2x{n_shards}"] = sharded
+        yield objects, engines
+        for n_shards in self.SHARD_COUNTS:
+            engines[f"sharded-ir2x{n_shards}"].close()
+
+    @pytest.mark.parametrize("keywords", [("cafe",), ("cafe", "wifi"),
+                                          ("garden",)])
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 7, 8, 16, 64])
+    def test_byte_identical_across_all_engines(self, tie_world, keywords, k):
+        objects, engines = tie_world
+        # Query from a grid point so several whole groups tie exactly;
+        # also from an off-grid point for asymmetric tie groups.
+        for point in ((2.0, 2.0), (1.0, 5.0)):
+            query = SpatialKeywordQuery.of(point, keywords, k)
+            assert_equivalent(engines, objects, query)
+
+    def test_matches_brute_force_reference(self, tie_world):
+        from repro.core.search import brute_force_top_k
+
+        objects, engines = tie_world
+        analyzer = engines["ir2"].corpus.analyzer
+        query = SpatialKeywordQuery.of((2.0, 2.0), ("cafe",), 6)
+        reference = [
+            (r.distance, r.obj.oid)
+            for r in brute_force_top_k(objects, analyzer, query)
+        ]
+        for kind, engine in engines.items():
+            got = [
+                (r.distance, r.obj.oid)
+                for r in engine.search(query).results
+            ]
+            assert got == reference, kind
 
 
 @pytest.mark.slow

@@ -162,6 +162,51 @@ class TestCacheSemantics:
             assert after.trace.cache == "miss"
             assert victim not in after.oids
 
+    def test_mutating_a_miss_answer_cannot_corrupt_the_cache(
+        self, engine, workload
+    ):
+        """Regression: the cache stores copies, not the caller's objects.
+
+        The execution that populates the cache hands its results to the
+        caller; scribbling over them must not change what later hits
+        see.
+        """
+        query = workload.query(num_keywords=1, k=3)
+        point, keywords = query.point, list(query.keywords)
+        with QueryService(engine, workers=2, cache=True) as service:
+            first = service.query(point, keywords, k=3)
+            assert first.trace.cache == "miss"
+            assert first.results, "workload query must have answers"
+            original = [(r.distance, r.obj.oid, r.score) for r in first.results]
+            for result in first.results:
+                result.distance = -99.0
+                result.score = -99.0
+            first.results.clear()
+            second = service.query(point, keywords, k=3)
+        assert second.trace.cache == "hit"
+        assert [
+            (r.distance, r.obj.oid, r.score) for r in second.results
+        ] == original
+
+    def test_mutating_a_hit_answer_cannot_corrupt_the_cache(
+        self, engine, workload
+    ):
+        """Regression: each cache hit returns per-hit result copies."""
+        query = workload.query(num_keywords=1, k=3)
+        point, keywords = query.point, list(query.keywords)
+        with QueryService(engine, workers=2, cache=True) as service:
+            first = service.query(point, keywords, k=3)
+            assert first.results, "workload query must have answers"
+            original = [(r.distance, r.obj.oid) for r in first.results]
+            second = service.query(point, keywords, k=3)
+            assert second.trace.cache == "hit"
+            for result in second.results:
+                result.distance = float("nan")
+            second.results.pop()
+            third = service.query(point, keywords, k=3)
+        assert third.trace.cache == "hit"
+        assert [(r.distance, r.obj.oid) for r in third.results] == original
+
     def test_distinct_k_are_distinct_entries(self, engine):
         with QueryService(engine, workers=2, cache=True) as service:
             service.query((0.5, 0.5), ["internet"], k=2)
