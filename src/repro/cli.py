@@ -31,6 +31,14 @@ Five subcommands cover the typical lifecycle:
     resulting metrics snapshot as JSON — the quickest way to see which
     metric names and histogram buckets a deployment exports.
 
+``trace``
+    Run one query under the hierarchical tracer and print its span tree
+    as a text cost report — per tree level, how many nodes were visited
+    and how many entries the signatures pruned; how many objects were
+    loaded and how many were false positives; the random/sequential
+    block-read split.  ``--chrome`` additionally writes the trace as
+    Chrome trace-event JSON for Perfetto / ``chrome://tracing``.
+
 ``verify``
     Check an on-disk engine directory's integrity: manifest parse and
     version, per-file SHA-256 digests, shard layout, and a full load.
@@ -146,6 +154,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=0,
                        help="re-partition the loaded engine across N shards "
                             "before serving (0 = keep the saved layout)")
+    serve.add_argument("--trace-sample", type=int, default=0, metavar="N",
+                       help="hierarchically trace every Nth query (plus "
+                            "anything over --slow-query-ms); 0 disables "
+                            "the tracer unless --trace-export is given")
+    serve.add_argument("--trace-export", metavar="PATH",
+                       help="write the retained span trees as Chrome "
+                            "trace-event JSON to PATH (implies sampling, "
+                            "default every 8th query)")
 
     metrics = commands.add_parser(
         "metrics", help="probe a saved engine and print its metrics snapshot"
@@ -159,6 +175,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="probe workload RNG seed")
     metrics.add_argument("--out", metavar="PATH",
                          help="also write the snapshot JSON to PATH")
+
+    trace = commands.add_parser(
+        "trace", help="explain one query's cost as a span tree"
+    )
+    trace.add_argument("--engine", required=True, help="engine directory")
+    trace.add_argument("--point", nargs=2, type=float, required=True,
+                       metavar=("LAT", "LON"))
+    trace.add_argument("--keywords", nargs="+", required=True)
+    trace.add_argument("-k", type=int, default=10)
+    trace.add_argument("--ranked", action="store_true",
+                       help="rank by f(distance, IRscore) instead of "
+                            "conjunctive distance-first")
+    trace.add_argument("--chrome", metavar="PATH",
+                       help="also write the trace as Chrome trace-event "
+                            "JSON to PATH (Perfetto-loadable)")
+    trace.add_argument("--json", action="store_true",
+                       help="print the span tree as JSON instead of the "
+                            "text report")
 
     verify = commands.add_parser(
         "verify", help="check an on-disk engine directory's integrity"
@@ -189,6 +223,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "metrics":
             return _cmd_metrics(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "verify":
             return _cmd_verify(args)
     except ReproError as exc:
@@ -282,9 +318,14 @@ def _cmd_serve(args) -> int:
         k=args.k,
         hot_fraction=args.hot_fraction,
     )
+    tracer = None
+    if args.trace_sample or args.trace_export:
+        from repro.obs.trace import QueryTracer
+
+        tracer = QueryTracer(sample_every=args.trace_sample or 8)
     with QueryService(
         engine, workers=args.workers, cache=not args.no_cache,
-        slow_query_ms=args.slow_query_ms,
+        slow_query_ms=args.slow_query_ms, tracer=tracer,
     ) as service:
         executions = service.run_batch(batch)
         stats = service.stats()
@@ -292,6 +333,8 @@ def _cmd_serve(args) -> int:
             service.export_traces(args.serve_trace, executions=executions)
         if args.serve_metrics:
             service.export_metrics(args.serve_metrics)
+        if args.trace_export:
+            service.export_chrome_trace(args.trace_export)
     print(f"served {stats.queries} queries with {args.workers} workers "
           f"over {_engine_label(engine)}")
     print(stats.summary())
@@ -299,6 +342,10 @@ def _cmd_serve(args) -> int:
         print(f"trace spans written to {args.serve_trace}")
     if args.serve_metrics:
         print(f"metrics snapshot written to {args.serve_metrics}")
+    if args.trace_export:
+        retained = len(tracer.traces())
+        print(f"{retained} span trees ({tracer.seen} queries seen) "
+              f"written to {args.trace_export}")
     return 0
 
 
@@ -324,6 +371,38 @@ def _cmd_metrics(args) -> int:
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.trace import dump_chrome_trace, trace_query
+    from repro.obs.tracereport import render_trace
+
+    engine = load_engine(args.engine)
+    with trace_query("query", k=args.k) as trace:
+        if args.ranked:
+            execution = engine.query_ranked(
+                tuple(args.point), args.keywords, k=args.k
+            )
+        else:
+            execution = engine.query(tuple(args.point), args.keywords, k=args.k)
+    root = trace.root
+    root.annotate(
+        algorithm=execution.algorithm,
+        keywords=list(args.keywords),
+        num_results=len(execution.results),
+    )
+    if args.json:
+        print(json.dumps(trace.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_trace(trace))
+        print(execution.summary())
+    if args.chrome:
+        dump_chrome_trace(
+            args.chrome, [trace], extra={"engine": _engine_label(engine)}
+        )
+        if not args.json:
+            print(f"chrome trace written to {args.chrome}")
     return 0
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro.core.query import SpatialKeywordQuery
 from repro.core.search import SearchOutcome
 from repro.model import SearchResult, result_sort_key
+from repro.obs import trace as qtrace
 from repro.spatial.geometry import target_point_distance
 from repro.storage.objectstore import ObjectStore
 from repro.text.inverted_index import InvertedIndex
@@ -36,13 +37,21 @@ def iio_top_k(
     inspection — the algorithm cannot stop early.
     """
     outcome = SearchOutcome()
-    pointers = index.retrieve_conjunction(query.keywords)
+    with qtrace.start_span("postings", category="phase"):
+        pointers = index.retrieve_conjunction(query.keywords)
     scored: list[SearchResult] = []
-    for pointer in pointers:
-        obj = store.load(pointer)
-        outcome.counters.objects_inspected += 1
-        distance = target_point_distance(obj.point, query.target)
-        scored.append(SearchResult(obj, distance, score=-distance))
+    with qtrace.start_span("verify", category="phase") as span:
+        for pointer in pointers:
+            obj = store.load(pointer)
+            outcome.counters.objects_inspected += 1
+            if span is not None:
+                # Every intersection member is a true match (the posting
+                # lists are exact), so IIO never sees a false positive.
+                span.event(
+                    qtrace.EVT_OBJECT_VERIFY, oid=obj.oid, false_positive=False
+                )
+            distance = target_point_distance(obj.point, query.target)
+            scored.append(SearchResult(obj, distance, score=-distance))
     scored.sort(key=result_sort_key)
     outcome.results = scored[: query.k]
     return outcome

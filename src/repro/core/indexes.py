@@ -24,6 +24,7 @@ from repro.core.search import SearchOutcome, ir2_top_k, rtree_top_k
 from repro.core.search_general import ranked_top_k
 from repro.errors import IndexError_, QueryError
 from repro.model import SpatialObject
+from repro.obs import trace as qtrace
 from repro.spatial.geometry import Rect
 from repro.spatial.rtree import RTree
 from repro.storage.block import BlockDevice, InMemoryBlockDevice
@@ -109,9 +110,25 @@ class SpatialKeywordIndex:
         The delta comes from a thread-local collector rather than a
         snapshot/diff of the shared device counters, so concurrent queries
         (the :mod:`repro.serve` layer) each see exactly their own I/O.
+
+        When a trace is active on this thread, the whole measured region
+        runs under a ``search`` span wrapping exactly the same code the
+        collector observes — which is why the span's block-read events
+        reconcile one-to-one with the execution's I/O delta.
         """
-        with collecting_io() as io:
-            outcome = runner()
+        with qtrace.start_span("search", category="engine", algorithm=algorithm) as span:
+            with collecting_io() as io:
+                outcome = runner()
+            if span is not None:
+                span.annotate(
+                    random_reads=io.random_reads,
+                    sequential_reads=io.sequential_reads,
+                    objects_loaded=io.objects_loaded,
+                    nodes_visited=io.category_reads("node"),
+                    objects_inspected=outcome.counters.objects_inspected,
+                    false_positives=outcome.counters.false_positives,
+                    num_results=len(outcome.results),
+                )
         return QueryExecution(
             query=query,
             results=outcome.results,
@@ -410,15 +427,25 @@ class SignatureFileIndex(SpatialKeywordIndex):
 
         outcome = Outcome()
         terms = self.corpus.analyzer.query_terms(query.keywords)
+        with qtrace.start_span("signature-scan", category="phase"):
+            candidates = self.sigfile.candidates(query.keywords)
         scored: list[SearchResult] = []
-        for pointer in self.sigfile.candidates(query.keywords):
-            obj = self.corpus.store.load(pointer)
-            outcome.counters.objects_inspected += 1
-            if not self.corpus.analyzer.contains_all(obj.text, terms):
-                outcome.counters.false_positives += 1
-                continue
-            distance = target_point_distance(obj.point, query.target)
-            scored.append(SearchResult(obj, distance, score=-distance))
+        with qtrace.start_span("verify", category="phase") as span:
+            for pointer in candidates:
+                obj = self.corpus.store.load(pointer)
+                outcome.counters.objects_inspected += 1
+                ok = self.corpus.analyzer.contains_all(obj.text, terms)
+                if span is not None:
+                    span.event(
+                        qtrace.EVT_OBJECT_VERIFY,
+                        oid=obj.oid,
+                        false_positive=not ok,
+                    )
+                if not ok:
+                    outcome.counters.false_positives += 1
+                    continue
+                distance = target_point_distance(obj.point, query.target)
+                scored.append(SearchResult(obj, distance, score=-distance))
         scored.sort(key=lambda r: (r.distance, r.obj.oid))
         outcome.results = scored[: query.k]
         return outcome
@@ -484,15 +511,25 @@ class STreeIndex(SpatialKeywordIndex):
 
         outcome = SearchOutcome()
         terms = self.corpus.analyzer.query_terms(query.keywords)
+        with qtrace.start_span("signature-scan", category="phase"):
+            candidates = self.stree.candidates(query.keywords)
         scored: list[SearchResult] = []
-        for pointer in self.stree.candidates(query.keywords):
-            obj = self.corpus.store.load(pointer)
-            outcome.counters.objects_inspected += 1
-            if not self.corpus.analyzer.contains_all(obj.text, terms):
-                outcome.counters.false_positives += 1
-                continue
-            distance = target_point_distance(obj.point, query.target)
-            scored.append(SearchResult(obj, distance, score=-distance))
+        with qtrace.start_span("verify", category="phase") as span:
+            for pointer in candidates:
+                obj = self.corpus.store.load(pointer)
+                outcome.counters.objects_inspected += 1
+                ok = self.corpus.analyzer.contains_all(obj.text, terms)
+                if span is not None:
+                    span.event(
+                        qtrace.EVT_OBJECT_VERIFY,
+                        oid=obj.oid,
+                        false_positive=not ok,
+                    )
+                if not ok:
+                    outcome.counters.false_positives += 1
+                    continue
+                distance = target_point_distance(obj.point, query.target)
+                scored.append(SearchResult(obj, distance, score=-distance))
         scored.sort(key=lambda r: (r.distance, r.obj.oid))
         outcome.results = scored[: query.k]
         return outcome

@@ -20,6 +20,7 @@ from typing import Iterator
 
 from repro.core.query import SpatialKeywordQuery
 from repro.model import SearchResult, result_sort_key
+from repro.obs import trace as qtrace
 from repro.spatial.geometry import target_point_distance
 from repro.spatial.nearest import NNTrace, incremental_nearest
 from repro.spatial.rtree import RTree
@@ -72,7 +73,13 @@ def ir2_top_k_iter(
         obj = store.load(obj_ptr)
         if counters is not None:
             counters.objects_inspected += 1
-        if analyzer.contains_all(obj.text, terms):
+        ok = analyzer.contains_all(obj.text, terms)
+        span = qtrace.current_span()
+        if span is not None:
+            span.event(
+                qtrace.EVT_OBJECT_VERIFY, oid=obj.oid, false_positive=not ok
+            )
+        if ok:
             yield SearchResult(obj, distance, score=-distance)
         elif counters is not None:
             counters.false_positives += 1
@@ -118,7 +125,8 @@ def ir2_top_k(
     iterator = ir2_top_k_iter(
         tree, store, analyzer, query, counters=outcome.counters, trace=trace
     )
-    outcome.results = drain_top_k(iterator, query.k)
+    with qtrace.start_span("traverse", category="phase"):
+        outcome.results = drain_top_k(iterator, query.k)
     return outcome
 
 
@@ -141,7 +149,13 @@ def rtree_top_k_iter(
         obj = store.load(obj_ptr)
         if counters is not None:
             counters.objects_inspected += 1
-        if analyzer.contains_all(obj.text, terms):
+        ok = analyzer.contains_all(obj.text, terms)
+        span = qtrace.current_span()
+        if span is not None:
+            span.event(
+                qtrace.EVT_OBJECT_VERIFY, oid=obj.oid, false_positive=not ok
+            )
+        if ok:
             yield SearchResult(obj, distance, score=-distance)
         elif counters is not None:
             counters.false_positives += 1
@@ -158,7 +172,8 @@ def rtree_top_k(
     iterator = rtree_top_k_iter(
         tree, store, analyzer, query, counters=outcome.counters
     )
-    outcome.results = drain_top_k(iterator, query.k)
+    with qtrace.start_span("traverse", category="phase"):
+        outcome.results = drain_top_k(iterator, query.k)
     return outcome
 
 

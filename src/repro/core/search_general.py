@@ -29,6 +29,7 @@ from repro.core.query import SpatialKeywordQuery
 from repro.core.ranking import RankingCallable
 from repro.core.search import SearchCounters, SearchOutcome
 from repro.model import SearchResult
+from repro.obs import trace as qtrace
 from repro.spatial.geometry import target_min_distance, target_point_distance
 from repro.spatial.rtree import RTree
 from repro.storage.objectstore import ObjectStore
@@ -91,7 +92,15 @@ def ranked_top_k_iter(
             if counters is not None:
                 counters.objects_inspected += 1
             actual_ir = ir_score(obj.text, terms, vocabulary, analyzer)
-            if prune_zero_ir and actual_ir == 0.0:
+            rejected = prune_zero_ir and actual_ir == 0.0
+            span = qtrace.current_span()
+            if span is not None:
+                span.event(
+                    qtrace.EVT_OBJECT_VERIFY,
+                    oid=obj.oid,
+                    false_positive=rejected,
+                )
+            if rejected:
                 if counters is not None:
                     counters.false_positives += 1
                 continue
@@ -104,9 +113,25 @@ def ranked_top_k_iter(
             )
             continue
         node = tree.load_node(payload)
+        span = qtrace.current_span()
+        if span is not None:
+            span.event(
+                qtrace.EVT_NODE_READ,
+                node=payload,
+                level=node.level,
+                entries=len(node.entries),
+                distance=distance,
+            )
         for entry in node.entries:
             matched = tree.matched_terms(entry, node, terms)
             if prune_zero_ir and not matched:
+                if span is not None:
+                    span.event(
+                        qtrace.EVT_SIG_PRUNE,
+                        level=node.level,
+                        entry=entry.child_ref,
+                        kind="object" if node.is_leaf else "node",
+                    )
                 continue
             bound_ir = upper_bound_ir_score(idf[term] for term in matched)
             entry_distance = target_min_distance(entry.rect, query.target)
@@ -138,10 +163,11 @@ def ranked_top_k(
         prune_zero_ir=prune_zero_ir,
         counters=outcome.counters,
     )
-    for result in iterator:
-        outcome.results.append(result)
-        if len(outcome.results) >= query.k:
-            break
+    with qtrace.start_span("ranked-traverse", category="phase"):
+        for result in iterator:
+            outcome.results.append(result)
+            if len(outcome.results) >= query.k:
+                break
     return outcome
 
 

@@ -25,6 +25,13 @@ after a workload), or programmatically::
 :class:`SlowQueryLog` rides along in the service: the worst trace spans
 above a configurable latency threshold, so every dump names concrete
 offender queries next to the aggregate distributions.
+
+:mod:`repro.obs.trace` adds hierarchical query tracing on top of the
+flat counters: span trees with parent→child propagation from the service
+through the shard fan-out into the engine phases and block-level I/O
+events, sampled by :class:`QueryTracer`, exported as Chrome trace-event
+JSON or the ``repro trace`` text report (:mod:`repro.obs.tracereport`).
+See ``docs/OBSERVABILITY.md``.
 """
 
 from repro.obs.export import (
@@ -43,6 +50,16 @@ from repro.obs.metrics import (
     merge_snapshots,
 )
 from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import (
+    QueryTracer,
+    Span,
+    Trace,
+    chrome_trace_events,
+    dump_chrome_trace,
+    trace_query,
+    validate_chrome_events,
+)
+from repro.obs.tracereport import render_trace, render_traces
 
 __all__ = [
     "COUNT_BUCKETS",
@@ -51,10 +68,19 @@ __all__ = [
     "Histogram",
     "LATENCY_BUCKETS_MS",
     "MetricsRegistry",
+    "QueryTracer",
     "SlowQueryLog",
+    "Span",
+    "Trace",
+    "chrome_trace_events",
+    "dump_chrome_trace",
     "export_device",
     "export_engine",
     "export_iostats",
     "merge_snapshots",
     "metric_token",
+    "render_trace",
+    "render_traces",
+    "trace_query",
+    "validate_chrome_events",
 ]

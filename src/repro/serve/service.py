@@ -25,7 +25,13 @@ while staying byte-for-byte faithful to them:
 * per-stage latency histograms (queue wait, lock wait, search, merge),
   cache / degradation / retry counters, and a slow-query log are
   recorded into a :class:`repro.obs.MetricsRegistry`, snapshotted by
-  :attr:`ServiceStats.metrics` and :meth:`QueryService.export_metrics`.
+  :attr:`ServiceStats.metrics` and :meth:`QueryService.export_metrics`;
+* attaching a :class:`repro.obs.trace.QueryTracer` turns on hierarchical
+  tracing: sampled (and slow) queries get a full span tree — service
+  root, per-shard fan-out, engine phases, block-level I/O events — whose
+  ``trace_id`` lands on the flat span and in the slow-query log, and
+  which exports to Chrome trace-event JSON via
+  :meth:`QueryService.export_chrome_trace`.
 """
 
 from __future__ import annotations
@@ -44,6 +50,8 @@ from repro.core.query import QueryExecution, SpatialKeywordQuery
 from repro.errors import ServiceError
 from repro.model import SpatialObject
 from repro.obs import COUNT_BUCKETS, MetricsRegistry, SlowQueryLog, export_engine
+from repro.obs import trace as qtrace
+from repro.obs.trace import QueryTracer
 from repro.serve.resultcache import QueryResultCache
 from repro.serve.tracing import CACHE_BYPASS, CACHE_HIT, CACHE_MISS, TraceLog, TraceSpan
 from repro.storage.faults import retry_transient
@@ -212,6 +220,11 @@ class QueryService:
             span is admitted to the slow-query log.
         slow_log_capacity: maximum spans retained by the slow-query log
             (the slowest ones win when it overflows).
+        tracer: a :class:`repro.obs.trace.QueryTracer` enabling
+            hierarchical tracing (None = off).  A tracer attached
+            without its own slow threshold inherits ``slow_query_ms``,
+            so every slow-log entry links to a retained span tree by
+            ``trace_id``.
 
     The service is a context manager; :meth:`close` drains the pool::
 
@@ -231,9 +244,13 @@ class QueryService:
         metrics: MetricsRegistry | None = None,
         slow_query_ms: float = 100.0,
         slow_log_capacity: int = 32,
+        tracer: QueryTracer | None = None,
     ) -> None:
         if workers < 1:
             raise ServiceError("a query service needs at least one worker")
+        self.tracer = tracer
+        if tracer is not None and tracer.slow_query_ms is None:
+            tracer.slow_query_ms = slow_query_ms
         self.engine = engine
         self.workers = workers
         self.retries = retries
@@ -315,16 +332,27 @@ class QueryService:
             started_at=time.perf_counter(),
             worker=threading.current_thread().name,
         )
+        # The hierarchical trace's root span covers started_at →
+        # finished_at (the worker's active window).  Queue wait stays an
+        # annotation: a span stretching back to submitted_at would
+        # overlap the previous query's tree on this worker's lane.
+        trace = (
+            self.tracer.begin("query", start=span.started_at)
+            if self.tracer is not None
+            else None
+        )
         try:
-            self._rw.acquire_read()
-            span.lock_acquired_at = time.perf_counter()
-            try:
-                execution = self._answer(query, span)
-            finally:
-                self._rw.release_read()
+            with qtrace.activate(trace.root if trace is not None else None):
+                self._rw.acquire_read()
+                span.lock_acquired_at = time.perf_counter()
+                try:
+                    execution = self._answer(query, span)
+                finally:
+                    self._rw.release_read()
         except Exception as exc:
             span.finished_at = time.perf_counter()
             span.error = f"{type(exc).__name__}: {exc}"
+            self._finish_trace(span, trace)
             self.trace_log.append(span)
             with self._stats_lock:
                 self._errors += 1
@@ -339,6 +367,7 @@ class QueryService:
         span.num_results = len(execution.results)
         execution.trace = span
         span.finished_at = time.perf_counter()
+        self._finish_trace(span, trace)
         self.trace_log.append(span)
         with self._stats_lock:
             self._queries += 1
@@ -355,6 +384,22 @@ class QueryService:
         self._record_metrics(span, execution)
         self.slow_log.offer(span)
         return execution
+
+    def _finish_trace(self, span: TraceSpan, trace) -> None:
+        """Close a query's span tree and decide whether it is retained.
+
+        Runs *before* the flat span reaches the trace log and the
+        slow-query log, so when the tracer keeps the trace both carry
+        its ``trace_id``.
+        """
+        if trace is None:
+            return
+        root = trace.root
+        if root is not None:
+            root.finish(span.finished_at)
+        span.emit_phases(trace)
+        if self.tracer.commit(trace, span.total_ms):
+            span.trace_id = trace.trace_id
 
     def _record_metrics(
         self, span: TraceSpan, execution: QueryExecution
@@ -514,6 +559,24 @@ class QueryService:
                 execution.to_dict() for execution in executions
             ]
         self.trace_log.dump_json(path, extra=extra)
+
+    def traces(self) -> list:
+        """The retained hierarchical traces (empty without a tracer)."""
+        return self.tracer.traces() if self.tracer is not None else []
+
+    def export_chrome_trace(self, path: str) -> None:
+        """Write the retained span trees as Chrome trace-event JSON.
+
+        Load the file in Perfetto (https://ui.perfetto.dev) or
+        ``chrome://tracing``; requires a :class:`QueryTracer` attached
+        at construction.
+        """
+        if self.tracer is None:
+            raise ServiceError(
+                "hierarchical tracing is not enabled; construct the "
+                "service with a QueryTracer"
+            )
+        self.tracer.dump_chrome(path, extra={"workers": self.workers})
 
     # -- Lifecycle --------------------------------------------------------------
 

@@ -10,13 +10,22 @@ thread-safe :class:`TraceLog` and can be exported as JSON (the CLI's
 
 Timestamps use :func:`time.perf_counter` — monotonic and comparable
 within one process, not wall-clock times.
+
+Since the hierarchical tracing layer (:mod:`repro.obs.trace`) landed,
+this flat span is a *view over the root span* of a query's span tree:
+when the service's :class:`~repro.obs.trace.QueryTracer` retains a trace
+for a query, the span carries its ``trace_id`` and its timestamps equal
+the root span's interval (``work_ms`` == root duration).  The flat keys
+exported by :meth:`TraceSpan.as_dict` are unchanged, so existing
+``--serve-trace`` consumers keep working.
 """
 
 from __future__ import annotations
 
-import json
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.obs.trace import Trace, atomic_write_json
 
 #: Cache dispositions a span can carry.
 CACHE_HIT = "hit"
@@ -48,6 +57,8 @@ class TraceSpan:
         retries: transient-error retries spent by this execution.
         worker: name of the thread that executed the query.
         error: exception message when the execution failed, else None.
+        trace_id: id of the retained hierarchical trace for this query
+            (None when the query was not sampled / not retained).
     """
 
     query_id: int
@@ -67,6 +78,7 @@ class TraceSpan:
     retries: int = 0
     worker: str = ""
     error: str | None = None
+    trace_id: str | None = None
 
     @property
     def queue_wait_ms(self) -> float:
@@ -75,7 +87,23 @@ class TraceSpan:
 
     @property
     def search_ms(self) -> float:
-        """Milliseconds the search itself took (cache hits are ~0)."""
+        """Milliseconds the search itself took (cache hits are ~0).
+
+        Measured ``lock_acquired_at → search_done_at`` — the engine call
+        proper, excluding lock wait and merge/finalize, which
+        :attr:`lock_wait_ms` and :attr:`merge_ms` already report
+        separately.  (Historically this measured the whole
+        ``started_at → finished_at`` window, double-counting both;
+        that value is still available as :attr:`work_ms`.)
+        """
+        if not self.lock_acquired_at or not self.search_done_at:
+            return 0.0
+        return max(0.0, self.search_done_at - self.lock_acquired_at) * 1000.0
+
+    @property
+    def work_ms(self) -> float:
+        """Milliseconds from worker pickup to completion (the old
+        ``search_ms``): lock wait + engine search + merge/finalize."""
         return max(0.0, self.finished_at - self.started_at) * 1000.0
 
     @property
@@ -117,6 +145,7 @@ class TraceSpan:
             "engine_ms": self.engine_ms,
             "merge_ms": self.merge_ms,
             "search_ms": self.search_ms,
+            "work_ms": self.work_ms,
             "total_ms": self.total_ms,
             "random_reads": self.random_reads,
             "sequential_reads": self.sequential_reads,
@@ -125,7 +154,47 @@ class TraceSpan:
             "retries": self.retries,
             "worker": self.worker,
             "error": self.error,
+            "trace_id": self.trace_id,
         }
+
+    def emit_phases(self, trace: Trace) -> None:
+        """Synthesize phase spans for this query under ``trace``'s root.
+
+        The engine search itself is traced live (it opens its own spans
+        while running); the lock-wait and finalize phases only exist as
+        flat timestamps on this span, so once the query completes they
+        are back-filled as already-finished children of the root.  The
+        root's interval is ``started_at → finished_at``: queue wait is
+        deliberately *not* a span (the query was idle, and a span would
+        overlap the previous query's tree on the same worker lane) — it
+        stays an annotation on the root.
+        """
+        root = trace.root
+        if root is None:
+            return
+        root.annotate(
+            query_id=self.query_id,
+            algorithm=self.algorithm,
+            keywords=list(self.keywords),
+            k=self.k,
+            cache=self.cache,
+            queue_wait_ms=self.queue_wait_ms,
+            worker=self.worker,
+        )
+        if self.error is not None:
+            root.annotate(error=self.error)
+        if self.lock_acquired_at and self.started_at:
+            trace.new_span(
+                "lock-wait", category="service", parent=root,
+                start=self.started_at, end=self.lock_acquired_at,
+                tid=root.tid,
+            )
+        if self.search_done_at and self.finished_at:
+            trace.new_span(
+                "finalize", category="service", parent=root,
+                start=self.search_done_at, end=self.finished_at,
+                tid=root.tid,
+            )
 
 
 class TraceLog:
@@ -179,8 +248,17 @@ class TraceLog:
         return [span.as_dict() for span in self.spans()]
 
     def dump_json(self, path: str, extra: dict | None = None) -> None:
-        """Write the spans (plus optional metadata) to ``path`` as JSON."""
+        """Write the spans (plus optional metadata) to ``path`` as JSON.
+
+        The write is atomic (tmp file + fsync + rename, the persist
+        layer's protocol), so a crash mid-dump never leaves a truncated
+        file, and the payload carries the ``dropped`` counter so a log
+        truncated by its capacity bound is detectable offline.
+        """
+        with self._lock:
+            spans = list(self._spans)
+            dropped = self._dropped
         payload = dict(extra or {})
-        payload["spans"] = self.as_dicts()
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2)
+        payload["dropped"] = dropped
+        payload["spans"] = [span.as_dict() for span in spans]
+        atomic_write_json(path, payload)

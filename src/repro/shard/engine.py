@@ -39,6 +39,7 @@ from repro.core.ranking import DistanceDecayRanking, RankingCallable, validate_m
 from repro.core.search import SearchCounters
 from repro.errors import IndexError_, QueryError, StorageError
 from repro.obs import MetricsRegistry
+from repro.obs import trace as qtrace
 from repro.storage.faults import retry_transient
 from repro.model import SearchResult, SpatialObject
 from repro.shard.merge import TopKMerger
@@ -385,12 +386,14 @@ class ShardedEngine:
         errors: list[StorageError | None] = [None] * self.n_shards
         totals_lock = threading.Lock()
         totals = {"objects": 0, "false_pos": 0, "nodes": 0}
+        # Captured on the dispatching thread; each fan-out worker opens
+        # its own child span under it (cross-thread context propagation).
+        parent = qtrace.current_span()
 
         def run_shard(shard_id: int) -> None:
-            bound = bounds[shard_id]
             report = {
                 "shard": shard_id,
-                "lower_bound": bound,
+                "lower_bound": bounds[shard_id],
                 "pruned": False,
                 "failed": False,
                 "error": None,
@@ -402,6 +405,36 @@ class ShardedEngine:
                 "retries": 0,
             }
             reports[shard_id] = report
+            span = (
+                parent.trace.new_span(
+                    f"shard-{shard_id}", category="shard",
+                    parent=parent, shard=shard_id,
+                )
+                if parent is not None
+                else None
+            )
+            try:
+                with qtrace.activate(span):
+                    search_shard(shard_id, report)
+            finally:
+                if span is not None:
+                    span.finish()
+                    span.annotate(
+                        lower_bound=report["lower_bound"],
+                        pruned=report["pruned"],
+                        failed=report["failed"],
+                        retries=report["retries"],
+                        results_offered=report["results_offered"],
+                        objects_inspected=report["objects_inspected"],
+                        nodes_visited=report["nodes_visited"],
+                        random_reads=report["random_reads"],
+                        sequential_reads=report["sequential_reads"],
+                    )
+                    if report["error"]:
+                        span.annotate(error=report["error"])
+
+        def search_shard(shard_id: int, report: dict) -> None:
+            bound = bounds[shard_id]
             if bound is None:  # empty shard
                 report["pruned"] = True
                 return
@@ -474,6 +507,8 @@ class ShardedEngine:
 
         failed = [i for i, exc in enumerate(errors) if exc is not None]
         self._record_fanout_metrics(reports)
+        if parent is not None and failed:
+            parent.annotate(degraded=True, failed_shards=failed)
         if failed and self.failure_policy == FAIL_FAST:
             raise errors[failed[0]]
         io = IOStats()
@@ -529,28 +564,45 @@ class ShardedEngine:
         errors: list[StorageError | None] = [None] * self.n_shards
         retries_taken = [0] * self.n_shards
         nonempty = [i for i, mbb in enumerate(self._mbbs) if mbb is not None]
+        parent = qtrace.current_span()
+        shard_spans: list = [None] * self.n_shards
 
         def run_shard(shard_id: int) -> None:
             def count_retry(attempt: int, exc: Exception) -> None:
                 retries_taken[shard_id] += 1
 
-            try:
-                executions[shard_id] = retry_transient(
-                    lambda: self.shards[shard_id].index.execute_ranked(
-                        query, ranking, prune_zero_ir=prune_zero_ir,
-                        vocabulary=vocabulary,
-                    ),
-                    self.retries, self.retry_backoff_s,
-                    on_retry=count_retry,
+            span = (
+                parent.trace.new_span(
+                    f"shard-{shard_id}", category="shard",
+                    parent=parent, shard=shard_id,
                 )
+                if parent is not None
+                else None
+            )
+            shard_spans[shard_id] = span
+            try:
+                with qtrace.activate(span):
+                    executions[shard_id] = retry_transient(
+                        lambda: self.shards[shard_id].index.execute_ranked(
+                            query, ranking, prune_zero_ir=prune_zero_ir,
+                            vocabulary=vocabulary,
+                        ),
+                        self.retries, self.retry_backoff_s,
+                        on_retry=count_retry,
+                    )
             except StorageError as exc:
                 errors[shard_id] = exc
+            finally:
+                if span is not None:
+                    span.finish()
 
         pool = self._executor()
         for future in [pool.submit(run_shard, i) for i in nonempty]:
             future.result()
 
         failed = [i for i, exc in enumerate(errors) if exc is not None]
+        if parent is not None and failed:
+            parent.annotate(degraded=True, failed_shards=failed)
         if failed and self.failure_policy == FAIL_FAST:
             raise errors[failed[0]]
         merged: list[SearchResult] = []
@@ -574,6 +626,12 @@ class ShardedEngine:
                     "sequential_reads": 0,
                     "retries": retries_taken[shard_id],
                 })
+                if shard_spans[shard_id] is not None:
+                    shard_spans[shard_id].annotate(
+                        failed=True,
+                        error=f"{type(exc).__name__}: {exc}",
+                        retries=retries_taken[shard_id],
+                    )
                 continue
             merged.extend(execution.results)
             io = io.merged_with(execution.io)
@@ -593,6 +651,16 @@ class ShardedEngine:
                 "sequential_reads": execution.io.sequential_reads,
                 "retries": retries_taken[shard_id],
             })
+            if shard_spans[shard_id] is not None:
+                shard_spans[shard_id].annotate(
+                    failed=False,
+                    retries=retries_taken[shard_id],
+                    results_offered=len(execution.results),
+                    objects_inspected=execution.objects_inspected,
+                    nodes_visited=execution.nodes_visited,
+                    random_reads=execution.io.random_reads,
+                    sequential_reads=execution.io.sequential_reads,
+                )
         self._record_fanout_metrics(reports)
         merged.sort(key=lambda r: (-r.score, r.distance, r.obj.oid))
         return QueryExecution(

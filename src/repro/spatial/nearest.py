@@ -25,6 +25,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Sequence
 
+from repro.obs import trace as qtrace
 from repro.spatial.geometry import point_distance, target_min_distance
 from repro.spatial.rtree import Entry, Node, RTree
 
@@ -100,6 +101,15 @@ def incremental_nearest(
             yield ref, distance
             continue
         node = tree.load_node(ref)
+        span = qtrace.current_span()
+        if span is not None:
+            span.event(
+                qtrace.EVT_NODE_READ,
+                node=ref,
+                level=node.level,
+                entries=len(node.entries),
+                distance=distance,
+            )
         child_kind = _KIND_OBJECT if node.is_leaf else _KIND_NODE
         for entry in node.entries:
             if entry_filter is not None and not entry_filter(entry, node):
@@ -109,6 +119,13 @@ def incremental_nearest(
                         "object" if node.is_leaf else "node",
                         entry.child_ref,
                         target_min_distance(entry.rect, point),
+                    )
+                if span is not None:
+                    span.event(
+                        qtrace.EVT_SIG_PRUNE,
+                        level=node.level,
+                        entry=entry.child_ref,
+                        kind="object" if node.is_leaf else "node",
                     )
                 continue
             push(target_min_distance(entry.rect, point), child_kind, entry.child_ref)

@@ -40,6 +40,18 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+#: Optional tracing bridge, installed by :mod:`repro.obs.trace` when it is
+#: imported.  The storage layer must stay import-cycle-free with the
+#: observability package, so instead of importing it we expose two module
+#: globals that default to ``None`` (a single cheap check per access).
+#: When set, every classified block access is forwarded as
+#: ``sink(op, block_id, category, is_sequential)`` and every logical
+#: object load as ``sink(count)``, firing at exactly the code points the
+#: counters tally — which is what lets span-tree event counts reconcile
+#: exactly with per-query :func:`collecting_io` deltas.
+_TRACE_BLOCK_SINK = None
+_TRACE_OBJECT_SINK = None
+
 #: Thread-local stack of active per-execution collectors.
 _collectors = threading.local()
 
@@ -130,6 +142,8 @@ class IOStats:
             if collector is not self:
                 with collector._lock:
                     collector._tally_read(is_seq, category)
+        if _TRACE_BLOCK_SINK is not None:
+            _TRACE_BLOCK_SINK("read", block_id, category, is_seq)
         return is_seq
 
     def record_write(self, block_id: int, category: str = "data") -> bool:
@@ -141,6 +155,8 @@ class IOStats:
             if collector is not self:
                 with collector._lock:
                     collector._tally_write(is_seq, category)
+        if _TRACE_BLOCK_SINK is not None:
+            _TRACE_BLOCK_SINK("write", block_id, category, is_seq)
         return is_seq
 
     def record_object_load(self, count: int = 1) -> None:
@@ -151,6 +167,8 @@ class IOStats:
             if collector is not self:
                 with collector._lock:
                     collector.objects_loaded += count
+        if _TRACE_OBJECT_SINK is not None:
+            _TRACE_OBJECT_SINK(count)
 
     def _tally_read(self, is_seq: bool, category: str) -> None:
         """Apply one pre-classified read (caller holds the lock)."""
