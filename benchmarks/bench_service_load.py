@@ -1,27 +1,41 @@
 """Macro-benchmark: mixed serving load through :class:`QueryService`.
 
-Drives one seeded, mixed workload — hot repeats, cold point queries,
-area queries, and (where the index supports them) ranked queries —
-through the full serving stack for several index kinds and shard
-counts, and writes a machine-readable baseline (``BENCH_PR4.json`` at
-the repo root) from the service's own metrics snapshot:
+Drives seeded workloads through the full serving stack for several
+index kinds — including the cost-based adaptive planner (``auto``) —
+and shard counts, and writes a machine-readable baseline
+(``BENCH_PR6.json`` at the repo root) from the service's own metrics
+snapshot:
 
 * ``p50_ms`` / ``p95_ms`` — end-to-end latency quantiles from the
-  ``service.total_ms`` histogram of a multi-worker timed pass;
+  ``service.total_ms`` histogram of a multi-worker timed pass over the
+  headline *mixed* workload;
 * ``qps`` — the timed pass's completed queries over its wall time;
 * ``io_per_query`` — block reads and object loads per query from a
   separate single-worker *metered* pass (service workers = 1 **and**
   shard fan-out workers = 1), which makes the counts independent of
   thread scheduling and therefore stable enough for CI to diff;
+* ``classes`` — the same metered I/O split by workload class (``mixed``
+  / ``point`` / ``area`` and, for ranked-capable kinds, ``ranked``), so
+  the adaptive planner can be gated per class against the best fixed
+  kind;
 * ``cache_hit_rate`` — the result cache's hit fraction on the workload.
+
+Every kind answers **identical batches**: the headline mix varies each
+query's keyword count over 1-3 (single common keywords favor the trees,
+rare conjunctions favor the inverted index — the regime spread the
+planner routes across) and contains no ranked queries, so fixed and
+adaptive kinds are comparable query for query.
 
 Run directly (``python benchmarks/bench_service_load.py``) to regenerate
 the full baseline, or with ``--quick`` for the small configuration CI's
 perf-smoke job uses; ``--check BASELINE`` compares the current quick
 numbers against a committed baseline and exits 2 when any config's
 total reads per query regressed by more than ``--tolerance`` (default
-2x).  Wall-clock fields (latency, QPS) are machine-dependent and are
-never compared — only the deterministic I/O counts gate CI.
+2x); ``--check-planner`` additionally gates the adaptive planner's
+per-class I/O at no worse than the best fixed kind (times
+``--planner-tolerance``) within the same run.  Wall-clock fields
+(latency, QPS) are machine-dependent and are never compared — only the
+deterministic I/O counts gate CI.
 """
 
 from __future__ import annotations
@@ -42,24 +56,35 @@ from repro.datasets import DatasetConfig, SpatialTextDatasetGenerator  # noqa: E
 from repro.serve import QueryService  # noqa: E402
 from repro.shard import ShardedEngine  # noqa: E402
 
-DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR4.json")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR6.json")
 
-#: Index kinds x shard counts the full baseline covers.  Ranked queries
-#: are injected only for kinds whose index implements ``execute_ranked``.
+#: Index kinds x shard counts the full baseline covers.  The ``ranked``
+#: workload class is measured only for kinds that can execute it.
 FULL_CONFIGS = [
     ("ir2", 1), ("ir2", 4),
     ("rtree", 1), ("rtree", 4),
     ("iio", 1), ("iio", 4),
+    ("auto", 1), ("auto", 4),
 ]
-QUICK_CONFIGS = [("ir2", 1), ("ir2", 2), ("rtree", 1), ("iio", 1)]
-RANKED_KINDS = frozenset({"ir2", "mir2"})
+QUICK_CONFIGS = [
+    ("ir2", 1), ("ir2", 2), ("rtree", 1), ("iio", 1),
+    ("auto", 1), ("auto", 2),
+]
+RANKED_KINDS = frozenset({"ir2", "mir2", "auto"})
 
 FULL_SCALE = dict(n_objects=1_200, n_queries=48, timed_workers=4)
 QUICK_SCALE = dict(n_objects=300, n_queries=16, timed_workers=2)
 
+#: Keyword counts sampled per query: 1-keyword queries hit the Zipf head
+#: (common terms, tree-friendly), 3-keyword conjunctions are selective
+#: (inverted-index-friendly) — the spread adaptive routing exploits.
+KEYWORD_COUNTS = (1, 2, 3)
+
+#: The headline mixed workload.  No ranked slots: every index kind —
+#: fixed and adaptive — answers the identical batch.
 WORKLOAD_MIX = dict(
-    num_keywords=2, k=10, hot_fraction=0.3, hot_pool=6,
-    area_fraction=0.2, ranked_fraction=0.2,
+    keyword_counts=KEYWORD_COUNTS, k=10, hot_fraction=0.3, hot_pool=6,
+    area_fraction=0.2, ranked_fraction=0.0,
 )
 SEED = 1234
 
@@ -96,17 +121,51 @@ def _build_engine(objects, index: str, shards: int, shard_workers: int | None):
     return engine
 
 
-def _batch(objects, analyzer, index: str, n_queries: int):
+def _mixed_batch(objects, analyzer, n_queries: int):
     workload = ConcurrentLoadGenerator(objects, analyzer, seed=SEED)
-    ranking = (
-        DistanceDecayRanking(half_distance=_half_distance(objects))
-        if index in RANKED_KINDS
-        else None
-    )
-    mix = dict(WORKLOAD_MIX)
-    if ranking is None:
-        mix["ranked_fraction"] = 0.0
-    return workload.mixed_batch(n_queries, ranking=ranking, **mix)
+    return workload.mixed_batch(n_queries, **WORKLOAD_MIX)
+
+
+def _class_batches(objects, analyzer, index: str, n_queries: int):
+    """``(class_name, batch)`` pairs, identical across index kinds.
+
+    Each class gets a fresh seeded generator, so every kind answers the
+    same queries in the same order; the ``ranked`` class exists only for
+    kinds that can execute it.
+    """
+    batches = [("mixed", _mixed_batch(objects, analyzer, n_queries))]
+    point = ConcurrentLoadGenerator(objects, analyzer, seed=SEED + 1)
+    batches.append((
+        "point",
+        point.batch(n_queries, k=10, hot_fraction=0.0,
+                    keyword_counts=KEYWORD_COUNTS),
+    ))
+    area = ConcurrentLoadGenerator(objects, analyzer, seed=SEED + 2)
+    batches.append((
+        "area",
+        [area.area_query(1, 10, extent_fraction=0.1)
+         for _ in range(n_queries)],
+    ))
+    if index in RANKED_KINDS:
+        ranked = ConcurrentLoadGenerator(objects, analyzer, seed=SEED + 3)
+        ranking = DistanceDecayRanking(half_distance=_half_distance(objects))
+        batches.append((
+            "ranked",
+            [ranked.query(2, 10).with_ranking(ranking)
+             for _ in range(n_queries)],
+        ))
+    return batches
+
+
+def _io_per_query(stats, n_queries: int) -> dict:
+    return {
+        "random_reads": stats.io.random_reads / n_queries,
+        "sequential_reads": stats.io.sequential_reads / n_queries,
+        "total_reads": (
+            stats.io.random_reads + stats.io.sequential_reads
+        ) / n_queries,
+        "objects_loaded": stats.io.objects_loaded / n_queries,
+    }
 
 
 def run_config(objects, index: str, shards: int, scale: dict) -> dict:
@@ -116,25 +175,28 @@ def run_config(objects, index: str, shards: int, scale: dict) -> dict:
     # Pass 1 (metered): single service worker, single shard worker.
     # Every source of thread-schedule nondeterminism is removed, so the
     # I/O counts are reproducible and CI can compare them across runs.
+    # One engine serves every workload class; each class runs under a
+    # fresh service so its I/O and cache counters are isolated.
     engine = _build_engine(objects, index, shards, shard_workers=1)
-    batch = _batch(objects, engine.analyzer, index, n_queries)
-    with QueryService(engine, workers=1) as service:
-        service.run_batch(batch)
-        metered = service.stats()
+    classes = {}
+    cache_hit_rate = 0.0
+    degraded = 0
+    for name, batch in _class_batches(objects, engine.analyzer, index,
+                                      n_queries):
+        with QueryService(engine, workers=1) as service:
+            service.run_batch(batch)
+            metered = service.stats()
+        classes[name] = _io_per_query(metered, len(batch))
+        if name == "mixed":
+            cache_hit_rate = metered.cache_hit_rate
+            degraded = metered.degraded
     if shards > 1:
         engine.close()
-    io_per_query = {
-        "random_reads": metered.io.random_reads / n_queries,
-        "sequential_reads": metered.io.sequential_reads / n_queries,
-        "total_reads": (
-            metered.io.random_reads + metered.io.sequential_reads
-        ) / n_queries,
-        "objects_loaded": metered.io.objects_loaded / n_queries,
-    }
 
-    # Pass 2 (timed): concurrent workers, wall-clock latency and QPS.
+    # Pass 2 (timed): concurrent workers over the headline mixed batch,
+    # wall-clock latency and QPS.
     engine = _build_engine(objects, index, shards, shard_workers=None)
-    batch = _batch(objects, engine.analyzer, index, n_queries)
+    batch = _mixed_batch(objects, engine.analyzer, n_queries)
     with QueryService(engine, workers=scale["timed_workers"]) as service:
         t0 = time.perf_counter()
         service.run_batch(batch)
@@ -151,9 +213,10 @@ def run_config(objects, index: str, shards: int, scale: dict) -> dict:
         "p50_ms": total_ms["p50"],
         "p95_ms": total_ms["p95"],
         "qps": n_queries / elapsed if elapsed > 0 else 0.0,
-        "cache_hit_rate": metered.cache_hit_rate,
-        "degraded": metered.degraded,
-        "io_per_query": io_per_query,
+        "cache_hit_rate": cache_hit_rate,
+        "degraded": degraded,
+        "io_per_query": classes["mixed"],
+        "classes": classes,
     }
 
 
@@ -222,6 +285,56 @@ def check_regression(current: dict, baseline_path: str, tolerance: float) -> int
     return 0
 
 
+def check_planner(current: dict, tolerance: float) -> int:
+    """Gate the adaptive planner against the best fixed kind, per class.
+
+    For every shard count that has an ``auto`` cell, the planner's
+    metered reads per query must stay within ``tolerance`` x the
+    *cheapest* fixed kind on every workload class both measured.  The
+    comparison is within one run, so it is machine-independent.
+    Returns 0 when the planner holds everywhere, 2 otherwise.
+    """
+    by_key = {(c["index"], c["shards"]): c for c in current["configs"]}
+    failures = []
+    for (index, shards), auto in sorted(by_key.items()):
+        if index != "auto":
+            continue
+        rivals = [
+            cell for (kind, s), cell in by_key.items()
+            if s == shards and kind != "auto"
+        ]
+        if not rivals:
+            print(f"note: no fixed rival at {shards} shard(s), skipping")
+            continue
+        for cls, io in auto.get("classes", {}).items():
+            costs = {
+                cell["index"]: cell["classes"][cls]["total_reads"]
+                for cell in rivals
+                if cls in cell.get("classes", {})
+            }
+            if not costs:
+                continue
+            best_kind = min(costs, key=costs.get)
+            best = costs[best_kind]
+            now = io["total_reads"]
+            ok = now <= best * tolerance + 1e-9
+            status = "ok" if ok else "PLANNER REGRESSION"
+            print(
+                f"  auto x{shards} [{cls}]: {now:.1f} reads/q vs best "
+                f"fixed {best_kind}={best:.1f} ({status})"
+            )
+            if not ok:
+                failures.append((shards, cls))
+    if failures:
+        print(
+            f"planner worse than best fixed kind (> {tolerance}x) on: "
+            f"{failures}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -234,6 +347,12 @@ def main(argv=None) -> int:
                              "committed baseline JSON; exit 2 on regression")
     parser.add_argument("--tolerance", type=float, default=2.0,
                         help="allowed I/O growth factor for --check")
+    parser.add_argument("--check-planner", action="store_true",
+                        help="gate the adaptive planner's per-class I/O at "
+                             "no worse than the best fixed kind in this run")
+    parser.add_argument("--planner-tolerance", type=float, default=1.05,
+                        help="allowed planner-vs-best-fixed I/O factor for "
+                             "--check-planner")
     args = parser.parse_args(argv)
 
     payload = {
@@ -261,9 +380,13 @@ def main(argv=None) -> int:
             fh.write("\n")
         print(f"wrote {out}")
 
+    code = 0
     if args.check:
-        return check_regression(payload["quick"], args.check, args.tolerance)
-    return 0
+        code = check_regression(payload["quick"], args.check, args.tolerance)
+    if args.check_planner:
+        section = payload["quick"] if "quick" in payload else payload
+        code = max(code, check_planner(section, args.planner_tolerance))
+    return code
 
 
 if __name__ == "__main__":

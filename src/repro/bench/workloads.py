@@ -80,6 +80,20 @@ class WorkloadGenerator:
             self.random_point(), self.sample_keywords(num_keywords), k
         )
 
+    def _keyword_count(
+        self, num_keywords: int, keyword_counts: Sequence[int] | None
+    ) -> int:
+        """Per-slot keyword count: fixed, or sampled from a pool.
+
+        Varying the count per query spreads the batch across selectivity
+        regimes (single common keywords favor trees, multi-keyword
+        conjunctions favor the inverted index), which is what makes
+        adaptive routing measurable on one batch.
+        """
+        if keyword_counts:
+            return self._rng.choice(list(keyword_counts))
+        return num_keywords
+
     # -- Frequency-controlled keywords (Section VI.B's discussion) ------------
 
     def _document_frequencies(self) -> dict[str, int]:
@@ -172,6 +186,7 @@ class ConcurrentLoadGenerator(WorkloadGenerator):
         k: int = 10,
         hot_fraction: float = 0.5,
         hot_pool: int = 8,
+        keyword_counts: Sequence[int] | None = None,
     ) -> list[SpatialKeywordQuery]:
         """``count`` queries, ``hot_fraction`` of them repeats of a hot set.
 
@@ -181,20 +196,25 @@ class ConcurrentLoadGenerator(WorkloadGenerator):
             k: requested results per query.
             hot_fraction: probability a slot is served from the hot pool.
             hot_pool: number of distinct hot queries.
+            keyword_counts: when given, each query samples its keyword
+                count from this pool instead of using ``num_keywords``.
         """
         if not 0.0 <= hot_fraction <= 1.0:
             raise DatasetError(
                 f"hot_fraction must be in [0, 1], got {hot_fraction}"
             )
         pool = (
-            [self.query(num_keywords, k) for _ in range(max(1, hot_pool))]
+            [
+                self.query(self._keyword_count(num_keywords, keyword_counts), k)
+                for _ in range(max(1, hot_pool))
+            ]
             if hot_fraction > 0.0
             else []
         )
         return [
             self._rng.choice(pool)
             if pool and self._rng.random() < hot_fraction
-            else self.query(num_keywords, k)
+            else self.query(self._keyword_count(num_keywords, keyword_counts), k)
             for _ in range(count)
         ]
 
@@ -228,6 +248,7 @@ class ConcurrentLoadGenerator(WorkloadGenerator):
         ranked_fraction: float = 0.2,
         ranking: Callable[[float, float], float] | None = None,
         area_extent: float = 0.05,
+        keyword_counts: Sequence[int] | None = None,
     ) -> list[SpatialKeywordQuery]:
         """A serving-shaped mix of point, area, and ranked queries.
 
@@ -251,6 +272,8 @@ class ConcurrentLoadGenerator(WorkloadGenerator):
             ranking: shared combined-ranking function for ranked slots.
             area_extent: per-dimension area size as a fraction of the
                 dataset extent.
+            keyword_counts: when given, each query samples its keyword
+                count from this pool instead of using ``num_keywords``.
         """
         if not 0.0 <= hot_fraction <= 1.0:
             raise DatasetError(
@@ -258,8 +281,12 @@ class ConcurrentLoadGenerator(WorkloadGenerator):
             )
         if area_fraction + ranked_fraction > 1.0:
             raise DatasetError("area_fraction + ranked_fraction must be <= 1")
+
+        def keywords() -> int:
+            return self._keyword_count(num_keywords, keyword_counts)
+
         pool = (
-            [self.query(num_keywords, k) for _ in range(max(1, hot_pool))]
+            [self.query(keywords(), k) for _ in range(max(1, hot_pool))]
             if hot_fraction > 0.0
             else []
         )
@@ -271,14 +298,14 @@ class ConcurrentLoadGenerator(WorkloadGenerator):
             slot = self._rng.random()
             if slot < area_fraction:
                 batch.append(
-                    self.area_query(num_keywords, k, extent_fraction=area_extent)
+                    self.area_query(keywords(), k, extent_fraction=area_extent)
                 )
             elif ranking is not None and slot < area_fraction + ranked_fraction:
                 batch.append(
-                    self.query(num_keywords, k).with_ranking(ranking)
+                    self.query(keywords(), k).with_ranking(ranking)
                 )
             else:
-                batch.append(self.query(num_keywords, k))
+                batch.append(self.query(keywords(), k))
         return batch
 
 

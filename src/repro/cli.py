@@ -43,6 +43,13 @@ Five subcommands cover the typical lifecycle:
     Check an on-disk engine directory's integrity: manifest parse and
     version, per-file SHA-256 digests, shard layout, and a full load.
     Exits non-zero on any corruption.
+
+``plan explain``
+    Price one query under every candidate strategy of an adaptive
+    (``--index auto``) engine and show which one the cost-based planner
+    picks, with the statistics (keyword document frequencies, spatial
+    density, selectivity) the estimates came from.  Per shard for a
+    sharded engine.
 """
 
 from __future__ import annotations
@@ -90,8 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--data", required=True, help="input TSV path")
     build.add_argument("--out", required=True, help="engine directory")
     build.add_argument("--index",
-                       choices=("rtree", "iio", "ir2", "mir2", "sig"),
+                       choices=("rtree", "iio", "ir2", "mir2", "sig", "auto"),
                        default="ir2")
+    build.add_argument("--auto-kinds", nargs="+", metavar="KIND",
+                       help="candidate strategies for --index auto "
+                            "(default: ir2 iio)")
     build.add_argument("--signature-bytes", type=int, default=16)
     build.add_argument("--bits-per-word", type=int, default=3)
     build.add_argument("--block-size", type=int, default=4096)
@@ -203,6 +213,25 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--no-load", action="store_true",
                         help="digest and layout checks only; skip the "
                              "full engine load")
+
+    plan = commands.add_parser(
+        "plan", help="inspect the adaptive planner's routing decisions"
+    )
+    plan_commands = plan.add_subparsers(dest="plan_command", required=True)
+    explain = plan_commands.add_parser(
+        "explain",
+        help="price one query under every candidate strategy",
+    )
+    explain.add_argument("--engine", required=True, help="engine directory")
+    explain.add_argument("--point", nargs=2, type=float, required=True,
+                         metavar=("LAT", "LON"))
+    explain.add_argument("--keywords", nargs="+", required=True)
+    explain.add_argument("-k", type=int, default=10)
+    explain.add_argument("--ranked", action="store_true",
+                         help="price the ranked execution path instead of "
+                              "the conjunctive distance-first one")
+    explain.add_argument("--json", action="store_true",
+                         help="print the full breakdown as JSON")
     return parser
 
 
@@ -227,6 +256,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "verify":
             return _cmd_verify(args)
+        if args.command == "plan":
+            return _cmd_plan(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -249,6 +280,7 @@ def _cmd_build(args) -> int:
         bits_per_word=args.bits_per_word,
         block_size=args.block_size,
         compression=args.compression,
+        auto_kinds=args.auto_kinds,
     )
     if args.shards > 1:
         engine = ShardedEngine(
@@ -419,6 +451,70 @@ def _cmd_verify(args) -> int:
     verdict = "ok" if report["ok"] else "CORRUPT"
     print(f"{report['directory']}: {verdict}")
     return 0 if report["ok"] else 1
+
+
+def _cmd_plan(args) -> int:
+    from repro.core.query import SpatialKeywordQuery
+    from repro.core.ranking import DistanceDecayRanking
+    from repro.errors import QueryError
+
+    engine = load_engine(args.engine)
+    ranking = DistanceDecayRanking(half_distance=1.0) if args.ranked else None
+    query = SpatialKeywordQuery.of(
+        tuple(args.point), args.keywords, args.k, ranking=ranking
+    )
+    if isinstance(engine, ShardedEngine):
+        targets = [
+            (f"shard {i}", shard.index)
+            for i, shard in enumerate(engine.shards)
+        ]
+    else:
+        targets = [("", engine.index)]
+    reports = []
+    for label, index in targets:
+        explain = getattr(index, "explain", None)
+        if explain is None:
+            raise QueryError(
+                "plan explain requires an adaptive engine "
+                "(build it with --index auto)"
+            )
+        reports.append({"target": label, **explain(query)})
+    if args.json:
+        print(json.dumps({"reports": reports}, indent=2, sort_keys=True))
+        return 0
+    for report in reports:
+        _print_plan_report(report)
+    return 0
+
+
+def _print_plan_report(report: dict) -> None:
+    decision = report["decision"]
+    prefix = f"{report['target']}: " if report["target"] else ""
+    qualifiers = [decision["query_class"] + " query"]
+    if decision.get("forced"):
+        qualifiers.append("forced")
+    if decision.get("cached"):
+        qualifiers.append("cached")
+    print(f"{prefix}chosen {decision['strategy']} "
+          f"({', '.join(qualifiers)}, "
+          f"est {decision['estimated_cost_ms']:.4f} ms)")
+    estimates = decision["estimates"]
+    width = max(len(kind) for kind in estimates)
+    ranked_kinds = sorted(estimates, key=lambda k: estimates[k]["cost_ms"])
+    for kind in ranked_kinds:
+        row = estimates[kind]
+        marker = "*" if kind == decision["strategy"] else " "
+        print(f"  {marker} {kind:<{width}}  cost={row['cost_ms']:.4f} ms  "
+              f"random={row['random_reads']:.1f}  "
+              f"seq={row['sequential_reads']:.1f}  "
+              f"objects={row['objects_loaded']:.1f}")
+    stats = report["statistics"]
+    frequencies = ", ".join(
+        f"{term}:{df}" for term, df in sorted(stats["query_terms"].items())
+    )
+    print(f"  statistics: n={stats['documents']}  "
+          f"selectivity={stats['selectivity']:.6g}  df[{frequencies}]  "
+          f"stats_version={stats['version']}")
 
 
 def _repartition(engine: SpatialKeywordEngine, n_shards: int) -> ShardedEngine:

@@ -64,6 +64,10 @@ class SpatialKeywordEngine:
             omitted).
         compression: IIO posting codec, "raw" or "varint" [NMN+00];
             ignored by the other index kinds.
+        auto_kinds: candidate strategies for ``index="auto"`` (the
+            cost-based planner routes each query among them); ignored by
+            the fixed index kinds.  Defaults to
+            :data:`repro.core.indexes.AUTO_DEFAULT_CANDIDATES`.
     """
 
     def __init__(
@@ -76,6 +80,7 @@ class SpatialKeywordEngine:
         seed: int = 0,
         capacity: int | None = None,
         compression: str = "raw",
+        auto_kinds: Sequence[str] | None = None,
     ) -> None:
         self.corpus = Corpus(analyzer=analyzer, block_size=block_size)
         self._index_kind = index
@@ -87,6 +92,7 @@ class SpatialKeywordEngine:
             seed=seed,
             capacity=capacity,
             compression=compression,
+            auto_candidates=auto_kinds,
         )
         self._pointers: dict[int, int] = {}  # oid -> ObjPtr
 
@@ -169,24 +175,13 @@ class SpatialKeywordEngine:
                 :attr:`~repro.core.indexes.SpatialKeywordIndex.supports_incremental`
                 is False).
         """
-        from repro.core.indexes import RTreeIndex
-        from repro.core.search import ir2_top_k_iter, rtree_top_k_iter
-
         if not self.index.supports_incremental:
             raise QueryError(
                 f"index kind {self._index_kind!r} cannot stream results "
                 "incrementally"
             )
         self.index.require_built()
-        if isinstance(self.index, RTreeIndex):
-            return rtree_top_k_iter(
-                self.index.tree, self.corpus.store, self.corpus.analyzer,
-                query, counters=counters,
-            )
-        return ir2_top_k_iter(
-            self.index.tree, self.corpus.store, self.corpus.analyzer,
-            query, counters=counters,
-        )
+        return self.index.result_stream(query, counters=counters)
 
     def query_incremental(
         self,
@@ -324,8 +319,15 @@ class SpatialKeywordEngine:
         return self.index.size_mb
 
     def io_stats(self) -> IOStats:
-        """Merged running I/O counters of the index and object devices."""
-        return self.index.device.stats.merged_with(self.corpus.device.stats)
+        """Merged running I/O counters of the index and object devices.
+
+        Uses the index's own device list so multi-structure kinds (the
+        "auto" planner index) report every candidate's device.
+        """
+        io = IOStats()
+        for device in self.index._devices():
+            io = io.merged_with(device.stats)
+        return io
 
     def reset_io(self) -> None:
         """Zero the I/O counters (e.g. after a build, before measuring)."""

@@ -11,7 +11,7 @@ engine facade talk only to this interface.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.core.baselines import iio_top_k
 from repro.core.builder import BulkItem, bulk_load, insert_build
@@ -20,17 +20,33 @@ from repro.core.ir2tree import IR2Tree
 from repro.core.mir2tree import MIR2Tree
 from repro.core.query import QueryExecution, SpatialKeywordQuery
 from repro.core.ranking import RankingCallable
-from repro.core.search import SearchOutcome, ir2_top_k, rtree_top_k
+from repro.core.search import (
+    SearchCounters,
+    SearchOutcome,
+    ir2_top_k,
+    ir2_top_k_iter,
+    rtree_top_k,
+    rtree_top_k_iter,
+)
 from repro.core.search_general import ranked_top_k
 from repro.errors import IndexError_, QueryError
-from repro.model import SpatialObject
+from repro.model import SearchResult, SpatialObject
 from repro.obs import trace as qtrace
+from repro.plan import PlannerStatistics, QueryPlanner
+from repro.plan.cost import (
+    CostEstimate,
+    estimate_iio,
+    estimate_signature_scan,
+    estimate_tree,
+)
 from repro.spatial.geometry import Rect
 from repro.spatial.rtree import RTree
 from repro.storage.block import BlockDevice, InMemoryBlockDevice
 from repro.storage.iostats import collecting_io
 from repro.storage.pagestore import PageStore
+from repro.storage.timing import DEFAULT_DRIVE
 from repro.text.inverted_index import InvertedIndex
+from repro.text.sigdesign import false_positive_rate_for_query
 from repro.text.signature import HashSignatureFactory
 
 
@@ -91,6 +107,32 @@ class SpatialKeywordIndex:
         and are inherently non-incremental (paper Section V.A).
         """
         return False
+
+    # -- Planning -------------------------------------------------------------------
+
+    def estimate_cost(
+        self, query: SpatialKeywordQuery, stats: PlannerStatistics
+    ) -> CostEstimate | None:
+        """Expected I/O of answering ``query`` here; None = cannot execute.
+
+        The hook the cost-based planner (:mod:`repro.plan`) calls on each
+        candidate strategy.  The base class cannot price itself.
+        """
+        return None
+
+    def result_stream(
+        self,
+        query: SpatialKeywordQuery,
+        counters: SearchCounters | None = None,
+    ) -> Iterator[SearchResult]:
+        """Lazy nearest-first result stream (incremental kinds only).
+
+        Raises:
+            QueryError: when :attr:`supports_incremental` is False.
+        """
+        raise QueryError(
+            f"index kind {self.label!r} cannot stream results incrementally"
+        )
 
     # -- Execution ------------------------------------------------------------------
 
@@ -187,6 +229,33 @@ class _TreeIndex(SpatialKeywordIndex):
         """Tree indexes stream results nearest-first (paper Section V.B)."""
         return True
 
+    def _query_false_positive_rate(self, n_terms: int, stats) -> float:
+        """Probability a non-matching candidate survives the leaf filter.
+
+        A plain R-Tree has no keyword filter: every scanned candidate is
+        loaded and verified.  Signature-bearing subclasses override this
+        with the [MC94] design-formula rate.
+        """
+        return 1.0
+
+    def estimate_cost(
+        self, query: SpatialKeywordQuery, stats: PlannerStatistics
+    ) -> CostEstimate | None:
+        if query.ranking is not None:
+            return None  # ranked execution needs signatures (Section V.C)
+        return estimate_tree(self, query, stats)
+
+    def result_stream(
+        self,
+        query: SpatialKeywordQuery,
+        counters: SearchCounters | None = None,
+    ) -> Iterator[SearchResult]:
+        self.require_built()
+        return ir2_top_k_iter(
+            self.tree, self.corpus.store, self.corpus.analyzer, query,
+            counters=counters,
+        )
+
     def _make_tree(self) -> RTree:
         raise NotImplementedError
 
@@ -215,6 +284,12 @@ class _TreeIndex(SpatialKeywordIndex):
 
 class _RankedTreeIndex(_TreeIndex):
     """Signature-bearing trees additionally support ranked queries (§V.C)."""
+
+    def estimate_cost(
+        self, query: SpatialKeywordQuery, stats: PlannerStatistics
+    ) -> CostEstimate | None:
+        # Unlike the plain R-Tree, ranked queries are priceable here.
+        return estimate_tree(self, query, stats)
 
     def execute_ranked(
         self,
@@ -263,6 +338,17 @@ class RTreeIndex(_TreeIndex):
     def _run(self, query: SpatialKeywordQuery) -> SearchOutcome:
         return rtree_top_k(self.tree, self.corpus.store, self.corpus.analyzer, query)
 
+    def result_stream(
+        self,
+        query: SpatialKeywordQuery,
+        counters: SearchCounters | None = None,
+    ) -> Iterator[SearchResult]:
+        self.require_built()
+        return rtree_top_k_iter(
+            self.tree, self.corpus.store, self.corpus.analyzer, query,
+            counters=counters,
+        )
+
 
 class IR2Index(_RankedTreeIndex):
     """The IR2-Tree with the distance-first ``IR2TopK`` algorithm."""
@@ -288,6 +374,14 @@ class IR2Index(_RankedTreeIndex):
 
     def _run(self, query: SpatialKeywordQuery) -> SearchOutcome:
         return ir2_top_k(self.tree, self.corpus.store, self.corpus.analyzer, query)
+
+    def _query_false_positive_rate(self, n_terms: int, stats) -> float:
+        return false_positive_rate_for_query(
+            self.factory.length_bits,
+            max(1, round(stats.avg_distinct_terms)),
+            self.factory.bits_per_word,
+            max(1, n_terms),
+        )
 
 
 class MIR2Index(_RankedTreeIndex):
@@ -338,6 +432,14 @@ class MIR2Index(_RankedTreeIndex):
     def _run(self, query: SpatialKeywordQuery) -> SearchOutcome:
         return ir2_top_k(self.tree, self.corpus.store, self.corpus.analyzer, query)
 
+    def _query_false_positive_rate(self, n_terms: int, stats) -> float:
+        return false_positive_rate_for_query(
+            self.leaf_signature_bytes * 8,
+            max(1, round(stats.avg_distinct_terms)),
+            self.bits_per_word,
+            max(1, n_terms),
+        )
+
 
 class IIOIndex(SpatialKeywordIndex):
     """Baseline 2: Inverted Index Only (Section V.A, Figure 7).
@@ -368,6 +470,13 @@ class IIOIndex(SpatialKeywordIndex):
 
     def _run(self, query: SpatialKeywordQuery) -> SearchOutcome:
         return iio_top_k(self.index, self.corpus.store, query)
+
+    def estimate_cost(
+        self, query: SpatialKeywordQuery, stats: PlannerStatistics
+    ) -> CostEstimate | None:
+        if query.ranking is not None:
+            return None  # no IR scores without signatures/idf traversal
+        return estimate_iio(self.index, query, stats)
 
     def insert_object(self, pointer: int, obj: SpatialObject) -> None:
         self.require_built()
@@ -449,6 +558,13 @@ class SignatureFileIndex(SpatialKeywordIndex):
         scored.sort(key=lambda r: (r.distance, r.obj.oid))
         outcome.results = scored[: query.k]
         return outcome
+
+    def estimate_cost(
+        self, query: SpatialKeywordQuery, stats: PlannerStatistics
+    ) -> CostEstimate | None:
+        if query.ranking is not None:
+            return None
+        return estimate_signature_scan(self.sigfile, query, stats)
 
     def insert_object(self, pointer: int, obj: SpatialObject) -> None:
         self.require_built()
@@ -549,6 +665,215 @@ class STreeIndex(SpatialKeywordIndex):
         return self.pages.size_mb
 
 
+#: Default strategy set for ``index="auto"``: the distance-first tree and
+#: the inverted-index conjunction cover both ends of the selectivity
+#: spectrum (and "ir2" keeps ranked + incremental queries available).
+AUTO_DEFAULT_CANDIDATES = ("ir2", "iio")
+
+
+class AutoIndex(SpatialKeywordIndex):
+    """Adaptive meta-index: one structure per candidate, planner-routed.
+
+    Builds every candidate index kind over the *same* shared corpus and
+    routes each query to whichever strategy the cost model expects to be
+    cheapest (see :mod:`repro.plan`).  Every answer is produced by a real
+    candidate index, so the differential guarantees of the fixed kinds
+    carry over unchanged — a wrong estimate costs I/O, never correctness.
+
+    Args:
+        corpus: the shared corpus.
+        candidates: strategy kinds to build and route among (any of
+            "ir2", "mir2", "rtree", "iio", "sig"; order is the
+            deterministic cost tie-break).  Defaults to
+            :data:`AUTO_DEFAULT_CANDIDATES`.
+        signature_bytes / bits_per_word / seed / capacity / compression:
+            forwarded to every candidate that uses them.
+    """
+
+    label = "AUTO"
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        signature_bytes: int = 16,
+        bits_per_word: int = 3,
+        seed: int = 0,
+        capacity: int | None = None,
+        compression: str = "raw",
+        candidates: Sequence[str] | None = None,
+    ) -> None:
+        super().__init__(corpus)
+        raw = tuple(candidates) if candidates else AUTO_DEFAULT_CANDIDATES
+        normalized: list[str] = []
+        for kind in raw:
+            name = kind.strip().lower()
+            if name == "auto":
+                raise QueryError("auto index cannot nest itself as a candidate")
+            if name not in normalized:
+                normalized.append(name)
+        self.candidates = tuple(normalized)
+        self._config = {
+            "signature_bytes": signature_bytes,
+            "bits_per_word": bits_per_word,
+            "seed": seed,
+            "capacity": capacity,
+            "compression": compression,
+        }
+        self.children: dict[str, SpatialKeywordIndex] = {
+            kind: make_index(
+                kind,
+                corpus,
+                signature_bytes=signature_bytes,
+                bits_per_word=bits_per_word,
+                seed=seed,
+                capacity=capacity,
+                compression=compression,
+            )
+            for kind in self.candidates
+        }
+        self.stats = PlannerStatistics(corpus)
+        self.planner = QueryPlanner(self.children, self.stats)
+
+    # -- Construction -----------------------------------------------------------
+
+    def _build_structure(self, items: list[BulkItem], bulk: bool, fill: float) -> None:
+        for child in self.children.values():
+            child.build(bulk=bulk, fill=fill)
+        self.stats.rebuild()
+
+    # -- Planning ---------------------------------------------------------------
+
+    def plan_for(self, query: SpatialKeywordQuery):
+        """The (cached) routing decision for ``query``.
+
+        Exposed so :class:`repro.shard.ShardedEngine` can route each
+        shard's sub-query before choosing the pull strategy.
+        """
+        return self.planner.decide(query)
+
+    def strategy_supports_streaming(self, strategy: str) -> bool:
+        """Whether the named strategy can stream results nearest-first."""
+        child = self.children.get(strategy)
+        return child is not None and child.supports_incremental
+
+    def explain(self, query: SpatialKeywordQuery) -> dict:
+        """Planner breakdown for the CLI's ``repro plan explain``."""
+        return self.planner.explain(query)
+
+    def _plan(self, query: SpatialKeywordQuery):
+        with qtrace.start_span("plan", category="phase") as span:
+            decision = self.planner.decide(query)
+            if span is not None:
+                span.annotate(
+                    strategy=decision.strategy,
+                    query_class=decision.query_class,
+                    cached=decision.cached,
+                    estimated_cost_ms=round(decision.cost_ms, 4),
+                )
+        return decision
+
+    def _finalize(self, decision, execution: QueryExecution) -> QueryExecution:
+        actual_ms = DEFAULT_DRIVE.simulated_ms(execution.io)
+        execution.algorithm = f"AUTO:{execution.algorithm}"
+        plan = decision.as_dict(self.planner.drive)
+        plan["actual_cost_ms"] = round(actual_ms, 4)
+        execution.plan = plan
+        self.planner.observe(decision, actual_ms)
+        return execution
+
+    # -- Execution --------------------------------------------------------------
+
+    def execute(self, query: SpatialKeywordQuery) -> QueryExecution:
+        self.require_built()
+        decision = self._plan(query)
+        child = self.children[decision.strategy]
+        return self._finalize(decision, child.execute(query))
+
+    def execute_ranked(
+        self,
+        query: SpatialKeywordQuery,
+        ranking: RankingCallable,
+        prune_zero_ir: bool = True,
+        vocabulary=None,
+    ) -> QueryExecution:
+        """Route a ranked query among the ranked-capable candidates."""
+        self.require_built()
+        planned = query if query.ranking is not None else query.with_ranking(ranking)
+        decision = self._plan(planned)
+        child = self.children[decision.strategy]
+        execution = child.execute_ranked(
+            query, ranking, prune_zero_ir=prune_zero_ir, vocabulary=vocabulary
+        )
+        return self._finalize(decision, execution)
+
+    @property
+    def supports_incremental(self) -> bool:
+        return any(
+            child.supports_incremental for child in self.children.values()
+        )
+
+    def result_stream(
+        self,
+        query: SpatialKeywordQuery,
+        counters: SearchCounters | None = None,
+    ) -> Iterator[SearchResult]:
+        """Stream from the planned strategy when it can, else any tree.
+
+        Streaming is only meaningful on tree candidates; when the planner
+        prefers a scan strategy but the caller insists on a stream (e.g.
+        ``query_incremental``), the first tree candidate serves it.
+        """
+        self.require_built()
+        decision = self.planner.decide(query)
+        strategy = decision.strategy
+        if not self.strategy_supports_streaming(strategy):
+            strategy = next(
+                (
+                    kind
+                    for kind in self.candidates
+                    if self.children[kind].supports_incremental
+                ),
+                None,
+            )
+        if strategy is None:
+            raise QueryError(
+                f"index kind {self.label!r} cannot stream results "
+                "incrementally: no tree candidate available"
+            )
+        return self.children[strategy].result_stream(query, counters=counters)
+
+    # -- Maintenance ------------------------------------------------------------
+
+    def insert_object(self, pointer: int, obj: SpatialObject) -> None:
+        self.require_built()
+        for child in self.children.values():
+            child.insert_object(pointer, obj)
+        self.stats.note_insert(obj)
+
+    def delete_object(self, pointer: int, obj: SpatialObject) -> bool:
+        self.require_built()
+        removed = False
+        for child in self.children.values():
+            removed = child.delete_object(pointer, obj) or removed
+        self.stats.note_delete(obj)
+        return removed
+
+    # -- Introspection ----------------------------------------------------------
+
+    @property
+    def size_mb(self) -> float:
+        """Summed footprint: adaptivity is paid for in structure space."""
+        return sum(child.size_mb for child in self.children.values())
+
+    def _devices(self) -> list[BlockDevice]:
+        devices: list[BlockDevice] = []
+        for child in self.children.values():
+            for device in child._devices():
+                if all(device is not seen for seen in devices):
+                    devices.append(device)
+        return devices
+
+
 def make_index(
     kind: str,
     corpus: Corpus,
@@ -557,8 +882,9 @@ def make_index(
     seed: int = 0,
     capacity: int | None = None,
     compression: str = "raw",
+    auto_candidates: Sequence[str] | None = None,
 ) -> SpatialKeywordIndex:
-    """Factory: ``kind`` in {"rtree", "iio", "ir2", "mir2", "sig",\n    "stree"} (case-insensitive)."""
+    """Factory: ``kind`` in {"rtree", "iio", "ir2", "mir2", "sig",\n    "stree", "auto"} (case-insensitive)."""
     normalized = kind.strip().lower()
     if normalized == "rtree":
         return RTreeIndex(corpus, capacity=capacity)
@@ -581,5 +907,15 @@ def make_index(
     if normalized == "stree":
         return STreeIndex(
             corpus, signature_bytes, bits_per_word=bits_per_word, seed=seed
+        )
+    if normalized == "auto":
+        return AutoIndex(
+            corpus,
+            signature_bytes=signature_bytes,
+            bits_per_word=bits_per_word,
+            seed=seed,
+            capacity=capacity,
+            compression=compression,
+            candidates=auto_candidates,
         )
     raise QueryError(f"unknown index kind {kind!r}")

@@ -128,6 +128,11 @@ class QueryExecution:
             members that only the failed shards held.
         failed_shards: shard ids that failed (after retries) when
             ``degraded``; ``None``/empty otherwise.
+        plan: the adaptive planner's routing record (chosen strategy,
+            per-strategy cost estimates, estimated vs actual cost) when
+            the query ran under ``index="auto"``; ``None`` for fixed
+            index kinds.  JSON-ready (see
+            :meth:`repro.plan.PlanDecision.as_dict`).
     """
 
     query: SpatialKeywordQuery
@@ -141,6 +146,7 @@ class QueryExecution:
     shards: list[dict] | None = None
     degraded: bool = False
     failed_shards: list[int] | None = None
+    plan: dict | None = None
 
     def simulated_ms(self, drive: DriveModel = DEFAULT_DRIVE) -> float:
         """Simulated execution time under the given drive model."""
@@ -208,6 +214,8 @@ class QueryExecution:
         }
         if self.shards is not None:
             payload["shards"] = self.shards
+        if self.plan is not None:
+            payload["plan"] = self.plan
         return payload
 
     def summary(self) -> str:

@@ -23,11 +23,11 @@ from repro.obs.trace import (
 )
 
 #: Root-span annotations surfaced on the header line, in display order.
-_HEADER_ATTRS = ("algorithm", "keywords", "k", "cache", "worker")
+_HEADER_ATTRS = ("algorithm", "strategy", "keywords", "k", "cache", "worker")
 
 #: Span annotations surfaced inline on tree rows, in display order.
 _ROW_ATTRS = (
-    "algorithm", "shard", "cache", "pruned", "failed", "degraded",
+    "algorithm", "strategy", "shard", "cache", "pruned", "failed", "degraded",
     "retries", "results_offered", "num_results", "error",
 )
 

@@ -14,6 +14,12 @@ Layout of a saved single engine directory::
     objects.dat      the plain-text object file's blocks
     index.dat        the index structure's blocks
 
+An adaptive (``auto``) engine saves one device image per candidate child
+— ``index-ir2.dat``, ``index-iio.dat``, ... — instead of ``index.dat``,
+and its manifest nests each child's bookkeeping under
+``index.children``; loading rebuilds the planner statistics from the
+restored corpus.
+
 A :class:`~repro.shard.ShardedEngine` saves as a manifest-of-manifests: a
 top-level ``manifest.json`` carrying the fitted partitioner, the
 oid→shard routing table, and each partition's bounding box, plus one
@@ -75,6 +81,7 @@ from typing import Callable, Iterator
 
 from repro.core.engine import SpatialKeywordEngine
 from repro.core.indexes import (
+    AutoIndex,
     IIOIndex,
     IR2Index,
     MIR2Index,
@@ -310,9 +317,18 @@ def _save_single(engine: SpatialKeywordEngine, directory: str) -> str:
         ),
     }
     _fault_point("objects-dumped")
-    files[_INDEX] = _dump_device(
-        engine.index.device, os.path.join(directory, _INDEX)
-    )
+    if isinstance(engine.index, AutoIndex):
+        # One device image per candidate child; the adaptive wrapper
+        # itself holds no blocks of its own.
+        for kind, child in engine.index.children.items():
+            name = _child_index_filename(kind)
+            files[name] = _dump_device(
+                child.device, os.path.join(directory, name)
+            )
+    else:
+        files[_INDEX] = _dump_device(
+            engine.index.device, os.path.join(directory, _INDEX)
+        )
     _fault_point("index-dumped")
     manifest = {
         "version": MANIFEST_VERSION,
@@ -343,6 +359,7 @@ def _load_single(manifest: dict, directory: str) -> SpatialKeywordEngine:
         seed=state.get("seed", 0),
         capacity=state.get("capacity"),
         compression=state.get("compression", "raw"),
+        auto_kinds=state.get("candidates"),
     )
     # --- Object file + corpus bookkeeping. ---
     _load_device(
@@ -361,21 +378,42 @@ def _load_single(manifest: dict, directory: str) -> SpatialKeywordEngine:
     for _, obj in store.iter_objects():
         engine.corpus.vocabulary.add_document(engine.corpus.analyzer.terms(obj.text))
     # --- Index structure. ---
-    # For tree indexes the tree object must exist *before* the device
-    # image is loaded: constructing it writes a bootstrap root, which the
-    # wholesale device reload then replaces with the saved blocks.
-    if not isinstance(engine.index, (IIOIndex, SignatureFileIndex)):
-        if isinstance(engine.index, MIR2Index):
-            engine.index.level_lengths = [int(v) for v in state["level_lengths"]]
-        engine.index.capacity = state["capacity"]
-        engine.index.tree = engine.index._make_tree()
-    _load_device(
-        engine.index.device, os.path.join(directory, _INDEX),
-        manifest["block_size"],
-    )
-    _restore_index_state(engine.index, state)
-    engine.index.built = True
+    if isinstance(engine.index, AutoIndex):
+        for kind, child in engine.index.children.items():
+            _load_index_structure(
+                child, state["children"][kind], directory,
+                _child_index_filename(kind), manifest["block_size"],
+            )
+        engine.index.stats.rebuild()
+        engine.index.built = True
+    else:
+        _load_index_structure(
+            engine.index, state, directory, _INDEX, manifest["block_size"]
+        )
     return engine
+
+
+def _child_index_filename(kind: str) -> str:
+    return f"index-{kind}.dat"
+
+
+def _load_index_structure(
+    index, state: dict, directory: str, filename: str, block_size: int
+) -> None:
+    """Reload one concrete index: device image + in-memory bookkeeping.
+
+    For tree indexes the tree object must exist *before* the device
+    image is loaded: constructing it writes a bootstrap root, which the
+    wholesale device reload then replaces with the saved blocks.
+    """
+    if not isinstance(index, (IIOIndex, SignatureFileIndex)):
+        if isinstance(index, MIR2Index):
+            index.level_lengths = [int(v) for v in state["level_lengths"]]
+        index.capacity = state["capacity"]
+        index.tree = index._make_tree()
+    _load_device(index.device, os.path.join(directory, filename), block_size)
+    _restore_index_state(index, state)
+    index.built = True
 
 
 # ---------------------------------------------------------------------------
@@ -587,6 +625,16 @@ def _load_device(device: InMemoryBlockDevice, path: str, block_size: int) -> Non
 
 
 def _index_state(index) -> dict:
+    if isinstance(index, AutoIndex):
+        return {
+            "kind": "auto",
+            "candidates": list(index.candidates),
+            **index._config,
+            "children": {
+                kind: _index_state(child)
+                for kind, child in index.children.items()
+            },
+        }
     if not isinstance(
         index, (SignatureFileIndex, IIOIndex, IR2Index, MIR2Index, RTreeIndex)
     ):

@@ -1,0 +1,38 @@
+"""Cost-based adaptive query planning (the ``--index auto`` engine).
+
+The benchmarks show a ~100x spread between index kinds on the same mixed
+workload, with the winner flipping on keyword selectivity and query type:
+rare keywords favor the inverted-index conjunction, frequent keywords
+favor the distance-first trees, and ranked queries only run on the
+signature trees at all.  This package holds the pieces that exploit that:
+
+* :class:`~repro.plan.stats.PlannerStatistics` /
+  :class:`~repro.plan.stats.DensityGrid` — keyword document frequencies,
+  a coarse spatial histogram, and object-size samples.
+* :mod:`repro.plan.cost` — per-strategy I/O cost estimators scalarized
+  through the simulated drive model.
+* :class:`~repro.plan.planner.QueryPlanner` — the router, with a plan
+  cache keyed by query shape and per-strategy chosen/won counters.
+
+The user-facing entry point is ``SpatialKeywordEngine(index="auto")``
+(see :class:`repro.core.indexes.AutoIndex`), which builds one structure
+per candidate strategy over the same corpus and routes each query — and
+each shard sub-query, under :class:`repro.shard.ShardedEngine` — through
+the planner.  See ``docs/PLANNER.md``.
+"""
+
+from repro.plan.cost import CostEstimate, estimate_iio, estimate_signature_scan, estimate_tree
+from repro.plan.planner import PlanDecision, QueryPlanner, attach_planner_metrics
+from repro.plan.stats import DensityGrid, PlannerStatistics
+
+__all__ = [
+    "CostEstimate",
+    "DensityGrid",
+    "PlanDecision",
+    "PlannerStatistics",
+    "QueryPlanner",
+    "attach_planner_metrics",
+    "estimate_iio",
+    "estimate_signature_scan",
+    "estimate_tree",
+]

@@ -52,6 +52,7 @@ from repro.model import SpatialObject
 from repro.obs import COUNT_BUCKETS, MetricsRegistry, SlowQueryLog, export_engine
 from repro.obs import trace as qtrace
 from repro.obs.trace import QueryTracer
+from repro.plan import attach_planner_metrics
 from repro.serve.resultcache import QueryResultCache
 from repro.serve.tracing import CACHE_BYPASS, CACHE_HIT, CACHE_MISS, TraceLog, TraceSpan
 from repro.storage.faults import retry_transient
@@ -259,6 +260,9 @@ class QueryService:
         if getattr(engine, "metrics", False) is None:
             # A sharded engine built without a registry inherits ours.
             engine.metrics = self.metrics
+        # Adaptive ("auto") indexes get their planner counters
+        # (planner.chosen.* / planner.won.*) recorded here too.
+        attach_planner_metrics(engine, self.metrics)
         self.slow_log = SlowQueryLog(
             threshold_ms=slow_query_ms, capacity=slow_log_capacity
         )
@@ -361,6 +365,7 @@ class QueryService:
             self.slow_log.offer(span)
             raise
         span.algorithm = execution.algorithm
+        span.strategy = (execution.plan or {}).get("strategy")
         span.random_reads = execution.io.random_reads
         span.sequential_reads = execution.io.sequential_reads
         span.objects_loaded = execution.io.objects_loaded
@@ -442,6 +447,7 @@ class QueryService:
                     false_positive_candidates=0,
                     nodes_visited=0,
                     algorithm=cached.algorithm,
+                    plan=dict(cached.plan) if cached.plan is not None else None,
                 )
             span.cache = CACHE_MISS
         else:

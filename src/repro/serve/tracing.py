@@ -40,6 +40,10 @@ class TraceSpan:
     Attributes:
         query_id: service-wide monotonically increasing sequence number.
         algorithm: executing index label ("IR2", "RTREE", ...).
+        strategy: the adaptive planner's chosen strategy (e.g. "iio",
+            or a "+"-joined set for mixed sharded routing); None for
+            fixed index kinds — makes misrouted slow queries
+            attributable in the slow-query log and trace report.
         keywords: the query's keywords.
         k: requested result count.
         cache: one of ``"hit"`` / ``"miss"`` / ``"bypass"``.
@@ -63,6 +67,7 @@ class TraceSpan:
 
     query_id: int
     algorithm: str = ""
+    strategy: str | None = None
     keywords: tuple[str, ...] = ()
     k: int = 0
     cache: str = CACHE_BYPASS
@@ -137,6 +142,7 @@ class TraceSpan:
         return {
             "query_id": self.query_id,
             "algorithm": self.algorithm,
+            "strategy": self.strategy,
             "keywords": list(self.keywords),
             "k": self.k,
             "cache": self.cache,
@@ -181,6 +187,8 @@ class TraceSpan:
             queue_wait_ms=self.queue_wait_ms,
             worker=self.worker,
         )
+        if self.strategy is not None:
+            root.annotate(strategy=self.strategy)
         if self.error is not None:
             root.annotate(error=self.error)
         if self.lock_acquired_at and self.started_at:

@@ -397,6 +397,7 @@ class ShardedEngine:
                 "pruned": False,
                 "failed": False,
                 "error": None,
+                "strategy": None,
                 "results_offered": 0,
                 "objects_inspected": 0,
                 "nodes_visited": 0,
@@ -419,6 +420,8 @@ class ShardedEngine:
             finally:
                 if span is not None:
                     span.finish()
+                    if report["strategy"] is not None:
+                        span.annotate(strategy=report["strategy"])
                     span.annotate(
                         lower_bound=report["lower_bound"],
                         pruned=report["pruned"],
@@ -445,8 +448,23 @@ class ShardedEngine:
             def count_retry(attempt: int, exc: Exception) -> None:
                 report["retries"] += 1
 
+            # Adaptive shards route each *sub-query* independently: the
+            # planner decides from this shard's own statistics whether to
+            # pull the nearest-first stream (tree strategies) or run the
+            # local top-k as one scan.  Plan decisions are shape-cached,
+            # so the search call re-planning inside the shard is free and
+            # lands on the identical (deterministic) choice.
+            pull_stream = incremental
+            plan_for = getattr(self.shards[shard_id].index, "plan_for", None)
+            if plan_for is not None:
+                decision = plan_for(query)
+                report["strategy"] = decision.strategy
+                pull_stream = self.shards[
+                    shard_id
+                ].index.strategy_supports_streaming(decision.strategy)
+
             try:
-                if incremental:
+                if pull_stream:
                     # Retrying re-offers results the failed attempt already
                     # merged; TopKMerger deduplicates by oid, so a restart
                     # from the top of the stream is idempotent.
@@ -471,7 +489,7 @@ class ShardedEngine:
                 report["error"] = f"{type(exc).__name__}: {exc}"
                 errors[shard_id] = exc
                 return
-            if incremental:
+            if pull_stream:
                 report["results_offered"] = execution.pop("offered")
                 io = execution.pop("io")
                 counters = execution.pop("counters")
@@ -525,6 +543,7 @@ class ShardedEngine:
             shards=[r for r in reports if r is not None],
             degraded=bool(failed),
             failed_shards=failed or None,
+            plan=self._merged_plan(reports),
         )
 
     def _pull_incremental(
@@ -619,6 +638,7 @@ class ShardedEngine:
                     "pruned": False,
                     "failed": True,
                     "error": f"{type(exc).__name__}: {exc}",
+                    "strategy": None,
                     "results_offered": 0,
                     "objects_inspected": 0,
                     "nodes_visited": 0,
@@ -638,12 +658,14 @@ class ShardedEngine:
             objects += execution.objects_inspected
             false_pos += execution.false_positive_candidates
             nodes += execution.nodes_visited
+            strategy = (execution.plan or {}).get("strategy")
             reports.append({
                 "shard": shard_id,
                 "lower_bound": None,
                 "pruned": False,
                 "failed": False,
                 "error": None,
+                "strategy": strategy,
                 "results_offered": len(execution.results),
                 "objects_inspected": execution.objects_inspected,
                 "nodes_visited": execution.nodes_visited,
@@ -652,6 +674,8 @@ class ShardedEngine:
                 "retries": retries_taken[shard_id],
             })
             if shard_spans[shard_id] is not None:
+                if strategy is not None:
+                    shard_spans[shard_id].annotate(strategy=strategy)
                 shard_spans[shard_id].annotate(
                     failed=False,
                     retries=retries_taken[shard_id],
@@ -674,7 +698,29 @@ class ShardedEngine:
             shards=reports,
             degraded=bool(failed),
             failed_shards=failed or None,
+            plan=self._merged_plan(reports),
         )
+
+    @staticmethod
+    def _merged_plan(reports: list[dict | None]) -> dict | None:
+        """Summarize per-shard routing into one execution-level record.
+
+        ``strategy`` is the sorted, "+"-joined set of strategies the
+        shards chose (often a single name; mixed routing shows as e.g.
+        ``"iio+ir2"``); ``per_shard`` maps shard id -> strategy.  None
+        when no shard ran an adaptive index.
+        """
+        per_shard = {
+            str(report["shard"]): report["strategy"]
+            for report in reports
+            if report is not None and report.get("strategy") is not None
+        }
+        if not per_shard:
+            return None
+        return {
+            "strategy": "+".join(sorted(set(per_shard.values()))),
+            "per_shard": per_shard,
+        }
 
     def _global_vocabulary(self):
         """Merged document-frequency statistics across every shard.
