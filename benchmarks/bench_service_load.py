@@ -3,7 +3,7 @@
 Drives seeded workloads through the full serving stack for several
 index kinds — including the cost-based adaptive planner (``auto``) —
 and shard counts, and writes a machine-readable baseline
-(``BENCH_PR6.json`` at the repo root) from the service's own metrics
+(``BENCH_PR7.json`` at the repo root) from the service's own metrics
 snapshot:
 
 * ``p50_ms`` / ``p95_ms`` — end-to-end latency quantiles from the
@@ -18,7 +18,12 @@ snapshot:
   / ``point`` / ``area`` and, for ranked-capable kinds, ``ranked``), so
   the adaptive planner can be gated per class against the best fixed
   kind;
-* ``cache_hit_rate`` — the result cache's hit fraction on the workload.
+* ``cache_hit_rate`` — the result cache's hit fraction on the workload;
+* ``batched_io_per_query`` / ``batched_qps`` — the same mixed workload
+  replayed through the batch front-end (``submit_many`` grouping,
+  duplicate coalescing, one shared-read session per group): device
+  reads per query from a deterministic single-worker metered pass, and
+  wall-clock QPS from a concurrent timed pass.
 
 Every kind answers **identical batches**: the headline mix varies each
 query's keyword count over 1-3 (single common keywords favor the trees,
@@ -33,9 +38,11 @@ numbers against a committed baseline and exits 2 when any config's
 total reads per query regressed by more than ``--tolerance`` (default
 2x); ``--check-planner`` additionally gates the adaptive planner's
 per-class I/O at no worse than the best fixed kind (times
-``--planner-tolerance``) within the same run.  Wall-clock fields
-(latency, QPS) are machine-dependent and are never compared — only the
-deterministic I/O counts gate CI.
+``--planner-tolerance``) within the same run; ``--check-batching``
+gates the batch front-end at no more device reads per query than
+unbatched execution on the mixed workload, within the same run.
+Wall-clock fields (latency, QPS) are machine-dependent and are never
+compared — only the deterministic I/O counts gate CI.
 """
 
 from __future__ import annotations
@@ -53,10 +60,14 @@ from repro.bench.workloads import ConcurrentLoadGenerator  # noqa: E402
 from repro.core.engine import SpatialKeywordEngine  # noqa: E402
 from repro.core.ranking import DistanceDecayRanking  # noqa: E402
 from repro.datasets import DatasetConfig, SpatialTextDatasetGenerator  # noqa: E402
-from repro.serve import QueryService  # noqa: E402
+from repro.serve import BatchConfig, QueryService  # noqa: E402
 from repro.shard import ShardedEngine  # noqa: E402
 
-DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR6.json")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR7.json")
+
+#: Batch front-end configuration the batched passes use.  ``submit_many``
+#: flushes deterministically, so the window never fires in the bench.
+BATCHING = BatchConfig(window_ms=2.0, max_batch=16)
 
 #: Index kinds x shard counts the full baseline covers.  The ``ranked``
 #: workload class is measured only for kinds that can execute it.
@@ -193,8 +204,23 @@ def run_config(objects, index: str, shards: int, scale: dict) -> dict:
     if shards > 1:
         engine.close()
 
+    # Pass 1b (metered, batched): the identical mixed batch through the
+    # batch front-end on a fresh engine (same cold-start state as the
+    # unbatched metered pass).  Single worker + submit_many grouping ⇒
+    # deterministic; shared-session hits land in ``shared_reads`` and
+    # cost no device I/O, so total reads per query can only shrink.
+    engine = _build_engine(objects, index, shards, shard_workers=1)
+    batch = _mixed_batch(objects, engine.analyzer, n_queries)
+    with QueryService(engine, workers=1, batching=BATCHING) as service:
+        service.run_batch(batch)
+        bstats = service.stats()
+    if shards > 1:
+        engine.close()
+    batched_io = _io_per_query(bstats, n_queries)
+    batched_io["shared_reads"] = bstats.io.shared_reads / n_queries
+
     # Pass 2 (timed): concurrent workers over the headline mixed batch,
-    # wall-clock latency and QPS.
+    # wall-clock latency and QPS — unbatched, then batched.
     engine = _build_engine(objects, index, shards, shard_workers=None)
     batch = _mixed_batch(objects, engine.analyzer, n_queries)
     with QueryService(engine, workers=scale["timed_workers"]) as service:
@@ -202,6 +228,16 @@ def run_config(objects, index: str, shards: int, scale: dict) -> dict:
         service.run_batch(batch)
         elapsed = time.perf_counter() - t0
         timed = service.stats()
+    if shards > 1:
+        engine.close()
+    engine = _build_engine(objects, index, shards, shard_workers=None)
+    batch = _mixed_batch(objects, engine.analyzer, n_queries)
+    with QueryService(
+        engine, workers=scale["timed_workers"], batching=BATCHING
+    ) as service:
+        t0 = time.perf_counter()
+        service.run_batch(batch)
+        batched_elapsed = time.perf_counter() - t0
     if shards > 1:
         engine.close()
     total_ms = timed.metrics["histograms"]["service.total_ms"]
@@ -213,9 +249,15 @@ def run_config(objects, index: str, shards: int, scale: dict) -> dict:
         "p50_ms": total_ms["p50"],
         "p95_ms": total_ms["p95"],
         "qps": n_queries / elapsed if elapsed > 0 else 0.0,
+        "batched_qps": (
+            n_queries / batched_elapsed if batched_elapsed > 0 else 0.0
+        ),
         "cache_hit_rate": cache_hit_rate,
         "degraded": degraded,
         "io_per_query": classes["mixed"],
+        "batched_io_per_query": batched_io,
+        "batches": bstats.batches,
+        "coalesced": bstats.coalesced,
         "classes": classes,
     }
 
@@ -231,6 +273,7 @@ def run_mode(configs, scale: dict) -> dict:
             f"  {label:<10} p50={cell['p50_ms']:8.2f} ms  "
             f"p95={cell['p95_ms']:8.2f} ms  qps={cell['qps']:7.1f}  "
             f"reads/q={cell['io_per_query']['total_reads']:8.1f}  "
+            f"batched={cell['batched_io_per_query']['total_reads']:8.1f}  "
             f"hit_rate={cell['cache_hit_rate']:.2f}  "
             f"[{time.perf_counter() - t0:.1f}s]"
         )
@@ -335,6 +378,43 @@ def check_planner(current: dict, tolerance: float) -> int:
     return 0
 
 
+def check_batching(current: dict, tolerance: float) -> int:
+    """Gate the batch front-end against unbatched execution, per cell.
+
+    On the mixed workload, every config's batched metered reads per
+    query must stay within ``tolerance`` x its own unbatched metered
+    reads (both measured in this run, so the comparison is
+    machine-independent; sharing work can only remove device reads).
+    Returns 0 when batching holds everywhere, 2 otherwise.
+    """
+    failures = []
+    for cell in current["configs"]:
+        key = (cell["index"], cell["shards"])
+        batched = cell.get("batched_io_per_query")
+        if batched is None:
+            print(f"note: no batched pass for {key}, skipping")
+            continue
+        now = batched["total_reads"]
+        then = cell["io_per_query"]["total_reads"]
+        ok = now <= then * tolerance + 1e-9
+        status = "ok" if ok else "BATCHING REGRESSION"
+        print(
+            f"  {cell['index']} x{cell['shards']}: batched {now:.1f} reads/q "
+            f"vs unbatched {then:.1f} "
+            f"(shared {batched['shared_reads']:.1f}/q, {status})"
+        )
+        if not ok:
+            failures.append(key)
+    if failures:
+        print(
+            f"batched execution costs more device I/O than unbatched "
+            f"(> {tolerance}x) in: {failures}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -353,6 +433,13 @@ def main(argv=None) -> int:
     parser.add_argument("--planner-tolerance", type=float, default=1.05,
                         help="allowed planner-vs-best-fixed I/O factor for "
                              "--check-planner")
+    parser.add_argument("--check-batching", action="store_true",
+                        help="gate the batch front-end's metered device "
+                             "reads at no worse than unbatched execution "
+                             "on the mixed workload in this run")
+    parser.add_argument("--batching-tolerance", type=float, default=1.0,
+                        help="allowed batched-vs-unbatched I/O factor for "
+                             "--check-batching")
     args = parser.parse_args(argv)
 
     payload = {
@@ -386,6 +473,9 @@ def main(argv=None) -> int:
     if args.check_planner:
         section = payload["quick"] if "quick" in payload else payload
         code = max(code, check_planner(section, args.planner_tolerance))
+    if args.check_batching:
+        section = payload["quick"] if "quick" in payload else payload
+        code = max(code, check_batching(section, args.batching_tolerance))
     return code
 
 

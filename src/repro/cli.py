@@ -21,10 +21,11 @@ Five subcommands cover the typical lifecycle:
 ``serve``
     Replay a concurrent query workload against a saved engine through the
     :mod:`repro.serve` service layer (thread pool + result cache) and
-    report throughput, cache, and latency statistics; ``--serve-trace``
-    dumps every per-query trace span as JSON, ``--serve-metrics`` the
-    metrics snapshot (histograms, counters, gauges) plus the slow-query
-    log.
+    report throughput, cache, and latency statistics; ``--batched``
+    routes the workload through the batch front-end (grouping,
+    duplicate coalescing, shared block reads), ``--serve-trace`` dumps
+    every per-query trace span as JSON, ``--serve-metrics`` the metrics
+    snapshot (histograms, counters, gauges) plus the slow-query log.
 
 ``metrics``
     Probe a saved engine with a small seeded workload and print the
@@ -172,6 +173,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the retained span trees as Chrome "
                             "trace-event JSON to PATH (implies sampling, "
                             "default every 8th query)")
+    serve.add_argument("--batched", action="store_true",
+                       help="serve through the batch front-end: group "
+                            "submissions, coalesce duplicates, and share "
+                            "block reads within each group")
+    serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                       help="arrival window before a batch group flushes "
+                            "(implies --batched when set)")
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="maximum queries per batch group")
+    serve.add_argument("--max-pending", type=int, default=0,
+                       help="admission bound: shed submissions beyond this "
+                            "many in flight (0 = never shed)")
 
     metrics = commands.add_parser(
         "metrics", help="probe a saved engine and print its metrics snapshot"
@@ -355,9 +368,18 @@ def _cmd_serve(args) -> int:
         from repro.obs.trace import QueryTracer
 
         tracer = QueryTracer(sample_every=args.trace_sample or 8)
+    batching = None
+    if args.batched:
+        from repro.serve import BatchConfig
+
+        batching = BatchConfig(
+            window_ms=args.batch_window_ms,
+            max_batch=args.max_batch,
+            max_pending=args.max_pending or None,
+        )
     with QueryService(
         engine, workers=args.workers, cache=not args.no_cache,
-        slow_query_ms=args.slow_query_ms, tracer=tracer,
+        slow_query_ms=args.slow_query_ms, tracer=tracer, batching=batching,
     ) as service:
         executions = service.run_batch(batch)
         stats = service.stats()
@@ -370,6 +392,9 @@ def _cmd_serve(args) -> int:
     print(f"served {stats.queries} queries with {args.workers} workers "
           f"over {_engine_label(engine)}")
     print(stats.summary())
+    if batching is not None:
+        print(f"batched: {stats.batches} groups, {stats.coalesced} coalesced, "
+              f"{stats.io.shared_reads} shared reads, {stats.shed} shed")
     if args.serve_trace:
         print(f"trace spans written to {args.serve_trace}")
     if args.serve_metrics:

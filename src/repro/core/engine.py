@@ -149,6 +149,24 @@ class SpatialKeywordEngine:
             return self._search_ranked(query)
         return self.index.execute(query)
 
+    def search_many(
+        self, queries: Sequence[SpatialKeywordQuery]
+    ) -> list[QueryExecution]:
+        """Execute a batch of queries under one shared-read session.
+
+        Queries run sequentially (answers are byte-identical to N
+        :meth:`search` calls), but a block any earlier query in the batch
+        fetched is served from the session's byte cache instead of the
+        device, so total device reads grow sublinearly with batch size
+        when the queries overlap spatially.  Each execution's ``io``
+        stays its own exact delta: real reads in the random/sequential
+        counters, session hits in ``io.shared_reads``.
+        """
+        from repro.storage.sharedread import shared_read_session
+
+        with shared_read_session():
+            return [self.search(query) for query in queries]
+
     def query(
         self, point: Sequence[float], keywords: Sequence[str], k: int = 10
     ) -> QueryExecution:

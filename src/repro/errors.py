@@ -126,3 +126,21 @@ class PersistError(DatasetError):
 
 class ServiceError(ReproError):
     """The concurrent query service was misused (e.g. submit after close)."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The service shed a submission because its admission queue is full.
+
+    Raised by :class:`repro.serve.QueryService` when batching is enabled
+    with a bounded ``max_pending`` and the number of queued-but-unfinished
+    submissions already sits at that bound.  Carries the depth observed at
+    shed time so callers can implement client-side backoff.
+    """
+
+    def __init__(self, pending: int, max_pending: int) -> None:
+        super().__init__(
+            f"service overloaded: {pending} submissions pending "
+            f"(max_pending={max_pending})"
+        )
+        self.pending = pending
+        self.max_pending = max_pending

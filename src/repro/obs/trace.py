@@ -49,6 +49,7 @@ from repro.storage import iostats as _iostats
 #: Instant-event names emitted by the instrumented layers.
 EVT_BLOCK_READ = "block-read"
 EVT_BLOCK_WRITE = "block-write"
+EVT_SHARED_READ = "shared-read"
 EVT_OBJECT_LOAD = "object-load"
 EVT_NODE_READ = "node-read"
 EVT_SIG_PRUNE = "signature-prune"
@@ -353,11 +354,24 @@ def _object_load_sink(count: int) -> None:
         span.event(EVT_OBJECT_LOAD, count=count)
 
 
+def _shared_read_sink(block_id: int, category: str) -> None:
+    """Receive one shared-read hit (batch session served the block).
+
+    A distinct event type from :data:`EVT_BLOCK_READ` on purpose: block
+    events must keep reconciling exactly with the random/sequential read
+    counters, and shared hits touch neither the device nor the head.
+    """
+    span = current_span()
+    if span is not None:
+        span.event(EVT_SHARED_READ, block=block_id, category=category)
+
+
 # The storage layer stays tracing-agnostic: iostats exposes two module
 # globals that default to None (zero overhead until this module is
 # imported) and this import installs the bridge.
 _iostats._TRACE_BLOCK_SINK = _block_io_sink
 _iostats._TRACE_OBJECT_SINK = _object_load_sink
+_iostats._TRACE_SHARED_SINK = _shared_read_sink
 
 
 # -- Chrome trace-event export ---------------------------------------------------

@@ -5,6 +5,10 @@ production wrapper the ROADMAP's north star asks for:
 
 * :class:`QueryService` — thread-pooled dispatch with a readers-writer
   lock so queries run in parallel and mutations run exclusively;
+* :class:`BatchScheduler` / :class:`BatchConfig` — the batch front-end:
+  arrival-window grouping, duplicate coalescing, one shared-read
+  session per group, and admission control
+  (:class:`~repro.errors.ServiceOverloadError` shedding);
 * :class:`QueryResultCache` — LRU memoization of identical queries with
   explicit invalidation on every engine mutation;
 * :class:`TraceSpan` / :class:`TraceLog` — per-query tracing (queue
@@ -14,21 +18,25 @@ production wrapper the ROADMAP's north star asks for:
 Quick start::
 
     from repro import SpatialKeywordEngine
-    from repro.serve import QueryService
+    from repro.serve import BatchConfig, QueryService
 
     engine = SpatialKeywordEngine(index="ir2")
     ...
     engine.build()
-    with QueryService(engine, workers=8) as service:
+    with QueryService(engine, workers=8, batching=BatchConfig()) as service:
         executions = service.run_batch(queries)
         print(service.stats().summary())
 """
 
 from repro.serve.resultcache import QueryResultCache
+from repro.serve.scheduler import BatchConfig, BatchGroup, BatchScheduler
 from repro.serve.service import QueryService, ReadWriteLock, ServiceStats
 from repro.serve.tracing import TraceLog, TraceSpan
 
 __all__ = [
+    "BatchConfig",
+    "BatchGroup",
+    "BatchScheduler",
     "QueryResultCache",
     "QueryService",
     "ReadWriteLock",

@@ -40,23 +40,56 @@ import itertools
 import json
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
+import warnings
+from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, Sequence
 
 from repro.core.engine import SpatialKeywordEngine
 from repro.core.query import QueryExecution, SpatialKeywordQuery
-from repro.errors import ServiceError
+from repro.errors import ServiceError, ServiceOverloadError
 from repro.model import SpatialObject
 from repro.obs import COUNT_BUCKETS, MetricsRegistry, SlowQueryLog, export_engine
 from repro.obs import trace as qtrace
 from repro.obs.trace import QueryTracer
 from repro.plan import attach_planner_metrics
 from repro.serve.resultcache import QueryResultCache
-from repro.serve.tracing import CACHE_BYPASS, CACHE_HIT, CACHE_MISS, TraceLog, TraceSpan
+from repro.serve.scheduler import (
+    BatchConfig,
+    BatchGroup,
+    BatchMember,
+    BatchScheduler,
+)
+from repro.serve.tracing import (
+    CACHE_BYPASS,
+    CACHE_COALESCED,
+    CACHE_HIT,
+    CACHE_MISS,
+    TraceLog,
+    TraceSpan,
+)
 from repro.storage.faults import retry_transient
 from repro.storage.iostats import IOStats
+from repro.storage.sharedread import SharedReadSession, activate_session
+
+
+def _resolve_result(future: Future, result) -> None:
+    """Complete a submission future, tolerating cancellation races."""
+    try:
+        future.set_result(result)
+    except InvalidStateError:
+        pass  # cancelled between pickup and completion
+
+
+def _resolve_exception(future: Future, exc: BaseException) -> None:
+    """Fail a submission future, tolerating cancellation races."""
+    if future.cancelled():
+        return
+    try:
+        future.set_exception(exc)
+    except InvalidStateError:
+        pass
 
 
 class ReadWriteLock:
@@ -131,7 +164,15 @@ class ServiceStats:
         degraded: executions answered with partial results because one
             or more shards failed (see
             :attr:`repro.core.query.QueryExecution.degraded`).
-        io: element-wise sum of every execution's per-query I/O delta.
+        batches: batch groups executed (0 with batching disabled).
+        coalesced: executions answered by riding along on an identical
+            in-flight query of the same batch group.
+        shed: submissions refused with
+            :class:`~repro.errors.ServiceOverloadError` because the
+            admission queue was at ``max_pending``.
+        io: element-wise sum of every execution's per-query I/O delta
+            (``io.shared_reads`` counts batch-session hits, which cost
+            no device I/O).
         queue_wait_ms_total: summed queue wait across executions.
         search_ms_total: summed search time across executions.
         retries: transient-error retries spent across executions.
@@ -146,6 +187,9 @@ class ServiceStats:
     cache_misses: int = 0
     errors: int = 0
     degraded: int = 0
+    batches: int = 0
+    coalesced: int = 0
+    shed: int = 0
     io: IOStats = field(default_factory=IOStats)
     queue_wait_ms_total: float = 0.0
     search_ms_total: float = 0.0
@@ -175,11 +219,15 @@ class ServiceStats:
             "cache_hit_rate": self.cache_hit_rate,
             "errors": self.errors,
             "degraded": self.degraded,
+            "batches": self.batches,
+            "coalesced": self.coalesced,
+            "shed": self.shed,
             "retries": self.retries,
             "avg_queue_wait_ms": self.avg_queue_wait_ms,
             "avg_search_ms": self.avg_search_ms,
             "random_reads": self.io.random_reads,
             "sequential_reads": self.io.sequential_reads,
+            "shared_reads": self.io.shared_reads,
             "objects_loaded": self.io.objects_loaded,
         }
 
@@ -226,6 +274,22 @@ class QueryService:
             without its own slow threshold inherits ``slow_query_ms``,
             so every slow-log entry links to a retained span tree by
             ``trace_id``.
+        batching: enable the batch front-end — a
+            :class:`~repro.serve.scheduler.BatchConfig` (or ``True`` for
+            the defaults; ``None``/``False`` disables).  When enabled,
+            submissions are grouped by a :class:`~repro.serve.scheduler.
+            BatchScheduler` (arrival window / ``submit_many``), duplicate
+            in-flight queries coalesce onto one execution, every group
+            runs under one shared-read session (one block read serves
+            the whole group), and — when ``max_pending`` is set — excess
+            submissions shed with
+            :class:`~repro.errors.ServiceOverloadError`.
+
+    Submission surface: :meth:`submit` (one query → ``Future``),
+    :meth:`submit_many` (a batch → list of ``Future``\\ s, the batch
+    entry point), and :meth:`search` (synchronous).  ``submit_query`` /
+    ``query(point, keywords, k)`` / ``execute`` remain as deprecation
+    shims.
 
     The service is a context manager; :meth:`close` drains the pool::
 
@@ -246,6 +310,7 @@ class QueryService:
         slow_query_ms: float = 100.0,
         slow_log_capacity: int = 32,
         tracer: QueryTracer | None = None,
+        batching: BatchConfig | bool | None = None,
     ) -> None:
         if workers < 1:
             raise ServiceError("a query service needs at least one worker")
@@ -274,6 +339,19 @@ class QueryService:
         self.trace_log = TraceLog(trace_capacity)
         self._qid = itertools.count()
         self._closed = False
+        if batching is True:
+            batching = BatchConfig()
+        elif batching is False:
+            batching = None
+        self.batching: BatchConfig | None = batching
+        self._scheduler = (
+            BatchScheduler(batching, self._dispatch_group)
+            if batching is not None
+            else None
+        )
+        # Admission depth: submissions admitted but not yet completed.
+        self._depth_lock = threading.Lock()
+        self._pending = 0
         # Aggregates, guarded by one lock.
         self._stats_lock = threading.Lock()
         self._queries = 0
@@ -281,6 +359,9 @@ class QueryService:
         self._misses = 0
         self._errors = 0
         self._degraded = 0
+        self._batches = 0
+        self._coalesced = 0
+        self._shed = 0
         self._retries_taken = 0
         self._io = IOStats()
         self._queue_ms = 0.0
@@ -289,15 +370,130 @@ class QueryService:
     # -- Query dispatch ---------------------------------------------------------
 
     def submit(
-        self, point: Sequence[float], keywords: Sequence[str], k: int = 10
+        self,
+        query: SpatialKeywordQuery | Sequence[float],
+        keywords: Sequence[str] | None = None,
+        k: int = 10,
     ) -> Future:
-        """Asynchronously run a distance-first query; returns a Future."""
-        return self.submit_query(SpatialKeywordQuery.of(point, keywords, k))
+        """Asynchronously run one query; returns a ``Future``.
 
-    def submit_query(self, query: SpatialKeywordQuery) -> Future:
-        """Asynchronously run an already-constructed query."""
+        The one async entry point: pass a
+        :class:`~repro.core.query.SpatialKeywordQuery`.  With batching
+        enabled the submission joins the open arrival-window group (and
+        may coalesce onto an identical in-flight query); otherwise it
+        dispatches straight to the worker pool.
+
+        The pre-redesign shape ``submit(point, keywords, k)`` still
+        works but emits a :class:`DeprecationWarning`.
+        """
+        if keywords is not None or not isinstance(query, SpatialKeywordQuery):
+            warnings.warn(
+                "QueryService.submit(point, keywords, k) is deprecated; "
+                "pass a SpatialKeywordQuery — "
+                "submit(SpatialKeywordQuery.of(point, keywords, k))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            query = SpatialKeywordQuery.of(
+                query, keywords if keywords is not None else (), k
+            )
+        return self._submit_one(query)
+
+    def submit_many(
+        self, queries: Iterable[SpatialKeywordQuery]
+    ) -> list[Future]:
+        """Asynchronously run a batch; one ``Future`` per query, in order.
+
+        The batch entry point: with batching enabled the queries form
+        their own group(s) (flushed immediately — no arrival window, so
+        execution is deterministic), duplicates coalesce within each
+        group, and each group runs under one shared-read session.  With
+        batching disabled this is simply N :meth:`submit` calls.
+        """
+        queries = [self._require_query(query) for query in queries]
         if self._closed:
             raise ServiceError("cannot submit to a closed QueryService")
+        if self._scheduler is None:
+            return [self._submit_direct(query) for query in queries]
+        self._admit(len(queries))
+        members = [self._make_member(query) for query in queries]
+        try:
+            self._scheduler.submit_group(members)
+        except ServiceError:
+            self._release(len(queries))
+            raise
+        return [member.future for member in members]
+
+    def search(self, query: SpatialKeywordQuery) -> QueryExecution:
+        """Synchronously run one query (``submit(query).result()``)."""
+        return self._submit_one(self._require_query(query)).result()
+
+    def run_batch(
+        self, queries: Iterable[SpatialKeywordQuery]
+    ) -> list[QueryExecution]:
+        """Dispatch a whole batch and wait; results keep the batch order."""
+        return [future.result() for future in self.submit_many(queries)]
+
+    # -- Deprecated entry points (pre-redesign surface) -------------------------
+
+    def submit_query(self, query: SpatialKeywordQuery) -> Future:
+        """Deprecated alias for :meth:`submit`."""
+        warnings.warn(
+            "QueryService.submit_query() is deprecated; use submit(query)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._submit_one(self._require_query(query))
+
+    def query(
+        self, point: Sequence[float], keywords: Sequence[str], k: int = 10
+    ) -> QueryExecution:
+        """Deprecated; use :meth:`search` with a constructed query."""
+        warnings.warn(
+            "QueryService.query(point, keywords, k) is deprecated; use "
+            "search(SpatialKeywordQuery.of(point, keywords, k))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._submit_one(
+            SpatialKeywordQuery.of(point, keywords, k)
+        ).result()
+
+    def execute(self, query: SpatialKeywordQuery) -> QueryExecution:
+        """Deprecated alias for :meth:`search`."""
+        warnings.warn(
+            "QueryService.execute() is deprecated; use search(query)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._submit_one(self._require_query(query)).result()
+
+    # -- Submission internals ---------------------------------------------------
+
+    @staticmethod
+    def _require_query(query) -> SpatialKeywordQuery:
+        if not isinstance(query, SpatialKeywordQuery):
+            raise ServiceError(
+                f"expected a SpatialKeywordQuery, got {type(query).__name__}"
+            )
+        return query
+
+    def _submit_one(self, query: SpatialKeywordQuery) -> Future:
+        if self._closed:
+            raise ServiceError("cannot submit to a closed QueryService")
+        if self._scheduler is None:
+            return self._submit_direct(query)
+        self._admit(1)
+        member = self._make_member(query)
+        try:
+            self._scheduler.submit(member)
+        except ServiceError:
+            self._release(1)
+            raise
+        return member.future
+
+    def _submit_direct(self, query: SpatialKeywordQuery) -> Future:
+        """The unbatched path: one query straight onto the worker pool."""
         try:
             return self._pool.submit(
                 self._execute, query, next(self._qid), time.perf_counter()
@@ -306,22 +502,52 @@ class QueryService:
             # close() ran between the _closed check and the submit.
             raise ServiceError("cannot submit to a closed QueryService") from exc
 
-    def query(
-        self, point: Sequence[float], keywords: Sequence[str], k: int = 10
-    ) -> QueryExecution:
-        """Synchronous convenience wrapper around :meth:`submit`."""
-        return self.submit(point, keywords, k).result()
+    def _make_member(self, query: SpatialKeywordQuery) -> BatchMember:
+        future: Future = Future()
+        future.add_done_callback(self._on_future_done)
+        return BatchMember(query, future, next(self._qid), time.perf_counter())
 
-    def execute(self, query: SpatialKeywordQuery) -> QueryExecution:
-        """Synchronous convenience wrapper around :meth:`submit_query`."""
-        return self.submit_query(query).result()
+    def _admit(self, count: int) -> None:
+        """Admission control: claim ``count`` queue slots or shed."""
+        config = self.batching
+        with self._depth_lock:
+            if (
+                config.max_pending is not None
+                and self._pending + count > config.max_pending
+            ):
+                pending = self._pending
+                with self._stats_lock:
+                    self._shed += count
+                self.metrics.counter("service.shed").inc(count)
+                raise ServiceOverloadError(pending, config.max_pending)
+            self._pending += count
+            depth = self._pending
+        self.metrics.gauge("service.queue_depth").set(depth)
 
-    def run_batch(
-        self, queries: Iterable[SpatialKeywordQuery]
-    ) -> list[QueryExecution]:
-        """Dispatch a whole batch and wait; results keep the batch order."""
-        futures = [self.submit_query(query) for query in queries]
-        return [future.result() for future in futures]
+    def _release(self, count: int) -> None:
+        with self._depth_lock:
+            self._pending -= count
+            depth = self._pending
+        self.metrics.gauge("service.queue_depth").set(depth)
+
+    def _on_future_done(self, future: Future) -> None:
+        self._release(1)
+
+    @property
+    def queue_depth(self) -> int:
+        """Submissions admitted but not yet completed (the shed gauge)."""
+        with self._depth_lock:
+            return self._pending
+
+    def _dispatch_group(self, group: BatchGroup) -> None:
+        """Hand a flushed group to the worker pool (scheduler callback)."""
+        try:
+            self._pool.submit(self._execute_group, group)
+        except RuntimeError:
+            exc = ServiceError("cannot execute batch: QueryService is closed")
+            for member in group.members:
+                for each in (member, *member.followers):
+                    _resolve_exception(each.future, exc)
 
     # -- The worker body --------------------------------------------------------
 
@@ -364,22 +590,38 @@ class QueryService:
             self.metrics.counter("service.errors").inc()
             self.slow_log.offer(span)
             raise
+        self._annotate_span(span, execution)
+        span.finished_at = time.perf_counter()
+        self._finish_trace(span, trace)
+        self.trace_log.append(span)
+        self._note_completed(span, execution)
+        self.slow_log.offer(span)
+        return execution
+
+    @staticmethod
+    def _annotate_span(span: TraceSpan, execution: QueryExecution) -> None:
+        """Copy one completed execution's outcome onto its flat span."""
         span.algorithm = execution.algorithm
         span.strategy = (execution.plan or {}).get("strategy")
         span.random_reads = execution.io.random_reads
         span.sequential_reads = execution.io.sequential_reads
+        span.shared_reads = execution.io.shared_reads
         span.objects_loaded = execution.io.objects_loaded
         span.num_results = len(execution.results)
         execution.trace = span
-        span.finished_at = time.perf_counter()
-        self._finish_trace(span, trace)
-        self.trace_log.append(span)
+
+    def _note_completed(
+        self, span: TraceSpan, execution: QueryExecution
+    ) -> None:
+        """Fold one completed execution into the aggregates and metrics."""
         with self._stats_lock:
             self._queries += 1
             if span.cache == CACHE_HIT:
                 self._hits += 1
             elif span.cache == CACHE_MISS:
                 self._misses += 1
+            elif span.cache == CACHE_COALESCED:
+                self._coalesced += 1
             if execution.degraded:
                 self._degraded += 1
             self._retries_taken += span.retries
@@ -387,8 +629,6 @@ class QueryService:
             self._queue_ms += span.queue_wait_ms
             self._search_ms += span.search_ms
         self._record_metrics(span, execution)
-        self.slow_log.offer(span)
-        return execution
 
     def _finish_trace(self, span: TraceSpan, trace) -> None:
         """Close a query's span tree and decide whether it is retained.
@@ -471,6 +711,225 @@ class QueryService:
             self.cache.put(query, execution.with_result_copies())
         return execution
 
+    # -- Batched group execution ------------------------------------------------
+
+    def _execute_group(self, group: BatchGroup) -> None:
+        """Worker body for one flushed batch group.
+
+        One read-lock acquisition and one shared-read session cover the
+        whole group; members execute sequentially (answers are
+        byte-identical to serial execution), each with its own flat span
+        and per-query I/O delta.  The hierarchical trace gets a "batch"
+        root with one "query" child per executed member.
+        """
+        group_started = time.perf_counter()
+        trace = (
+            self.tracer.begin("batch", start=group_started)
+            if self.tracer is not None
+            else None
+        )
+        batch_root = trace.root if trace is not None else None
+        if batch_root is not None:
+            batch_root.category = "batch"
+        session = SharedReadSession()
+        spans: list[TraceSpan] = []
+        self._rw.acquire_read()
+        lock_acquired = time.perf_counter()
+        try:
+            with qtrace.activate(batch_root), activate_session(session):
+                first = True
+                for member in group.members:
+                    started = group_started if first else time.perf_counter()
+                    locked = lock_acquired if first else started
+                    first = False
+                    spans.extend(
+                        self._run_member(
+                            member, group.batch_id, trace, batch_root,
+                            started, locked,
+                        )
+                    )
+        finally:
+            self._rw.release_read()
+        group_end = time.perf_counter()
+        total = len(group)
+        if trace is not None:
+            if batch_root is not None:
+                trace.new_span(
+                    "lock-wait", category="service", parent=batch_root,
+                    start=group_started, end=lock_acquired,
+                    tid=batch_root.tid,
+                )
+                batch_root.annotate(
+                    batch_id=group.batch_id,
+                    batch_size=total,
+                    coalesced=total - len(group.members),
+                    shared_reads=session.hits,
+                )
+                batch_root.finish(group_end)
+            if self.tracer.commit(trace, (group_end - group_started) * 1000.0):
+                for span in spans:
+                    span.trace_id = trace.trace_id
+        for span in spans:
+            self.trace_log.append(span)
+            self.slow_log.offer(span)
+        with self._stats_lock:
+            self._batches += 1
+        self.metrics.counter("service.batches").inc()
+        self.metrics.histogram(
+            "service.batch.size", buckets=COUNT_BUCKETS
+        ).observe(total)
+
+    def _run_member(
+        self,
+        member: BatchMember,
+        batch_id: int,
+        trace,
+        batch_root,
+        started: float,
+        lock_acquired: float,
+    ) -> list[TraceSpan]:
+        """Execute one member (plus its coalesced followers) of a group.
+
+        Runs under the group's read lock and shared-read session.
+        Returns the flat spans produced (leader first), already folded
+        into the aggregates; the caller appends them to the trace and
+        slow-query logs once the batch's ``trace_id`` is known.  A
+        member failure resolves its own futures and never aborts the
+        rest of the group.
+        """
+        query = member.query
+        span = TraceSpan(
+            query_id=member.query_id,
+            keywords=query.keywords,
+            k=query.k,
+            submitted_at=member.submitted_at,
+            started_at=started,
+            worker=threading.current_thread().name,
+            batch_id=batch_id,
+        )
+        span.lock_acquired_at = lock_acquired
+        alive = member.future.set_running_or_notify_cancel()
+        followers = [
+            follower
+            for follower in member.followers
+            if follower.future.set_running_or_notify_cancel()
+        ]
+        if not alive and not followers:
+            return []  # everyone cancelled before pickup; skip the work
+        qspan = (
+            trace.new_span("query", category="query", parent=batch_root,
+                           start=started)
+            if trace is not None
+            else None
+        )
+        try:
+            with qtrace.activate(qspan):
+                execution = self._answer(query, span)
+        except Exception as exc:
+            span.finished_at = time.perf_counter()
+            span.error = f"{type(exc).__name__}: {exc}"
+            if qspan is not None:
+                qspan.finish(span.finished_at)
+            if trace is not None:
+                span.emit_phases(trace, parent=qspan)
+            failures = (1 if alive else 0) + len(followers)
+            with self._stats_lock:
+                self._errors += failures
+                self._retries_taken += span.retries
+            self.metrics.counter("service.errors").inc(failures)
+            if alive:
+                _resolve_exception(member.future, exc)
+            follower_spans = [
+                self._follower_span(
+                    follower, span, batch_id,
+                    error=span.error,
+                )
+                for follower in followers
+            ]
+            for follower in followers:
+                _resolve_exception(follower.future, exc)
+            return [span, *follower_spans]
+        finished = time.perf_counter()
+        self._annotate_span(span, execution)
+        span.finished_at = finished
+        if qspan is not None:
+            qspan.finish(finished)
+        if trace is not None:
+            span.emit_phases(trace, parent=qspan)
+        self._note_completed(span, execution)
+        if alive:
+            _resolve_result(member.future, execution)
+        produced = [span]
+        for follower in followers:
+            follower_execution = self._follower_execution(
+                follower.query, execution
+            )
+            fspan = self._follower_span(follower, span, batch_id)
+            fspan.algorithm = execution.algorithm
+            fspan.strategy = span.strategy
+            fspan.num_results = len(follower_execution.results)
+            follower_execution.trace = fspan
+            self._note_completed(fspan, follower_execution)
+            _resolve_result(follower.future, follower_execution)
+            produced.append(fspan)
+        return produced
+
+    @staticmethod
+    def _follower_span(
+        follower: BatchMember, leader_span: TraceSpan, batch_id: int,
+        error: str | None = None,
+    ) -> TraceSpan:
+        """A flat span for a coalesced rider (zero-width execution).
+
+        The follower never held the lock or touched a device; its span
+        records queue wait (submission → leader completion) and the
+        ``"coalesced"`` disposition.
+        """
+        finished = leader_span.finished_at
+        span = TraceSpan(
+            query_id=follower.query_id,
+            keywords=follower.query.keywords,
+            k=follower.query.k,
+            cache=CACHE_COALESCED,
+            submitted_at=follower.submitted_at,
+            started_at=leader_span.started_at,
+            worker=leader_span.worker,
+            batch_id=batch_id,
+            error=error,
+        )
+        span.lock_acquired_at = finished
+        span.search_done_at = finished
+        span.finished_at = finished
+        return span
+
+    @staticmethod
+    def _follower_execution(
+        query: SpatialKeywordQuery, leader: QueryExecution
+    ) -> QueryExecution:
+        """An independent copy of the leader's answer for a coalesced rider.
+
+        Built through :meth:`QueryExecution.with_result_copies` so no two
+        callers ever share mutable result objects; the follower's own
+        I/O delta is zero (it executed nothing), keeping per-query
+        attribution exact — the per-query deltas of a batch still sum to
+        the device totals.
+        """
+        copy = leader.with_result_copies()
+        return replace(
+            copy,
+            query=query,
+            io=IOStats(),
+            objects_inspected=0,
+            false_positive_candidates=0,
+            nodes_visited=0,
+            trace=None,
+            shards=None,
+            plan=dict(leader.plan) if leader.plan is not None else None,
+            failed_shards=(
+                list(leader.failed_shards) if leader.failed_shards else None
+            ),
+        )
+
     # -- Mutations (exclusive against the reader pool) --------------------------
 
     def add_object(self, oid: int, point: Sequence[float], text: str) -> None:
@@ -519,6 +978,9 @@ class QueryService:
                 cache_misses=self._misses,
                 errors=self._errors,
                 degraded=self._degraded,
+                batches=self._batches,
+                coalesced=self._coalesced,
+                shed=self._shed,
                 io=self._io.snapshot(),
                 queue_wait_ms_total=self._queue_ms,
                 search_ms_total=self._search_ms,
@@ -587,9 +1049,16 @@ class QueryService:
     # -- Lifecycle --------------------------------------------------------------
 
     def close(self) -> None:
-        """Drain in-flight queries and shut the worker pool down."""
+        """Drain in-flight queries and shut the worker pool down.
+
+        With batching enabled the scheduler's open window group is
+        flushed first, so every admitted submission's future completes
+        before the pool drains.
+        """
         if not self._closed:
             self._closed = True
+            if self._scheduler is not None:
+                self._scheduler.close()
             self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "QueryService":

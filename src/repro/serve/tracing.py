@@ -31,6 +31,7 @@ from repro.obs.trace import Trace, atomic_write_json
 CACHE_HIT = "hit"
 CACHE_MISS = "miss"
 CACHE_BYPASS = "bypass"  # caching disabled for the service
+CACHE_COALESCED = "coalesced"  # answered by another in-flight duplicate
 
 
 @dataclass
@@ -56,6 +57,8 @@ class TraceSpan:
         finished_at: perf-counter time the execution completed.
         random_reads: per-query random block reads.
         sequential_reads: per-query sequential block reads.
+        shared_reads: block reads served by the batch's shared-read
+            session instead of the device (0 outside batched execution).
         objects_loaded: per-query logical object loads.
         num_results: number of results returned.
         retries: transient-error retries spent by this execution.
@@ -63,6 +66,10 @@ class TraceSpan:
         error: exception message when the execution failed, else None.
         trace_id: id of the retained hierarchical trace for this query
             (None when the query was not sampled / not retained).
+        batch_id: id of the batch group this query executed in (None for
+            unbatched execution).  The ``cache`` disposition
+            ``"coalesced"`` marks members answered by another in-flight
+            duplicate of the same batch.
     """
 
     query_id: int
@@ -78,12 +85,14 @@ class TraceSpan:
     finished_at: float = 0.0
     random_reads: int = 0
     sequential_reads: int = 0
+    shared_reads: int = 0
     objects_loaded: int = 0
     num_results: int = 0
     retries: int = 0
     worker: str = ""
     error: str | None = None
     trace_id: str | None = None
+    batch_id: int | None = None
 
     @property
     def queue_wait_ms(self) -> float:
@@ -155,29 +164,38 @@ class TraceSpan:
             "total_ms": self.total_ms,
             "random_reads": self.random_reads,
             "sequential_reads": self.sequential_reads,
+            "shared_reads": self.shared_reads,
             "objects_loaded": self.objects_loaded,
             "num_results": self.num_results,
             "retries": self.retries,
             "worker": self.worker,
             "error": self.error,
             "trace_id": self.trace_id,
+            "batch_id": self.batch_id,
         }
 
-    def emit_phases(self, trace: Trace) -> None:
-        """Synthesize phase spans for this query under ``trace``'s root.
+    def emit_phases(self, trace: Trace, parent=None) -> None:
+        """Synthesize phase spans for this query under ``parent``.
+
+        ``parent`` defaults to ``trace``'s root (the unbatched case: the
+        query *is* the root).  Under batched execution the batch span is
+        the root and each member query passes its own "query" span here,
+        so the tree reads batch root → member query → phases.
 
         The engine search itself is traced live (it opens its own spans
         while running); the lock-wait and finalize phases only exist as
         flat timestamps on this span, so once the query completes they
-        are back-filled as already-finished children of the root.  The
-        root's interval is ``started_at → finished_at``: queue wait is
+        are back-filled as already-finished children of the parent.  The
+        parent's interval is ``started_at → finished_at``: queue wait is
         deliberately *not* a span (the query was idle, and a span would
         overlap the previous query's tree on the same worker lane) — it
-        stays an annotation on the root.
+        stays an annotation on the parent.
         """
-        root = trace.root
+        root = parent if parent is not None else trace.root
         if root is None:
             return
+        if self.batch_id is not None:
+            root.annotate(batch_id=self.batch_id)
         root.annotate(
             query_id=self.query_id,
             algorithm=self.algorithm,

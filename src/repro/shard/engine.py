@@ -41,6 +41,7 @@ from repro.errors import IndexError_, QueryError, StorageError
 from repro.obs import MetricsRegistry
 from repro.obs import trace as qtrace
 from repro.storage.faults import retry_transient
+from repro.storage.sharedread import activate_session, current_session
 from repro.model import SearchResult, SpatialObject
 from repro.shard.merge import TopKMerger
 from repro.shard.partitioner import SpatialPartitioner, make_partitioner
@@ -259,6 +260,22 @@ class ShardedEngine:
             return self._search_ranked(query)
         return self._scatter_gather(query)
 
+    def search_many(
+        self, queries: Sequence[SpatialKeywordQuery]
+    ) -> list[QueryExecution]:
+        """Execute a batch under one shared-read session (batch-aware fan-out).
+
+        Same contract as :meth:`SpatialKeywordEngine.search_many`: answers
+        are byte-identical to N serial :meth:`search` calls, and the
+        session follows each query's scatter-gather into the shard worker
+        threads, so hot upper tree nodes are read from each shard's device
+        once per batch rather than once per query.
+        """
+        from repro.storage.sharedread import shared_read_session
+
+        with shared_read_session():
+            return [self.search(query) for query in queries]
+
     def query(
         self, point: Sequence[float], keywords: Sequence[str], k: int = 10
     ) -> QueryExecution:
@@ -388,7 +405,10 @@ class ShardedEngine:
         totals = {"objects": 0, "false_pos": 0, "nodes": 0}
         # Captured on the dispatching thread; each fan-out worker opens
         # its own child span under it (cross-thread context propagation).
+        # The batch front-end's shared-read session propagates the same
+        # way, so one batch shares block reads across shard workers too.
         parent = qtrace.current_span()
+        session = current_session()
 
         def run_shard(shard_id: int) -> None:
             report = {
@@ -415,7 +435,7 @@ class ShardedEngine:
                 else None
             )
             try:
-                with qtrace.activate(span):
+                with qtrace.activate(span), activate_session(session):
                     search_shard(shard_id, report)
             finally:
                 if span is not None:
@@ -584,6 +604,7 @@ class ShardedEngine:
         retries_taken = [0] * self.n_shards
         nonempty = [i for i, mbb in enumerate(self._mbbs) if mbb is not None]
         parent = qtrace.current_span()
+        session = current_session()
         shard_spans: list = [None] * self.n_shards
 
         def run_shard(shard_id: int) -> None:
@@ -600,7 +621,7 @@ class ShardedEngine:
             )
             shard_spans[shard_id] = span
             try:
-                with qtrace.activate(span):
+                with qtrace.activate(span), activate_session(session):
                     executions[shard_id] = retry_transient(
                         lambda: self.shards[shard_id].index.execute_ranked(
                             query, ranking, prune_zero_ir=prune_zero_ir,

@@ -22,6 +22,12 @@ from repro.storage.faults import (
     retry_transient,
 )
 from repro.storage.iostats import AccessCounts, IOStats, collecting_io
+from repro.storage.sharedread import (
+    SharedReadSession,
+    activate_session,
+    current_session,
+    shared_read_session,
+)
 from repro.storage.objectstore import OBJECT_CATEGORY, ObjectStore, decode_row, encode_row
 from repro.storage.pagestore import PageStore
 from repro.storage.serialization import (
@@ -54,8 +60,12 @@ __all__ = [
     "OBJECT_CATEGORY",
     "ObjectStore",
     "PageStore",
+    "SharedReadSession",
+    "activate_session",
     "blocks_per_node",
     "collecting_io",
+    "current_session",
+    "shared_read_session",
     "decode_node",
     "decode_row",
     "encode_node",

@@ -27,6 +27,7 @@ from typing import Iterator
 
 from repro.errors import BlockOutOfRangeError, BlockSizeError
 from repro.storage.iostats import IOStats
+from repro.storage.sharedread import current_session
 
 #: Disk block size used throughout the paper's experiments (4 KB).
 DEFAULT_BLOCK_SIZE = 4096
@@ -73,10 +74,25 @@ class BlockDevice:
     # -- Single-block API ----------------------------------------------------
 
     def read_block(self, block_id: int, category: str = "data") -> bytes:
-        """Read one block; counts one (random or sequential) access."""
+        """Read one block; counts one (random or sequential) access.
+
+        When a :class:`~repro.storage.sharedread.SharedReadSession` is
+        active on the calling thread, a block another query in the batch
+        already fetched is served from the session instead: recorded as a
+        ``shared_read`` (zero device I/O, head position unchanged).
+        """
         self._check_range(block_id)
+        session = current_session()
+        if session is not None:
+            cached = session.lookup(self, block_id)
+            if cached is not None:
+                self.stats.record_shared_read(block_id, category)
+                return cached
         self.stats.record_read(block_id, category)
-        return self._read_raw(block_id)
+        data = self._read_raw(block_id)
+        if session is not None:
+            session.store(self, block_id, data)
+        return data
 
     def write_block(self, block_id: int, data: bytes, category: str = "data") -> None:
         """Write one block (payload is zero-padded to the block size).
@@ -89,6 +105,12 @@ class BlockDevice:
         if block_id < 0:
             raise BlockOutOfRangeError(block_id, self.num_blocks)
         self._grow_to(block_id + 1)
+        session = current_session()
+        if session is not None:
+            # Mutations are excluded for the lifetime of a batch by the
+            # serving layer's RW lock; invalidate anyway so a session that
+            # outlives a direct device write can never serve stale bytes.
+            session.invalidate(self, block_id)
         self.stats.record_write(block_id, category)
         padded = data.ljust(self.block_size, b"\x00")
         self._write_raw(block_id, padded)

@@ -51,6 +51,13 @@ from typing import Iterator
 #: exactly with per-query :func:`collecting_io` deltas.
 _TRACE_BLOCK_SINK = None
 _TRACE_OBJECT_SINK = None
+#: Fired as ``sink(block_id, category)`` for every *shared-read hit*: a
+#: block served from an active :class:`~repro.storage.sharedread.
+#: SharedReadSession` instead of the device.  Kept distinct from the block
+#: sink so trace-event block counts still reconcile exactly with the
+#: random/sequential read counters (shared hits touch neither the device
+#: nor the head position).
+_TRACE_SHARED_SINK = None
 
 #: Thread-local stack of active per-execution collectors.
 _collectors = threading.local()
@@ -122,12 +129,20 @@ class IOStats:
             :meth:`record_read` / :meth:`record_write`.
         objects_loaded: number of *logical objects* materialized from the
             object store (not blocks); Figures 11b/14b report this metric.
+        shared_reads: block reads satisfied by a batch's
+            :class:`~repro.storage.sharedread.SharedReadSession` instead of
+            the device.  These cost no I/O (they are *not* part of
+            ``total_reads`` and do not move the head); the counter exists so
+            per-query attribution under batched execution stays exact:
+            ``reads + shared_reads`` is what the query would have cost run
+            alone.
     """
 
     random: AccessCounts = field(default_factory=AccessCounts)
     sequential: AccessCounts = field(default_factory=AccessCounts)
     by_category: dict = field(default_factory=dict)
     objects_loaded: int = 0
+    shared_reads: int = 0
     _last_block: int | None = field(default=None, repr=False)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
@@ -169,6 +184,23 @@ class IOStats:
                     collector.objects_loaded += count
         if _TRACE_OBJECT_SINK is not None:
             _TRACE_OBJECT_SINK(count)
+
+    def record_shared_read(self, block_id: int, category: str = "data") -> None:
+        """Record a read satisfied by a shared-read session (zero I/O).
+
+        Deliberately does *not* touch the random/sequential counters or the
+        head position: the device was never asked for the block, so serial
+        and batched runs of the remaining (real) accesses classify
+        identically.
+        """
+        with self._lock:
+            self.shared_reads += 1
+        for collector in _collector_stack():
+            if collector is not self:
+                with collector._lock:
+                    collector.shared_reads += 1
+        if _TRACE_SHARED_SINK is not None:
+            _TRACE_SHARED_SINK(block_id, category)
 
     def _tally_read(self, is_seq: bool, category: str) -> None:
         """Apply one pre-classified read (caller holds the lock)."""
@@ -249,6 +281,7 @@ class IOStats:
             self.sequential = AccessCounts()
             self.by_category = {}
             self.objects_loaded = 0
+            self.shared_reads = 0
             self._last_block = None
 
     def snapshot(self) -> "IOStats":
@@ -259,6 +292,7 @@ class IOStats:
                 sequential=self.sequential.copy(),
                 by_category={k: list(v) for k, v in self.by_category.items()},
                 objects_loaded=self.objects_loaded,
+                shared_reads=self.shared_reads,
             )
         return snap
 
@@ -282,6 +316,7 @@ class IOStats:
             ),
             by_category=categories,
             objects_loaded=self.objects_loaded - earlier.objects_loaded,
+            shared_reads=self.shared_reads - earlier.shared_reads,
         )
 
     def merged_with(self, other: "IOStats") -> "IOStats":
@@ -306,12 +341,16 @@ class IOStats:
             ),
             by_category=categories,
             objects_loaded=self.objects_loaded + other.objects_loaded,
+            shared_reads=self.shared_reads + other.shared_reads,
         )
 
     def summary(self) -> str:
         """One-line human-readable summary of the counters."""
-        return (
+        text = (
             f"random: {self.random.reads}r/{self.random.writes}w, "
             f"sequential: {self.sequential.reads}r/{self.sequential.writes}w, "
             f"objects: {self.objects_loaded}"
         )
+        if self.shared_reads:
+            text += f", shared: {self.shared_reads}"
+        return text

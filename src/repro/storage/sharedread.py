@@ -1,0 +1,130 @@
+"""Shared-read sessions: one block read serves a whole batch of queries.
+
+Under heavy traffic many concurrent queries descend the same hot upper
+tree nodes and postings blocks.  The batch front-end in
+:mod:`repro.serve` executes a *group* of queries under one
+:class:`SharedReadSession`: the first query to touch a block pays the
+real device read; every later read of the same block inside the session
+is served from the session's byte cache and recorded as a
+``shared_read`` on :class:`~repro.storage.iostats.IOStats` instead of a
+random/sequential access.  Total device reads therefore grow
+sublinearly with batch size while per-query attribution stays exact —
+``io.total_reads + io.shared_reads`` is what the query would have cost
+run alone, and the sum of per-query ``total_reads`` still equals the
+device totals.
+
+Activation mirrors :func:`repro.storage.iostats.collecting_io`: a
+thread-local stack, so sessions are invisible to unrelated threads.  The
+sharded engine's fan-out workers re-activate the dispatching thread's
+session explicitly (the same pattern used for trace-span propagation),
+so a batch shares reads across shard workers too.
+
+Correctness notes:
+
+* A session is only active while the serving layer holds the *read*
+  side of its readers-writer lock, so the cached bytes cannot go stale
+  mid-batch; :meth:`SharedReadSession.invalidate` exists as a defensive
+  hook for devices that see a write anyway.
+* Serving a hit does **not** advance the device's head position, so the
+  random/sequential classification of the remaining real accesses is
+  identical to a serial run — byte-identical answers *and* comparable
+  counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+_sessions = threading.local()
+
+
+def _session_stack() -> list["SharedReadSession"]:
+    stack = getattr(_sessions, "stack", None)
+    if stack is None:
+        stack = _sessions.stack = []
+    return stack
+
+
+def current_session() -> Optional["SharedReadSession"]:
+    """Return the innermost active session on this thread, if any."""
+    stack = _session_stack()
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def activate_session(session: Optional["SharedReadSession"]) -> Iterator[None]:
+    """Make ``session`` the current thread's active session.
+
+    Accepts ``None`` as a no-op so call sites can unconditionally wrap
+    work in ``with activate_session(maybe_session):`` (the shard fan-out
+    workers do exactly this with the dispatcher's session).
+    """
+    if session is None:
+        yield
+        return
+    stack = _session_stack()
+    stack.append(session)
+    try:
+        yield
+    finally:
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is session:
+                del stack[i]
+                break
+
+
+@contextmanager
+def shared_read_session() -> Iterator["SharedReadSession"]:
+    """Create a fresh session and activate it on the current thread."""
+    session = SharedReadSession()
+    with activate_session(session):
+        yield session
+
+
+class SharedReadSession:
+    """A per-batch read-through byte cache layered over every device.
+
+    Keyed by ``(id(device), block_id)`` — block ids are only meaningful
+    per device.  Thread-safe: shard fan-out workers of the same batch
+    share one session concurrently.  The device identity key holds no
+    reference cycle risk here because sessions are short-lived (one
+    batch) and always referenced alongside the engine that owns the
+    devices.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._blocks: dict[tuple[int, int], bytes] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, device: object, block_id: int) -> bytes | None:
+        """Return cached bytes for ``block_id`` on ``device``, if present."""
+        with self._lock:
+            data = self._blocks.get((id(device), block_id))
+            if data is not None:
+                self.hits += 1
+            return data
+
+    def store(self, device: object, block_id: int, data: bytes) -> None:
+        """Remember the bytes a real device read just returned."""
+        with self._lock:
+            self.misses += 1
+            self._blocks[(id(device), block_id)] = data
+
+    def invalidate(self, device: object, block_id: int) -> None:
+        """Drop a cached block after a write (defensive; see module docs)."""
+        with self._lock:
+            self._blocks.pop((id(device), block_id), None)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SharedReadSession(blocks={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

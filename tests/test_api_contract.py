@@ -10,19 +10,28 @@ Every engine flavor (all six index kinds, plus the sharded engine) must:
 * answer :meth:`search` identically to the legacy ``query`` /
   ``query_area`` / ``query_ranked`` convenience wrappers;
 * produce a JSON-clean :meth:`~repro.core.query.QueryExecution.to_dict`.
+
+:class:`TestServiceSubmissionSurface` pins the redesigned
+:class:`~repro.serve.QueryService` submission API — ``submit(query)`` →
+``Future``, ``submit_many(queries)`` → futures, ``search(query)``
+synchronous — and the deprecation shims the old trio
+(``submit(point, keywords, k)`` / ``submit_query`` / ``query`` /
+``execute``) left behind.
 """
 
 from __future__ import annotations
 
 import json
+from concurrent.futures import Future
 
 import pytest
 
 from repro.core.engine import SpatialKeywordEngine
-from repro.core.query import SpatialKeywordQuery
+from repro.core.query import QueryExecution, SpatialKeywordQuery
 from repro.core.ranking import LinearRanking
-from repro.errors import IndexError_, QueryError
+from repro.errors import IndexError_, QueryError, ServiceError
 from repro.model import SpatialObject
+from repro.serve import QueryService
 from repro.shard import ShardedEngine
 from repro.spatial.geometry import Rect
 
@@ -185,3 +194,81 @@ class TestExecutionPayload:
             json.dumps(payload)
             assert set(payload) == self.EXPECTED_KEYS | {"shards"}
             assert len(payload["shards"]) == 2
+
+
+class TestServiceSubmissionSurface:
+    """The redesigned QueryService API: submit / submit_many / search."""
+
+    QUERY = SpatialKeywordQuery.of((0.5, 0.5), ("cafe",), 3)
+
+    @pytest.fixture()
+    def service(self):
+        with QueryService(built_engine("ir2"), workers=2) as service:
+            yield service
+
+    def test_submit_returns_future(self, service):
+        future = service.submit(self.QUERY)
+        assert isinstance(future, Future)
+        execution = future.result()
+        assert isinstance(execution, QueryExecution)
+        assert execution.oids == [1, 2, 4]
+
+    def test_submit_many_preserves_order(self, service):
+        queries = [
+            SpatialKeywordQuery.of((0.5, 0.5), ("cafe",), 3),
+            SpatialKeywordQuery.of((3.0, 3.0), ("garden",), 2),
+            SpatialKeywordQuery.of((0.0, 0.0), ("wifi",), 1),
+        ]
+        futures = service.submit_many(queries)
+        assert [type(f) for f in futures] == [Future] * 3
+        executions = [f.result() for f in futures]
+        for query, execution in zip(queries, executions):
+            assert execution.query is query or (
+                execution.query.keywords == query.keywords
+            )
+            assert execution.oids == service.search(query).oids
+
+    def test_search_is_synchronous(self, service):
+        execution = service.search(self.QUERY)
+        assert isinstance(execution, QueryExecution)
+        assert execution.oids == service.submit(self.QUERY).result().oids
+
+    def test_submit_many_rejects_non_queries(self, service):
+        with pytest.raises(ServiceError, match="SpatialKeywordQuery"):
+            service.submit_many([self.QUERY, ((0.0, 0.0), ["cafe"])])
+
+    def test_search_rejects_non_queries(self, service):
+        with pytest.raises(ServiceError, match="SpatialKeywordQuery"):
+            service.search(((0.0, 0.0), ["cafe"], 3))
+
+    # -- Deprecation shims (the pre-redesign surface) ---------------------
+
+    def test_submit_point_shape_warns_and_works(self, service):
+        with pytest.warns(DeprecationWarning, match="QueryService.submit"):
+            future = service.submit((0.5, 0.5), ["cafe"], 3)
+        assert future.result().oids == service.search(self.QUERY).oids
+
+    def test_submit_query_shim(self, service):
+        with pytest.warns(DeprecationWarning,
+                          match="QueryService.submit_query"):
+            future = service.submit_query(self.QUERY)
+        assert future.result().oids == service.search(self.QUERY).oids
+
+    def test_query_shim(self, service):
+        with pytest.warns(DeprecationWarning, match="QueryService.query"):
+            execution = service.query((0.5, 0.5), ["cafe"], 3)
+        assert execution.oids == service.search(self.QUERY).oids
+
+    def test_execute_shim(self, service):
+        with pytest.warns(DeprecationWarning, match="QueryService.execute"):
+            execution = service.execute(self.QUERY)
+        assert execution.oids == service.search(self.QUERY).oids
+
+    def test_new_surface_emits_no_warnings(self, service):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            service.search(self.QUERY)
+            service.submit(self.QUERY).result()
+            service.run_batch([self.QUERY])

@@ -1,0 +1,594 @@
+"""Batched execution: shared-work scheduling stays byte-faithful.
+
+The batch front-end (:mod:`repro.serve.scheduler` + the shared-read
+session in :mod:`repro.storage.sharedread`) must change *cost*, never
+*answers*:
+
+* batched answers are byte-identical to serial execution across every
+  index kind and shard count (the differential harness's oracle);
+* a batch of N overlapping queries issues strictly fewer device reads
+  than N serial runs (sublinear growth — the whole point), while
+  per-query attribution stays exact: real reads still sum to the device
+  totals, and real + shared reads equal each query's standalone cost;
+* coalesced duplicates get independent result copies (the PR 4
+  cache-aliasing guarantee, extended to in-flight coalescing);
+* admission control sheds with :class:`~repro.errors.ServiceOverloadError`
+  and tracks the ``service.queue_depth`` gauge;
+* batch groups appear in the hierarchical trace as a ``batch`` root
+  with one ``query`` child per executed member.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.bench.workloads import WorkloadGenerator
+from repro.core.engine import SpatialKeywordEngine
+from repro.core.query import SpatialKeywordQuery
+from repro.errors import ServiceError, ServiceOverloadError
+from repro.obs.trace import QueryTracer
+from repro.serve import BatchConfig, BatchScheduler, QueryService
+from repro.serve.scheduler import BatchMember
+from repro.shard import ShardedEngine
+from repro.storage.sharedread import (
+    SharedReadSession,
+    activate_session,
+    current_session,
+)
+
+from tests.test_differential import KINDS, corpus_objects
+
+SHARD_COUNTS = (1, 2, 5)
+
+
+@pytest.fixture(scope="module")
+def world():
+    """One small corpus, its workload, and serial ground truth."""
+    objects = corpus_objects(150, seed=23)
+    probe = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+    probe.add_all(objects)
+    probe.build()
+    workload = WorkloadGenerator(objects, probe.corpus.analyzer, seed=7)
+    queries = workload.queries(24, num_keywords=2, k=8)
+    return objects, queries
+
+
+def _serial_answers(engine, queries):
+    return [engine.search(query) for query in queries]
+
+
+class TestBatchedEqualsSerial:
+    """Differential: batched == serial for every engine flavor."""
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_all_index_kinds(self, world, kind):
+        objects, queries = world
+        engine = SpatialKeywordEngine(index=kind, signature_bytes=4)
+        engine.add_all(objects)
+        engine.build()
+        serial = _serial_answers(engine, queries)
+        with QueryService(
+            engine, workers=2, cache=False,
+            batching=BatchConfig(max_batch=8),
+        ) as service:
+            batched = service.run_batch(queries)
+        for s, b in zip(serial, batched):
+            assert b.oids == s.oids, kind
+            assert [r.distance for r in b.results] == [
+                r.distance for r in s.results
+            ], kind
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_sharded_engines(self, world, n_shards):
+        objects, queries = world
+        engine = ShardedEngine(n_shards=n_shards, index="ir2")
+        engine.add_all(objects)
+        engine.build()
+        with engine:
+            serial = _serial_answers(engine, queries)
+            with QueryService(
+                engine, workers=2, cache=False,
+                batching=BatchConfig(max_batch=8),
+            ) as service:
+                batched = service.run_batch(queries)
+        for s, b in zip(serial, batched):
+            assert b.oids == s.oids
+            assert [r.distance for r in b.results] == [
+                r.distance for r in s.results
+            ]
+
+
+class TestSublinearReads:
+    """Shared-read sessions make batch cost grow sublinearly."""
+
+    def test_identical_queries_share_almost_everything(self, world):
+        objects, queries = world
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        engine.add_all(objects)
+        engine.build()
+        query = queries[0]
+        alone = engine.search(query).io.total_reads
+        assert alone > 0
+        n = 8
+        engine.reset_io()
+        with QueryService(
+            engine, workers=1, cache=False,
+            batching=BatchConfig(max_batch=n, coalesce=False),
+        ) as service:
+            executions = service.run_batch(
+                [SpatialKeywordQuery.of(query.point, query.keywords, query.k)
+                 for _ in range(n)]
+            )
+        totals = engine.io_stats()
+        # Sublinear: far fewer device reads than n serial runs — only the
+        # first member touches the device, the rest hit the session.  The
+        # session also dedupes the leader's own intra-query repeat reads,
+        # so the device sees at most the query's unique block set.
+        assert totals.total_reads < n * alone
+        assert totals.total_reads <= alone
+        # Attribution stays exact under sharing.
+        assert sum(e.io.total_reads for e in executions) == totals.total_reads
+        assert sum(e.io.shared_reads for e in executions) == totals.shared_reads
+        # Each member's standalone cost is still reconstructible.
+        for execution in executions:
+            assert (
+                execution.io.total_reads + execution.io.shared_reads == alone
+            )
+
+    def test_metered_batch_beats_serial_on_mixed_queries(self, world):
+        """Deterministic: a mixed batch costs fewer device reads batched."""
+        objects, queries = world
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        engine.add_all(objects)
+        engine.build()
+        engine.reset_io()
+        for query in queries:
+            engine.search(query)
+        serial_reads = engine.io_stats().total_reads
+        engine.reset_io()
+        with QueryService(
+            engine, workers=1, cache=False,
+            batching=BatchConfig(max_batch=len(queries)),
+        ) as service:
+            service.run_batch(queries)
+        batched_reads = engine.io_stats().total_reads
+        assert batched_reads < serial_reads
+
+    def test_shared_reads_sum_to_device_totals(self, world):
+        """Per-query deltas reconcile with the device under batching."""
+        objects, queries = world
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        engine.add_all(objects)
+        engine.build()
+        engine.reset_io()
+        with QueryService(
+            engine, workers=2, cache=False,
+            batching=BatchConfig(max_batch=6),
+        ) as service:
+            executions = service.run_batch(queries)
+            stats = service.stats()
+        totals = engine.io_stats()
+        assert sum(e.io.total_reads for e in executions) == totals.total_reads
+        assert (
+            sum(e.io.random_reads for e in executions) == totals.random_reads
+        )
+        assert (
+            sum(e.io.sequential_reads for e in executions)
+            == totals.sequential_reads
+        )
+        assert (
+            sum(e.io.shared_reads for e in executions) == totals.shared_reads
+        )
+        assert stats.io.total_reads == totals.total_reads
+        assert stats.io.shared_reads == totals.shared_reads
+        assert stats.batches >= 1
+
+
+class TestCoalescing:
+    """Duplicate in-flight queries collapse onto one execution."""
+
+    @pytest.fixture()
+    def service(self, world):
+        objects, _ = world
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        engine.add_all(objects)
+        engine.build()
+        with QueryService(
+            engine, workers=1, cache=False,
+            batching=BatchConfig(max_batch=16),
+        ) as service:
+            yield service
+
+    def test_duplicates_coalesce_onto_one_execution(self, world, service):
+        _, queries = world
+        query = queries[0]
+        duplicates = [
+            SpatialKeywordQuery.of(query.point, query.keywords, query.k)
+            for _ in range(4)
+        ]
+        executions = service.run_batch(duplicates)
+        stats = service.stats()
+        assert stats.coalesced == 3
+        assert stats.queries == 4
+        leader, followers = executions[0], executions[1:]
+        for follower in followers:
+            assert follower.oids == leader.oids
+            # The rider executed nothing: its own I/O delta is zero.
+            assert follower.io.total_reads == 0
+            assert follower.trace.cache == "coalesced"
+            assert follower.trace.batch_id == leader.trace.batch_id
+
+    def test_followers_get_independent_result_copies(self, world, service):
+        """Regression (PR 4 aliasing, extended): one caller mutating a
+        coalesced answer must never reach another caller's copy."""
+        _, queries = world
+        query = queries[0]
+        duplicates = [
+            SpatialKeywordQuery.of(query.point, query.keywords, query.k)
+            for _ in range(3)
+        ]
+        first, second, third = service.run_batch(duplicates)
+        assert first.results[0] is not second.results[0]
+        assert second.results[0] is not third.results[0]
+        original = first.results[0].distance
+        second.results[0].distance = -1.0
+        second.results.clear()
+        assert first.results[0].distance == original
+        assert third.results[0].distance == original
+        assert first.results and third.results
+
+    def test_distinct_queries_do_not_coalesce(self, world, service):
+        _, queries = world
+        service.run_batch(queries[:4])
+        assert service.stats().coalesced == 0
+
+
+class TestAdmissionControl:
+    """Bounded queue: shed beyond max_pending, track the depth gauge."""
+
+    @pytest.fixture()
+    def engine(self, world):
+        objects, _ = world
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        engine.add_all(objects)
+        engine.build()
+        return engine
+
+    def test_shed_beyond_max_pending(self, engine, world):
+        _, queries = world
+        with QueryService(
+            engine, workers=1, cache=False,
+            batching=BatchConfig(window_ms=50.0, max_batch=64, max_pending=3),
+        ) as service:
+            futures = [service.submit(q) for q in queries[:3]]
+            assert service.queue_depth == 3
+            with pytest.raises(ServiceOverloadError) as excinfo:
+                service.submit(queries[3])
+            assert excinfo.value.pending == 3
+            assert excinfo.value.max_pending == 3
+            for future in futures:
+                future.result()
+            stats = service.stats()
+            assert stats.shed == 1
+            assert service.queue_depth == 0
+            gauges = stats.metrics["gauges"]
+            assert gauges["service.queue_depth"] == 0
+            assert stats.metrics["counters"]["service.shed"] == 1
+            # Depth drained: the service admits again.
+            assert service.submit(queries[3]).result().oids is not None
+
+    def test_submit_many_sheds_all_or_nothing(self, engine, world):
+        _, queries = world
+        with QueryService(
+            engine, workers=1, cache=False,
+            batching=BatchConfig(window_ms=50.0, max_batch=64, max_pending=4),
+        ) as service:
+            first = service.submit(queries[0])
+            with pytest.raises(ServiceOverloadError):
+                service.submit_many(queries[1:6])  # 1 + 5 > 4
+            first.result()
+            # The refused batch claimed nothing: once the first drains,
+            # a full batch of 4 still fits.
+            futures = service.submit_many(queries[1:5])
+            assert len(futures) == 4
+            for future in futures:
+                future.result()
+
+    def test_unbounded_by_default(self, engine, world):
+        _, queries = world
+        with QueryService(
+            engine, workers=1, cache=False, batching=True,
+        ) as service:
+            executions = service.run_batch(queries)
+            assert len(executions) == len(queries)
+            assert service.stats().shed == 0
+
+
+class TestBatchTracing:
+    """Batch groups land in the span tree: batch root → member queries."""
+
+    def test_batch_trace_tree(self, world):
+        objects, queries = world
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        engine.add_all(objects)
+        engine.build()
+        tracer = QueryTracer(sample_every=1)
+        with QueryService(
+            engine, workers=1, cache=False, tracer=tracer,
+            batching=BatchConfig(max_batch=4, coalesce=False),
+        ) as service:
+            service.run_batch(queries[:4])
+        traces = [
+            t for t in tracer.traces()
+            if t.root is not None and t.root.name == "batch"
+        ]
+        assert traces
+        trace = traces[0]
+        root = trace.root
+        assert root.category == "batch"
+        assert root.attrs["batch_size"] == 4
+        assert "shared_reads" in root.attrs
+        members = [
+            span for span in trace.spans
+            if span.parent_id == root.span_id and span.name == "query"
+        ]
+        assert len(members) == 4
+        # Member spans carry disjoint intervals on the batch lane.
+        members.sort(key=lambda span: span.start)
+        for earlier, later in zip(members, members[1:]):
+            assert earlier.end is not None
+            assert earlier.end <= later.start + 1e-9
+        # The flat spans link back via trace_id and batch_id.
+        spans = [s for s in service.trace_spans() if s.batch_id is not None]
+        assert spans
+        assert all(s.trace_id == trace.trace_id for s in spans)
+
+    def test_flat_spans_carry_batch_fields(self, world):
+        objects, queries = world
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        engine.add_all(objects)
+        engine.build()
+        with QueryService(
+            engine, workers=1, cache=False,
+            batching=BatchConfig(max_batch=8),
+        ) as service:
+            service.run_batch(queries[:8])
+            span = service.trace_spans()[0]
+        payload = span.as_dict()
+        assert payload["batch_id"] is not None
+        assert "shared_reads" in payload
+
+
+class TestWindowGrouping:
+    """The arrival-window path: submissions group without submit_many."""
+
+    def test_window_groups_submissions(self, world):
+        objects, queries = world
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        engine.add_all(objects)
+        engine.build()
+        with QueryService(
+            engine, workers=1, cache=False,
+            batching=BatchConfig(window_ms=25.0, max_batch=16),
+        ) as service:
+            futures = [service.submit(query) for query in queries[:5]]
+            executions = [future.result() for future in futures]
+            stats = service.stats()
+        assert stats.queries == 5
+        # All five arrived within one window: at most two groups even
+        # under scheduling jitter, and far fewer than five.
+        assert 1 <= stats.batches <= 2
+        batch_ids = {e.trace.batch_id for e in executions}
+        assert len(batch_ids) == stats.batches
+
+    def test_max_batch_flushes_early(self, world):
+        objects, queries = world
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        engine.add_all(objects)
+        engine.build()
+        with QueryService(
+            engine, workers=2, cache=False,
+            batching=BatchConfig(window_ms=10_000.0, max_batch=2,
+                                 coalesce=False),
+        ) as service:
+            futures = [service.submit(query) for query in queries[:4]]
+            for future in futures:
+                future.result()  # would hang until the 10 s window if
+                # max_batch never flushed
+            assert service.stats().batches == 2
+
+    def test_close_flushes_the_open_window(self, world):
+        objects, queries = world
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        engine.add_all(objects)
+        engine.build()
+        service = QueryService(
+            engine, workers=1, cache=False,
+            batching=BatchConfig(window_ms=10_000.0, max_batch=64),
+        )
+        future = service.submit(queries[0])
+        service.close()
+        assert future.result().oids  # resolved by the close-time flush
+
+
+class TestSchedulerUnit:
+    """BatchScheduler in isolation, with a recording dispatch."""
+
+    @staticmethod
+    def _member(query):
+        from concurrent.futures import Future
+
+        return BatchMember(query, Future(), 0, time.perf_counter())
+
+    def test_config_validation(self):
+        with pytest.raises(ServiceError):
+            BatchConfig(window_ms=-1.0)
+        with pytest.raises(ServiceError):
+            BatchConfig(max_batch=0)
+        with pytest.raises(ServiceError):
+            BatchConfig(max_pending=0)
+
+    def test_submit_group_chunks_by_max_batch(self, world):
+        _, queries = world
+        groups = []
+        scheduler = BatchScheduler(
+            BatchConfig(max_batch=3, coalesce=False), groups.append
+        )
+        scheduler.submit_group([self._member(q) for q in queries[:8]])
+        assert [len(g.members) for g in groups] == [3, 3, 2]
+        assert [g.batch_id for g in groups] == [0, 1, 2]
+
+    def test_explicit_batch_never_merges_with_window_traffic(self, world):
+        _, queries = world
+        groups = []
+        scheduler = BatchScheduler(
+            BatchConfig(window_ms=10_000.0, max_batch=64), groups.append
+        )
+        scheduler.submit(self._member(queries[0]))
+        scheduler.submit_group([self._member(q) for q in queries[1:4]])
+        assert len(groups) == 2
+        assert len(groups[0].members) == 1  # the ambient window, alone
+        assert len(groups[1].members) == 3
+        scheduler.close()
+
+    def test_closed_scheduler_refuses(self, world):
+        _, queries = world
+        scheduler = BatchScheduler(BatchConfig(), lambda group: None)
+        scheduler.close()
+        with pytest.raises(ServiceError, match="closed"):
+            scheduler.submit(self._member(queries[0]))
+
+
+class TestSharedReadSession:
+    """The storage-layer session: scoping, hits, and head neutrality."""
+
+    def test_session_stack_is_thread_local(self):
+        session = SharedReadSession()
+        seen = {}
+        with activate_session(session):
+            assert current_session() is session
+
+            def probe():
+                seen["other"] = current_session()
+
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert seen["other"] is None
+        assert current_session() is None
+
+    def test_shared_hits_do_not_move_the_head(self):
+        """A session hit must not change random/sequential classification
+        of the real reads around it — that would alter paper-metric I/O
+        counts.  Read 0,1,2 (one random, two sequential), then re-read 1
+        (a session hit) and read 3: block 3 must still classify as
+        sequential after 2, as if the hit never happened."""
+        from repro.storage.block import InMemoryBlockDevice
+
+        device = InMemoryBlockDevice(block_size=64)
+        for block_id in range(4):
+            device.write_block(block_id, bytes([block_id]) * 8)
+        device.stats.reset()
+        with activate_session(SharedReadSession()):
+            for block_id in (0, 1, 2):
+                device.read_block(block_id)
+            assert device.stats.random_reads == 1
+            assert device.stats.sequential_reads == 2
+            device.read_block(1)  # session hit: no device I/O, no head move
+            assert device.stats.shared_reads == 1
+            assert device.stats.total_reads == 3
+            device.read_block(3)
+            assert device.stats.sequential_reads == 3  # 3 follows 2
+            assert device.stats.random_reads == 1
+
+    def test_session_reconstructs_standalone_cost(self, world):
+        """real + shared reads always equal the standalone access count."""
+        objects, queries = world
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        engine.add_all(objects)
+        engine.build()
+        query = queries[0]
+        baseline = engine.search(query)
+        with activate_session(SharedReadSession()):
+            first = engine.search(query)
+            second = engine.search(query)
+        assert first.oids == baseline.oids == second.oids
+        # The session dedupes even intra-query repeats, but every access
+        # still lands in the per-query delta as real or shared.
+        assert (
+            first.io.total_reads + first.io.shared_reads
+            == baseline.io.total_reads
+        )
+        assert second.io.total_reads == 0
+        assert second.io.shared_reads == baseline.io.total_reads
+
+    def test_engine_search_many_shares_one_session(self, world):
+        objects, queries = world
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        engine.add_all(objects)
+        engine.build()
+        serial = [engine.search(q) for q in queries[:6]]
+        engine.reset_io()
+        batched = engine.search_many(queries[:6])
+        totals = engine.io_stats()
+        for s, b in zip(serial, batched):
+            assert b.oids == s.oids
+        assert totals.shared_reads > 0
+        assert sum(e.io.total_reads for e in batched) == totals.total_reads
+
+    @pytest.mark.parametrize("n_shards", (2, 5))
+    def test_sharded_search_many_propagates_session(self, world, n_shards):
+        """The session crosses into shard fan-out worker threads."""
+        objects, queries = world
+        engine = ShardedEngine(n_shards=n_shards, index="ir2")
+        engine.add_all(objects)
+        engine.build()
+        with engine:
+            serial = [engine.search(q) for q in queries[:6]]
+            engine.reset_io()
+            batched = engine.search_many(queries[:6])
+            totals = engine.io_stats()
+        for s, b in zip(serial, batched):
+            assert b.oids == s.oids
+        assert totals.shared_reads > 0
+
+
+class TestBatchedErrorIsolation:
+    """One failing member must not poison the rest of its group."""
+
+    def test_member_failure_is_isolated(self, world):
+        objects, queries = world
+        engine = SpatialKeywordEngine(index="ir2", signature_bytes=4)
+        engine.add_all(objects)
+        engine.build()
+        boom = SpatialKeywordQuery.of((0.0, 0.0), ("cafe",), 3)
+        original_search = engine.search
+
+        def flaky_search(query):
+            if query is boom:
+                raise RuntimeError("injected")
+            return original_search(query)
+
+        engine.search = flaky_search
+        try:
+            with QueryService(
+                engine, workers=1, cache=False, retries=0,
+                batching=BatchConfig(max_batch=4, coalesce=False),
+            ) as service:
+                futures = service.submit_many(
+                    [queries[0], boom, queries[1]]
+                )
+                assert futures[0].result().oids == (
+                    _serial_answers(engine, [queries[0]])[0].oids
+                )
+                with pytest.raises(RuntimeError, match="injected"):
+                    futures[1].result()
+                assert futures[2].result().oids
+                stats = service.stats()
+                assert stats.errors == 1
+                assert stats.queries == 2
+        finally:
+            engine.search = original_search

@@ -16,6 +16,7 @@ import threading
 import pytest
 
 from repro.core.engine import SpatialKeywordEngine
+from repro.core.query import SpatialKeywordQuery
 from repro.obs import (
     COUNT_BUCKETS,
     Counter,
@@ -33,6 +34,11 @@ from repro.serve import QueryService
 from repro.shard import ShardedEngine
 from repro.storage.block import InMemoryBlockDevice
 from repro.storage.cache import BufferPoolDevice
+
+
+def search(service, point, keywords, k=10):
+    """Synchronous point query through the redesigned submission API."""
+    return service.search(SpatialKeywordQuery.of(point, keywords, k))
 
 
 def small_objects(n=30):
@@ -277,8 +283,8 @@ class TestServiceIntegration:
 
     def test_per_stage_histograms_and_counters(self, service):
         for _ in range(3):
-            service.query((0.0, 0.0), ["cafe"], k=3)
-        service.query((5.0, 4.0), ["garden"], k=2)
+            search(service, (0.0, 0.0), ["cafe"], k=3)
+        search(service, (5.0, 4.0), ["garden"], k=2)
         stats = service.stats()
         snap = stats.metrics
         assert snap["counters"]["service.queries"] == 4
@@ -303,12 +309,12 @@ class TestServiceIntegration:
         assert stages <= total + 1e-6
 
     def test_slow_log_collects_spans(self, service):
-        service.query((0.0, 0.0), ["cafe"], k=3)
+        search(service, (0.0, 0.0), ["cafe"], k=3)
         slow = service.slow_queries()
         assert slow and slow[0].keywords == ("cafe",)
 
     def test_export_metrics_json(self, service, tmp_path):
-        service.query((0.0, 0.0), ["cafe"], k=3)
+        search(service, (0.0, 0.0), ["cafe"], k=3)
         out = tmp_path / "metrics.json"
         service.export_metrics(str(out))
         payload = json.loads(out.read_text())
@@ -323,7 +329,7 @@ class TestServiceIntegration:
         registry = MetricsRegistry()
         with QueryService(engine, workers=2, metrics=registry) as service:
             assert engine.metrics is registry
-            service.query((0.0, 0.0), ["cafe"], k=3)
+            search(service, (0.0, 0.0), ["cafe"], k=3)
         counters = registry.snapshot()["counters"]
         assert counters["shard.fanout.queries"] == 1
         assert (
@@ -354,7 +360,7 @@ class TestServiceIntegration:
             engine, fail_read_at=(0,), transient=True, max_failures=1
         )
         with QueryService(engine, workers=1, cache=False) as service:
-            execution = service.query((0.0, 0.0), ["cafe"], k=3)
+            execution = search(service, (0.0, 0.0), ["cafe"], k=3)
         assert execution.results
         assert plan.failures_injected == 1
         stats = service.stats()

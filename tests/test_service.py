@@ -27,6 +27,11 @@ def workload(small_objects, engine) -> WorkloadGenerator:
     return WorkloadGenerator(small_objects, engine.corpus.analyzer, seed=17)
 
 
+def search(service, point, keywords, k=10):
+    """Synchronous point query through the redesigned submission API."""
+    return service.search(SpatialKeywordQuery.of(point, keywords, k))
+
+
 class TestConcurrentCorrectness:
     def test_parallel_equals_serial(self, engine, workload):
         """8 workers x 64 queries: results identical to serial execution."""
@@ -127,8 +132,8 @@ class TestTracing:
 class TestCacheSemantics:
     def test_repeat_query_hits_and_costs_nothing(self, engine):
         with QueryService(engine, workers=2, cache=True) as service:
-            first = service.query((0.5, 0.5), ["internet"], k=3)
-            second = service.query((0.5, 0.5), ["internet"], k=3)
+            first = search(service, (0.5, 0.5), ["internet"], k=3)
+            second = search(service, (0.5, 0.5), ["internet"], k=3)
         assert second.oids == first.oids
         assert first.trace.cache == "miss"
         assert second.trace.cache == "hit"
@@ -140,14 +145,14 @@ class TestCacheSemantics:
         query = workload.query(num_keywords=1, k=5)
         point, keywords = query.point, list(query.keywords)
         with QueryService(engine, workers=2, cache=True) as service:
-            before = service.query(point, keywords, k=5)
-            assert service.query(point, keywords, k=5).trace.cache == "hit"
+            before = search(service, point, keywords, k=5)
+            assert search(service, point, keywords, k=5).trace.cache == "hit"
             generation = service.cache.generation
             # Insert an object right at the query point carrying the keyword.
             service.add_object(999_999, point, " ".join(keywords) + " new")
             service.build()  # full rebuild over the grown corpus
             assert service.cache.generation == generation + 2
-            after = service.query(point, keywords, k=5)
+            after = search(service, point, keywords, k=5)
             assert after.trace.cache == "miss"
             assert after.oids[0] == 999_999
             assert before.oids[0] != 999_999
@@ -155,10 +160,10 @@ class TestCacheSemantics:
     def test_delete_invalidates(self, engine, workload):
         query = workload.query(num_keywords=1, k=3)
         with QueryService(engine, workers=2, cache=True) as service:
-            first = service.query(query.point, list(query.keywords), k=3)
+            first = search(service, query.point, list(query.keywords), k=3)
             victim = first.oids[0]
             assert service.delete(victim) is True
-            after = service.query(query.point, list(query.keywords), k=3)
+            after = search(service, query.point, list(query.keywords), k=3)
             assert after.trace.cache == "miss"
             assert victim not in after.oids
 
@@ -174,7 +179,7 @@ class TestCacheSemantics:
         query = workload.query(num_keywords=1, k=3)
         point, keywords = query.point, list(query.keywords)
         with QueryService(engine, workers=2, cache=True) as service:
-            first = service.query(point, keywords, k=3)
+            first = search(service, point, keywords, k=3)
             assert first.trace.cache == "miss"
             assert first.results, "workload query must have answers"
             original = [(r.distance, r.obj.oid, r.score) for r in first.results]
@@ -182,7 +187,7 @@ class TestCacheSemantics:
                 result.distance = -99.0
                 result.score = -99.0
             first.results.clear()
-            second = service.query(point, keywords, k=3)
+            second = search(service, point, keywords, k=3)
         assert second.trace.cache == "hit"
         assert [
             (r.distance, r.obj.oid, r.score) for r in second.results
@@ -195,22 +200,22 @@ class TestCacheSemantics:
         query = workload.query(num_keywords=1, k=3)
         point, keywords = query.point, list(query.keywords)
         with QueryService(engine, workers=2, cache=True) as service:
-            first = service.query(point, keywords, k=3)
+            first = search(service, point, keywords, k=3)
             assert first.results, "workload query must have answers"
             original = [(r.distance, r.obj.oid) for r in first.results]
-            second = service.query(point, keywords, k=3)
+            second = search(service, point, keywords, k=3)
             assert second.trace.cache == "hit"
             for result in second.results:
                 result.distance = float("nan")
             second.results.pop()
-            third = service.query(point, keywords, k=3)
+            third = search(service, point, keywords, k=3)
         assert third.trace.cache == "hit"
         assert [(r.distance, r.obj.oid) for r in third.results] == original
 
     def test_distinct_k_are_distinct_entries(self, engine):
         with QueryService(engine, workers=2, cache=True) as service:
-            service.query((0.5, 0.5), ["internet"], k=2)
-            third = service.query((0.5, 0.5), ["internet"], k=3)
+            search(service, (0.5, 0.5), ["internet"], k=2)
+            third = search(service, (0.5, 0.5), ["internet"], k=3)
         assert third.trace.cache == "miss"
 
     def test_writes_interleaved_with_reads_stay_consistent(self, engine, workload):
@@ -242,7 +247,7 @@ class TestLifecycle:
         service = QueryService(engine, workers=1)
         service.close()
         with pytest.raises(ServiceError):
-            service.submit((0, 0), ["internet"])
+            service.submit(SpatialKeywordQuery.of((0, 0), ["internet"], 5))
 
     def test_submit_racing_close_raises_service_error(self, engine):
         # Simulate close() winning the race just after the _closed check:
@@ -251,13 +256,13 @@ class TestLifecycle:
         service = QueryService(engine, workers=1)
         service._pool.shutdown(wait=True)
         with pytest.raises(ServiceError):
-            service.submit((0, 0), ["internet"])
+            service.submit(SpatialKeywordQuery.of((0, 0), ["internet"], 5))
         service.close()
 
     def test_engine_serve_convenience(self, engine):
         with engine.serve(workers=2, cache=False) as service:
             assert isinstance(service, QueryService)
-            execution = service.query((0.5, 0.5), ["internet"], k=1)
+            execution = search(service, (0.5, 0.5), ["internet"], k=1)
         assert execution.algorithm == "IR2"
         assert service.cache is None
 
@@ -275,7 +280,7 @@ class TestLifecycle:
 
     def test_query_error_propagates_and_is_counted(self, engine, monkeypatch):
         with QueryService(engine, workers=1) as service:
-            future = service.submit_query(
+            future = service.submit(
                 SpatialKeywordQuery.of((0, 0), ["internet"], k=1)
             )
             future.result()
@@ -285,7 +290,7 @@ class TestLifecycle:
 
             monkeypatch.setattr(engine.index, "execute", explode)
             with pytest.raises(RuntimeError, match="disk on fire"):
-                service.query((1, 1), ["internet"], k=1)
+                search(service, (1, 1), ["internet"], k=1)
         stats = service.stats()
         assert stats.errors == 1
         failed = [s for s in service.trace_spans() if s.error]
@@ -368,7 +373,7 @@ class TestFaultHandling:
 
         engine.search = flaky
         with QueryService(engine, workers=2, retry_backoff_s=0.0) as service:
-            execution = service.query((0.0, 0.0), ["hotel"], k=3)
+            execution = search(service, (0.0, 0.0), ["hotel"], k=3)
             assert len(calls) == 2
             assert service.stats().errors == 0
         reference = real_search(
@@ -385,7 +390,7 @@ class TestFaultHandling:
         engine.search = broken
         with QueryService(engine, workers=2, retry_backoff_s=0.0) as service:
             with pytest.raises(DeviceFaultError):
-                service.query((0.0, 0.0), ["hotel"], k=3)
+                search(service, (0.0, 0.0), ["hotel"], k=3)
             assert service.stats().errors == 1
 
     def degraded_setup(self, small_objects):
@@ -410,7 +415,7 @@ class TestFaultHandling:
         sharded, plans = self.degraded_setup(small_objects)
         term = sorted(sharded._global_vocabulary().terms())[0]
         with sharded, QueryService(sharded, workers=2) as service:
-            degraded = service.query((50.0, 50.0), [term], k=5)
+            degraded = search(service, (50.0, 50.0), [term], k=5)
             assert degraded.degraded
             stats = service.stats()
             assert stats.degraded == 1
@@ -419,12 +424,12 @@ class TestFaultHandling:
             # not replay the partial answer from the cache.
             for plan in plans:
                 plan.disarm()
-            healed = service.query((50.0, 50.0), [term], k=5)
+            healed = search(service, (50.0, 50.0), [term], k=5)
             assert not healed.degraded
             stats = service.stats()
             assert stats.cache_hits == 0 and stats.cache_misses == 2
             # The full answer *is* cacheable: third time is a hit.
-            again = service.query((50.0, 50.0), [term], k=5)
+            again = search(service, (50.0, 50.0), [term], k=5)
             assert again.oids == healed.oids
             assert service.stats().cache_hits == 1
             assert service.stats().degraded == 1

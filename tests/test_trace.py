@@ -443,8 +443,8 @@ class TestServiceTracing:
             engine, workers=1, cache=False,
             slow_query_ms=10_000.0, tracer=tracer,
         ) as service:
-            first = service.execute(pick_query(objects))
-            second = service.execute(pick_query(objects))
+            first = service.search(pick_query(objects))
+            second = service.search(pick_query(objects))
         assert first.trace.trace_id is not None  # query 0 sampled
         assert second.trace.trace_id is None
         assert len(tracer.traces()) == 1
@@ -456,7 +456,7 @@ class TestServiceTracing:
         with QueryService(
             engine, workers=1, cache=False, slow_query_ms=0.0, tracer=tracer
         ) as service:
-            execution = service.execute(pick_query(objects))
+            execution = service.search(pick_query(objects))
         assert tracer.slow_query_ms == 0.0
         assert execution.trace.trace_id is not None
 
@@ -467,7 +467,7 @@ class TestServiceTracing:
         with QueryService(
             engine, workers=1, cache=False, tracer=tracer
         ) as service:
-            execution = service.execute(pick_query(objects))
+            execution = service.search(pick_query(objects))
         trace = tracer.get(execution.trace.trace_id)
         shard_spans = [s for s in trace.spans if s.category == "shard"]
         assert len(shard_spans) == 3
@@ -484,7 +484,7 @@ class TestServiceTracing:
         objects = corpus_objects(seed=29)
         engine = build_engine(objects, "ir2", 1)
         with QueryService(engine, workers=1) as service:
-            execution = service.execute(pick_query(objects))
+            execution = service.search(pick_query(objects))
             assert execution.trace.trace_id is None
             assert service.traces() == []
             with pytest.raises(Exception):
