@@ -1,0 +1,274 @@
+"""Read latency under a live write stream: snapshot vs rwlock maintenance.
+
+Measures what the PR-8 redesign is for: the read-side p95 while a writer
+continuously mutates the served engine.  For every config the same
+workload runs twice —
+
+* ``rwlock`` — the legacy readers-writer lock: every ``add``/``delete``
+  excludes the whole reader pool, and the periodic compaction
+  (``service.build()`` every ``compact_every`` writes) stalls readers
+  for a full index rebuild;
+* ``snapshot`` — versioned copy-on-write maintenance: writes buffer into
+  the overlay (readers pin published versions and never block) and the
+  same compaction schedule runs as background merges
+  (``merge_threshold = compact_every``).
+
+Reader threads issue a fixed number of point/area queries each and
+record wall-clock latency per call; the writer streams insert+delete
+pairs until the readers finish.  The JSON baseline (``BENCH_PR8.json``
+at the repo root) records p50/p95/QPS per mode plus the write and merge
+counts.
+
+Wall-clock numbers are machine-dependent, so CI never compares them
+against a committed baseline.  ``--check-maintenance`` gates *within*
+one run — on the same machine, same moment — that the snapshot read p95
+under writes beats the rwlock baseline (times ``--tolerance``, default
+1.0: strictly better).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import threading
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.bench.workloads import ConcurrentLoadGenerator  # noqa: E402
+from repro.core.engine import SpatialKeywordEngine  # noqa: E402
+from repro.datasets import DatasetConfig, SpatialTextDatasetGenerator  # noqa: E402
+from repro.serve import RWLOCK, SNAPSHOT, QueryService  # noqa: E402
+from repro.shard import ShardedEngine  # noqa: E402
+
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR8.json")
+SEED = 4321
+
+FULL_CONFIGS = [("ir2", 1), ("iio", 1), ("ir2", 2)]
+QUICK_CONFIGS = [("ir2", 1)]
+
+FULL_SCALE = dict(
+    n_objects=800, readers=3, queries_per_reader=80, compact_every=24
+)
+QUICK_SCALE = dict(
+    n_objects=250, readers=2, queries_per_reader=32, compact_every=16
+)
+
+WORKLOAD_MIX = dict(
+    keyword_counts=(1, 2, 3), k=10, hot_fraction=0.3, hot_pool=6,
+    area_fraction=0.2, ranked_fraction=0.0,
+)
+
+
+def _corpus(n_objects: int):
+    config = DatasetConfig(
+        name="live-maintenance",
+        n_objects=n_objects,
+        vocabulary_size=2_000,
+        avg_unique_words=18,
+        clusters=6,
+        seed=SEED,
+    )
+    return SpatialTextDatasetGenerator(config).generate()
+
+
+def _build_engine(objects, index: str, shards: int):
+    if shards > 1:
+        engine = ShardedEngine(n_shards=shards, index=index)
+    else:
+        engine = SpatialKeywordEngine(index=index)
+    engine.add_all(objects)
+    engine.build()
+    return engine
+
+
+def _percentile(samples, q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _run_mode(objects, index, shards, mode, scale):
+    """One timed pass: reader pool vs sustained writer, one mode."""
+    engine = _build_engine(objects, index, shards)
+    analyzer = engine.analyzer
+    compact_every = scale["compact_every"]
+    service = QueryService(
+        engine,
+        workers=scale["readers"] + 1,
+        cache=False,
+        maintenance=mode,
+        merge_threshold=compact_every if mode == SNAPSHOT else 64,
+    )
+    workload = ConcurrentLoadGenerator(objects, analyzer, seed=SEED)
+    queries = workload.mixed_batch(
+        scale["readers"] * scale["queries_per_reader"], **WORKLOAD_MIX
+    )
+    per_reader = [
+        queries[i::scale["readers"]] for i in range(scale["readers"])
+    ]
+    latencies_ms: list[float] = []
+    lock = threading.Lock()
+    stop = threading.Event()
+    writes = {"count": 0, "compactions": 0}
+    errors: list[Exception] = []
+
+    def reader(batch):
+        local = []
+        try:
+            for query in batch:
+                t0 = time.perf_counter()
+                service.search(query)
+                local.append((time.perf_counter() - t0) * 1000.0)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+        with lock:
+            latencies_ms.extend(local)
+
+    def writer():
+        next_oid = max(obj.oid for obj in objects) + 1
+        donor = 0
+        try:
+            while not stop.is_set():
+                template = objects[donor % len(objects)]
+                service.add_object(
+                    next_oid, template.point, template.text
+                )
+                service.delete(next_oid)
+                next_oid += 1
+                donor += 1
+                writes["count"] += 2
+                if mode == RWLOCK and writes["count"] % (
+                    2 * compact_every
+                ) == 0:
+                    service.build(bulk=True)
+                    writes["compactions"] += 1
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=reader, args=(batch,))
+        for batch in per_reader
+    ]
+    write_thread = threading.Thread(target=writer)
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    write_thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    stop.set()
+    write_thread.join()
+    maintainer = service.maintainer
+    merges = maintainer.merges if maintainer is not None else None
+    service.close()
+    if shards > 1:
+        engine.close()
+    if errors:
+        raise errors[0]
+    return {
+        "p50_ms": round(_percentile(latencies_ms, 0.50), 3),
+        "p95_ms": round(_percentile(latencies_ms, 0.95), 3),
+        "mean_ms": round(statistics.fmean(latencies_ms), 3),
+        "qps": round(len(latencies_ms) / elapsed, 1),
+        "queries": len(latencies_ms),
+        "writes": writes["count"],
+        "compactions": (
+            writes["compactions"] if mode == RWLOCK else merges
+        ),
+    }
+
+
+def run(quick: bool):
+    scale = QUICK_SCALE if quick else FULL_SCALE
+    configs = QUICK_CONFIGS if quick else FULL_CONFIGS
+    objects = _corpus(scale["n_objects"])
+    cells = []
+    for index, shards in configs:
+        cell = {"index": index, "shards": shards}
+        for mode in (RWLOCK, SNAPSHOT):
+            print(f"[bench] {index} x{shards} mode={mode} ...",
+                  flush=True)
+            cell[mode] = _run_mode(objects, index, shards, mode, scale)
+        speedup = (
+            cell[RWLOCK]["p95_ms"] / cell[SNAPSHOT]["p95_ms"]
+            if cell[SNAPSHOT]["p95_ms"] else float("inf")
+        )
+        cell["p95_speedup"] = round(speedup, 2)
+        print(
+            f"[bench] {index} x{shards}: rwlock p95 "
+            f"{cell[RWLOCK]['p95_ms']} ms vs snapshot p95 "
+            f"{cell[SNAPSHOT]['p95_ms']} ms ({speedup:.2f}x)",
+            flush=True,
+        )
+        cells.append(cell)
+    return {
+        "scale": dict(scale),
+        "workload": {k: list(v) if isinstance(v, tuple) else v
+                     for k, v in WORKLOAD_MIX.items()},
+        "seed": SEED,
+        "configs": cells,
+    }
+
+
+def check_maintenance(payload, tolerance: float) -> list[str]:
+    """Within-run gate: snapshot read p95 must beat the rwlock baseline."""
+    failures = []
+    for cell in payload["configs"]:
+        snap = cell[SNAPSHOT]["p95_ms"]
+        base = cell[RWLOCK]["p95_ms"]
+        if snap >= base * tolerance:
+            failures.append(
+                f"{cell['index']} x{cell['shards']}: snapshot p95 "
+                f"{snap} ms not better than rwlock p95 {base} ms "
+                f"(tolerance {tolerance})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small CI configuration")
+    parser.add_argument("--out", default=None,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    parser.add_argument("--check-maintenance", action="store_true",
+                        help="exit 2 unless snapshot read p95 under the "
+                             "write stream beats the rwlock baseline "
+                             "within this run")
+    parser.add_argument("--tolerance", type=float, default=1.0,
+                        help="snapshot p95 must be < rwlock p95 times "
+                             "this factor (default 1.0: strictly better)")
+    args = parser.parse_args(argv)
+
+    payload = {
+        "benchmark": "live-maintenance",
+        "mode": "quick" if args.quick else "full",
+        "results": run(args.quick),
+    }
+    out = args.out or DEFAULT_OUT
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[bench] wrote {out}")
+
+    if args.check_maintenance:
+        failures = check_maintenance(payload["results"], args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"[bench] FAIL: {failure}", file=sys.stderr)
+            return 2
+        print("[bench] maintenance gate passed: snapshot p95 beats "
+              "rwlock in every config")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -182,6 +182,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "(implies --batched when set)")
     serve.add_argument("--max-batch", type=int, default=16,
                        help="maximum queries per batch group")
+    serve.add_argument("--maintenance", choices=["snapshot", "rwlock"],
+                       default="snapshot",
+                       help="write maintenance mode: 'snapshot' (versioned "
+                            "copy-on-write reads, writers never block "
+                            "readers) or 'rwlock' (legacy readers-writer "
+                            "lock)")
+    serve.add_argument("--merge-threshold", type=int, default=64,
+                       metavar="N",
+                       help="buffered writes that trigger a background "
+                            "merge in snapshot mode")
+    serve.add_argument("--writes", type=int, default=0, metavar="N",
+                       help="stream N insert+delete pairs concurrently with "
+                            "the query workload (exercises online "
+                            "maintenance)")
     serve.add_argument("--max-pending", type=int, default=0,
                        help="admission bound: shed submissions beyond this "
                             "many in flight (0 = never shed)")
@@ -380,9 +394,32 @@ def _cmd_serve(args) -> int:
     with QueryService(
         engine, workers=args.workers, cache=not args.no_cache,
         slow_query_ms=args.slow_query_ms, tracer=tracer, batching=batching,
+        maintenance=args.maintenance, merge_threshold=args.merge_threshold,
     ) as service:
-        executions = service.run_batch(batch)
+        if args.writes > 0:
+            # Dispatch the queries asynchronously and stream writes
+            # underneath them: each donor object is cloned under a fresh
+            # oid and deleted again, leaving the dataset unchanged while
+            # the maintenance path (buffer, merges, invalidation) runs
+            # under live read traffic.
+            futures = service.submit_many(batch)
+            next_oid = max((obj.oid for obj in objects), default=0) + 1
+            for i in range(args.writes):
+                donor = objects[i % len(objects)]
+                service.add_object(next_oid + i, donor.point, donor.text)
+                service.delete(next_oid + i)
+            executions = [future.result() for future in futures]
+        else:
+            executions = service.run_batch(batch)
         stats = service.stats()
+        maintenance_line = None
+        if service.maintainer is not None:
+            maintainer = service.maintainer
+            maintenance_line = (
+                f"maintenance: snapshot v{service.engine_version}, "
+                f"{maintainer.merges} merges, "
+                f"{service.buffer_depth} buffered writes"
+            )
         if args.serve_trace:
             service.export_traces(args.serve_trace, executions=executions)
         if args.serve_metrics:
@@ -392,6 +429,8 @@ def _cmd_serve(args) -> int:
     print(f"served {stats.queries} queries with {args.workers} workers "
           f"over {_engine_label(engine)}")
     print(stats.summary())
+    if maintenance_line is not None:
+        print(maintenance_line)
     if batching is not None:
         print(f"batched: {stats.batches} groups, {stats.coalesced} coalesced, "
               f"{stats.io.shared_reads} shared reads, {stats.shed} shed")

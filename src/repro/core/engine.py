@@ -19,10 +19,13 @@ the tree/store structures, per-execution I/O accounting is isolated in
 thread-local collectors (:func:`repro.storage.iostats.collecting_io`), and
 the shared device counters are lock-protected.  Mutations
 (:meth:`~SpatialKeywordEngine.add` / :meth:`~SpatialKeywordEngine.build` /
-:meth:`~SpatialKeywordEngine.delete`) are **not** safe against concurrent
-queries — use :meth:`SpatialKeywordEngine.serve` (a
-:class:`repro.serve.QueryService`), which serializes writers against the
-reader pool and adds a result cache and tracing.
+:meth:`~SpatialKeywordEngine.delete`) mutate those structures in place and
+must not race a concurrent query *on the same engine instance* — use
+:meth:`SpatialKeywordEngine.serve` (a :class:`repro.serve.QueryService`),
+whose snapshot maintenance mode buffers mutations into an overlay and
+folds them into a copy-on-write replacement engine
+(:meth:`~SpatialKeywordEngine.clone_empty`), so served queries run safely
+against immutable published versions while writes stream in.
 """
 
 from __future__ import annotations
@@ -84,6 +87,20 @@ class SpatialKeywordEngine:
     ) -> None:
         self.corpus = Corpus(analyzer=analyzer, block_size=block_size)
         self._index_kind = index
+        # Everything needed to construct an equivalent empty engine —
+        # the snapshot maintainer's copy-on-write merges rebuild into a
+        # clone_empty() instead of mutating a published base in place.
+        self._init_config = {
+            "index": index,
+            "signature_bytes": signature_bytes,
+            "bits_per_word": bits_per_word,
+            "analyzer": analyzer,
+            "block_size": block_size,
+            "seed": seed,
+            "capacity": capacity,
+            "compression": compression,
+            "auto_kinds": tuple(auto_kinds) if auto_kinds else None,
+        }
         self.index: SpatialKeywordIndex = make_index(
             index,
             self.corpus,
@@ -132,6 +149,22 @@ class SpatialKeywordEngine:
         self.corpus.store.delete(oid)
         self.corpus.vocabulary.remove_document(self.corpus.analyzer.terms(obj.text))
         return removed
+
+    def contains(self, oid: int) -> bool:
+        """Whether ``oid`` is currently live (staged or indexed)."""
+        return oid in self._pointers
+
+    def clone_empty(self) -> "SpatialKeywordEngine":
+        """A fresh, empty engine with this engine's construction config.
+
+        The snapshot maintainer's merges rebuild into a clone and swap
+        it in atomically, leaving the original untouched for in-flight
+        readers.  The clone shares the analyzer (stateless) but owns its
+        own corpus, devices, and index structures.
+        """
+        config = dict(self._init_config)
+        config["analyzer"] = self.corpus.analyzer
+        return SpatialKeywordEngine(**config)
 
     # -- Queries ------------------------------------------------------------------
 

@@ -484,12 +484,11 @@ class IIOIndex(SpatialKeywordIndex):
 
     def delete_object(self, pointer: int, obj: SpatialObject) -> bool:
         self.require_built()
-        had = any(
-            self.index.document_frequency(term)
-            for term in self.corpus.analyzer.terms(obj.text)
-        )
-        self.index.remove(pointer, obj.text)
-        return had
+        # The inverted index reports whether this pointer was really in
+        # a posting list; "some other document shares the terms" must
+        # not count as an effective delete (AutoIndex would uncount the
+        # object's point from the planner's density grid).
+        return self.index.remove(pointer, obj.text)
 
     @property
     def size_mb(self) -> float:
@@ -855,7 +854,12 @@ class AutoIndex(SpatialKeywordIndex):
         removed = False
         for child in self.children.values():
             removed = child.delete_object(pointer, obj) or removed
-        self.stats.note_delete(obj)
+        # A delete that removed nothing must not move the statistics:
+        # bumping the version would needlessly flush the plan cache, and
+        # uncounting a never-present point would corrupt the density
+        # grid's accounting.
+        if removed:
+            self.stats.note_delete(obj)
         return removed
 
     # -- Introspection ----------------------------------------------------------

@@ -133,6 +133,11 @@ class QueryExecution:
             the query ran under ``index="auto"``; ``None`` for fixed
             index kinds.  JSON-ready (see
             :meth:`repro.plan.PlanDecision.as_dict`).
+        engine_version: the published snapshot version that answered
+            this query when it ran through a
+            :class:`repro.serve.QueryService` in snapshot-maintenance
+            mode; ``None`` for direct engine queries and the lock-based
+            maintenance mode.
     """
 
     query: SpatialKeywordQuery
@@ -147,6 +152,7 @@ class QueryExecution:
     degraded: bool = False
     failed_shards: list[int] | None = None
     plan: dict | None = None
+    engine_version: int | None = None
 
     def simulated_ms(self, drive: DriveModel = DEFAULT_DRIVE) -> float:
         """Simulated execution time under the given drive model."""
@@ -211,6 +217,7 @@ class QueryExecution:
             "simulated_ms": self.simulated_ms(drive),
             "degraded": self.degraded,
             "failed_shards": list(self.failed_shards or []),
+            "engine_version": self.engine_version,
         }
         if self.shards is not None:
             payload["shards"] = self.shards

@@ -92,10 +92,24 @@ class DensityGrid:
         self.total += 1
 
     def remove(self, point: Sequence[float]) -> None:
+        """Uncount one object; exact inverse of :meth:`add`.
+
+        Removing from an empty cell is a caller bug (a delete that never
+        removed anything, or a point that was never added): silently
+        clamping would desynchronize ``total`` from ``sum(counts)`` and
+        skew every later :meth:`count_in` selectivity, so it raises.
+
+        Raises:
+            ValueError: when the point's cell holds no objects.
+        """
         cell = self.cell_of(point)
-        if self.counts[cell] > 0:
-            self.counts[cell] -= 1
-            self.total -= 1
+        if self.counts[cell] <= 0:
+            raise ValueError(
+                f"density grid underflow: cell {cell} is empty "
+                f"(point {tuple(point)} was never counted)"
+            )
+        self.counts[cell] -= 1
+        self.total -= 1
 
     def cell_range(self, rect: Rect) -> tuple[tuple[int, int], ...]:
         """Per-dimension (first, last) cell indexes overlapping ``rect``."""

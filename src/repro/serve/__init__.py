@@ -3,8 +3,12 @@
 The research core executes one query at a time; this package adds the
 production wrapper the ROADMAP's north star asks for:
 
-* :class:`QueryService` — thread-pooled dispatch with a readers-writer
-  lock so queries run in parallel and mutations run exclusively;
+* :class:`QueryService` — thread-pooled dispatch; in the default
+  snapshot-maintenance mode queries pin immutable published engine
+  versions (:class:`EngineVersion`) and never block on writers, whose
+  mutations buffer into a :class:`SnapshotMaintainer` write buffer and
+  merge in the background (the legacy ``"rwlock"`` mode keeps the
+  original readers-writer lock);
 * :class:`BatchScheduler` / :class:`BatchConfig` — the batch front-end:
   arrival-window grouping, duplicate coalescing, one shared-read
   session per group, and admission control
@@ -28,19 +32,35 @@ Quick start::
         print(service.stats().summary())
 """
 
+from repro.serve.maintenance import (
+    EngineVersion,
+    SnapshotMaintainer,
+    WriteBuffer,
+)
 from repro.serve.resultcache import QueryResultCache
 from repro.serve.scheduler import BatchConfig, BatchGroup, BatchScheduler
-from repro.serve.service import QueryService, ReadWriteLock, ServiceStats
+from repro.serve.service import (
+    RWLOCK,
+    SNAPSHOT,
+    QueryService,
+    ReadWriteLock,
+    ServiceStats,
+)
 from repro.serve.tracing import TraceLog, TraceSpan
 
 __all__ = [
     "BatchConfig",
     "BatchGroup",
     "BatchScheduler",
+    "EngineVersion",
     "QueryResultCache",
     "QueryService",
+    "RWLOCK",
     "ReadWriteLock",
+    "SNAPSHOT",
     "ServiceStats",
+    "SnapshotMaintainer",
     "TraceLog",
     "TraceSpan",
+    "WriteBuffer",
 ]

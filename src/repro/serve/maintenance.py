@@ -1,0 +1,478 @@
+"""Snapshot (copy-on-write) index maintenance for the serving layer.
+
+The original serving layer serialized every mutation against the whole
+reader pool with a writer-preferring :class:`~repro.serve.service.
+ReadWriteLock`: one insert stalls *all* arriving queries until the
+writer drains — fatal at production write rates.  This module replaces
+that with versioned snapshot reads, the memtable/LSM idea applied to the
+paper's structures:
+
+* the engine state visible to queries is an immutable published
+  :class:`EngineVersion` — a built base engine plus a flat overlay of
+  buffered inserts and deleted oids.  Readers grab the current version
+  with one attribute read and never block on writers;
+* ``add``/``delete`` append to a log-structured :class:`WriteBuffer`
+  and atomically publish a new version (the overlay is consulted at
+  query time: buffered inserts are merged into the top-k, deleted oids
+  are masked out of the base answer);
+* when the buffer reaches ``merge_threshold``, a background merge folds
+  it into a *fresh* base engine (copy-on-write: the old base is never
+  mutated after publication, so in-flight readers stay on a consistent
+  snapshot) and publishes the rebuilt version with an empty overlay.
+
+Two buffer epochs make merges non-blocking for writers too: the buffer
+being folded is *frozen* while a new *active* buffer keeps receiving
+writes; the published overlay is always the flat composition of the two.
+
+Determinism contract: for any published version, a distance-first query
+answered through :meth:`EngineVersion.search` equals the brute-force
+oracle over that version's live objects — the overlay merge uses the
+same conjunctive keyword filter, the same distance function, and the
+same ``(distance, oid)`` tie-break as every other cut path in the
+repository.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import replace
+from typing import Callable, Iterator
+
+from repro.core.query import QueryExecution, SpatialKeywordQuery
+from repro.errors import QueryError
+from repro.model import SearchResult, SpatialObject, result_sort_key
+from repro.obs import MetricsRegistry
+from repro.spatial.geometry import target_point_distance
+
+
+def engine_is_built(engine) -> bool:
+    """Whether a (single or sharded) engine has a built index."""
+    built = getattr(engine, "built", None)
+    if built is not None:
+        return bool(built)
+    return bool(engine.index.built)
+
+
+class WriteBuffer:
+    """One epoch of buffered mutations (the log-structured memtable).
+
+    Applied on top of an underlying engine state, the buffer's live set
+    is ``(base - deleted - inserts.keys()) + inserts.values()``: the
+    masked set is ``deleted | inserts.keys()`` (a re-inserted oid masks
+    the base's stale copy), and the buffered inserts are the overlay's
+    own contribution.  Mutated only under the maintainer's mutex.
+    """
+
+    __slots__ = ("inserts", "deleted")
+
+    def __init__(self) -> None:
+        self.inserts: dict[int, SpatialObject] = {}
+        self.deleted: set[int] = set()
+
+    @property
+    def depth(self) -> int:
+        """Buffered operations pending a merge."""
+        return len(self.inserts) + len(self.deleted)
+
+    def record_insert(self, obj: SpatialObject) -> None:
+        # A previously-buffered delete of the same oid stays in
+        # ``deleted``: it still has to mask any base/frozen copy, and
+        # the re-inserted object wins because ``inserts`` is consulted
+        # first everywhere.
+        self.inserts[obj.oid] = obj
+
+    def record_delete(self, oid: int) -> None:
+        self.inserts.pop(oid, None)
+        self.deleted.add(oid)
+
+    def composed_with(self, later: "WriteBuffer") -> "WriteBuffer":
+        """Flatten ``self`` then ``later`` into one equivalent buffer."""
+        merged = WriteBuffer()
+        merged.inserts = dict(self.inserts)
+        merged.deleted = set(self.deleted)
+        for oid in later.deleted:
+            merged.record_delete(oid)
+        for obj in later.inserts.values():
+            merged.record_insert(obj)
+        return merged
+
+
+class EngineVersion:
+    """One immutable published engine state: base engine + flat overlay.
+
+    Readers treat every attribute as frozen; the maintainer constructs a
+    new instance for every publication and never mutates an old one (the
+    base engine itself is copy-on-write — once a version is published
+    its base is only ever *read*).
+
+    Attributes:
+        version: monotonically increasing publication number.
+        base: the built engine this version reads (single or sharded).
+        inserts: buffered objects not yet folded into ``base``.
+        deleted: buffered deletions (oids masked out of ``base``).
+    """
+
+    __slots__ = ("version", "base", "inserts", "deleted")
+
+    def __init__(
+        self,
+        version: int,
+        base,
+        inserts: dict[int, SpatialObject],
+        deleted: frozenset[int],
+    ) -> None:
+        self.version = version
+        self.base = base
+        self.inserts = inserts
+        self.deleted = deleted
+
+    @property
+    def buffer_depth(self) -> int:
+        """Overlay operations pending a merge (0 = clean snapshot)."""
+        return len(self.inserts) + len(self.deleted)
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self.inserts or self.deleted)
+
+    @property
+    def masked(self) -> set[int]:
+        """Oids whose base copies must not appear in an answer."""
+        return set(self.deleted) | set(self.inserts)
+
+    def contains(self, oid: int) -> bool:
+        """Whether ``oid`` is live in this version."""
+        if oid in self.inserts:
+            return True
+        if oid in self.deleted:
+            return False
+        return self.base.contains(oid)
+
+    def objects(self) -> Iterator[SpatialObject]:
+        """Every live object of this version (the oracle's input set)."""
+        masked = self.masked
+        for obj in self.base.objects():
+            if obj.oid not in masked:
+                yield obj
+        yield from self.inserts.values()
+
+    def __len__(self) -> int:
+        alive_in_base = len(self.base) - sum(
+            1 for oid in self.masked if self.base.contains(oid)
+        )
+        return alive_in_base + len(self.inserts)
+
+    # -- Queries ----------------------------------------------------------------
+
+    def search(self, query: SpatialKeywordQuery) -> QueryExecution:
+        """Answer ``query`` on this version; never blocks on writers.
+
+        A clean version delegates straight to the base engine.  A dirty
+        one runs the base search with ``k`` inflated by the masked-set
+        size (masking can then never starve the answer below ``k``),
+        drops masked oids, merges the matching buffered inserts, and
+        re-cuts at ``k`` under the canonical ``(distance, oid)`` order —
+        reproducing the brute-force oracle over :meth:`objects` exactly.
+        The overlay itself costs no I/O, so the execution's per-query
+        I/O delta stays the base search's exact attribution.
+        """
+        if not self.dirty:
+            return self.base.search(query)
+        if query.ranking is not None:
+            # Overlay objects have no principled IR score against the
+            # base vocabulary; the service flushes before ranked
+            # queries so they always run on a clean snapshot.
+            raise QueryError(
+                "ranked queries cannot run on a dirty snapshot; "
+                "flush the write buffer first"
+            )
+        masked = self.masked
+        base_execution = self.base.search(replace(query, k=query.k + len(masked)))
+        results = [
+            result
+            for result in base_execution.results
+            if result.obj.oid not in masked
+        ]
+        analyzer = self.base.analyzer
+        terms = analyzer.query_terms(query.keywords)
+        for obj in self.inserts.values():
+            if analyzer.contains_all(obj.text, terms):
+                overlay = SearchResult(
+                    obj, target_point_distance(obj.point, query.target)
+                )
+                overlay.score = -overlay.distance
+                results.append(overlay)
+        results.sort(key=result_sort_key)
+        return replace(
+            base_execution, query=query, results=results[: query.k]
+        )
+
+
+class SnapshotMaintainer:
+    """Owns the write buffer, the merge loop, and version publication.
+
+    One maintainer fronts one base engine.  All mutations go through
+    :meth:`add` / :meth:`delete` / :meth:`rebuild`; every effective
+    mutation publishes a new :class:`EngineVersion` atomically (readers
+    see either the old complete version or the new complete one, never a
+    torn intermediate).  Reads go through :attr:`current` — a single
+    attribute load, no lock shared with writers.
+
+    Args:
+        engine: the (possibly not yet built) engine to front.
+        merge_threshold: buffered operations that trigger a background
+            merge (``None`` disables automatic merging; ``flush`` and
+            ``rebuild`` still fold).
+        metrics: registry receiving ``engine.version`` and
+            ``maintenance.*`` gauges/counters/histograms.
+        tracer: optional :class:`repro.obs.trace.QueryTracer`; merges
+            emit a ``merge`` span tree with fold counts and duration.
+    """
+
+    def __init__(
+        self,
+        engine,
+        merge_threshold: int | None = 64,
+        metrics: MetricsRegistry | None = None,
+        tracer=None,
+    ) -> None:
+        if merge_threshold is not None and merge_threshold < 1:
+            raise QueryError(
+                f"merge_threshold must be >= 1 or None, got {merge_threshold}"
+            )
+        self.merge_threshold = merge_threshold
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        #: Called with the freshly built base after every merge swap —
+        #: the service re-attaches planner metrics to the new engine.
+        self.on_base_swap: Callable | None = None
+        #: Test hook: called between building the merged base and
+        #: publishing it (a slow merge must never block readers).
+        self.merge_hook: Callable[[], None] | None = None
+        self._mutex = threading.Lock()  # buffers + publication
+        self._merge_lock = threading.Lock()  # one merge at a time
+        self._base = engine
+        self._active = WriteBuffer()
+        self._frozen: WriteBuffer | None = None
+        self._merge_pending = False
+        self._merge_thread: threading.Thread | None = None
+        self._current = EngineVersion(0, engine, {}, frozenset())
+        self.merges = 0
+        self.merge_failures = 0
+        self._publish_gauges(self._current)
+
+    # -- Read side --------------------------------------------------------------
+
+    @property
+    def current(self) -> EngineVersion:
+        """The published version; one atomic attribute read, lock-free."""
+        return self._current
+
+    @property
+    def base(self):
+        """The current base engine (changes only at merge publication)."""
+        return self._base
+
+    # -- Publication ------------------------------------------------------------
+
+    def _publish_locked(self) -> EngineVersion:
+        """Compose the epochs and publish a new version (mutex held)."""
+        if self._frozen is not None:
+            overlay = self._frozen.composed_with(self._active)
+        else:
+            overlay = self._active
+        version = EngineVersion(
+            self._current.version + 1,
+            self._base,
+            dict(overlay.inserts),
+            frozenset(overlay.deleted),
+        )
+        self._current = version
+        return version
+
+    def _publish_gauges(self, version: EngineVersion) -> None:
+        self.metrics.gauge("engine.version").set(version.version)
+        self.metrics.gauge("maintenance.buffer_depth").set(
+            version.buffer_depth
+        )
+
+    # -- Write side -------------------------------------------------------------
+
+    def add(self, obj: SpatialObject) -> EngineVersion:
+        """Buffer one insert; returns the version it published.
+
+        Never blocks readers.  Before the base is built there are no
+        snapshots to protect, so staged adds go straight to the engine
+        (matching the direct engine surface); afterwards they land in
+        the active buffer.
+        """
+        with self._mutex:
+            if not engine_is_built(self._base):
+                self._base.add(obj)
+                version = self._publish_locked()
+            else:
+                if self._current.contains(obj.oid):
+                    raise QueryError(f"object id {obj.oid} already present")
+                self._active.record_insert(obj)
+                version = self._publish_locked()
+        self._publish_gauges(version)
+        self._maybe_schedule_merge()
+        return version
+
+    def delete(self, oid: int) -> EngineVersion | None:
+        """Buffer one delete; returns the version it published.
+
+        ``None`` (and no effect at all) when ``oid`` is not live — a
+        no-op delete publishes nothing, so the result cache and planner
+        statistics are left untouched."""
+        with self._mutex:
+            if not engine_is_built(self._base):
+                # Matches the direct engine surface: raises IndexError_.
+                self._base.delete(oid)
+                return None
+            if not self._current.contains(oid):
+                return None
+            self._active.record_delete(oid)
+            version = self._publish_locked()
+        self._publish_gauges(version)
+        self._maybe_schedule_merge()
+        return version
+
+    def rebuild(self, bulk: bool = True) -> None:
+        """(Re)build the index, folding the buffer (``service.build()``).
+
+        The first build (base not yet built) runs in place — no reader
+        can have a snapshot of an unbuilt index.  Later rebuilds are
+        copy-on-write like any merge: the current base keeps serving
+        in-flight readers while a fresh engine is built and swapped in.
+        """
+        with self._merge_lock:
+            if not engine_is_built(self._base):
+                self._base.build(bulk=bulk)
+                with self._mutex:
+                    version = self._publish_locked()
+                self._publish_gauges(version)
+                return
+            with self._mutex:
+                self._frozen = self._active
+                self._active = WriteBuffer()
+            self._fold_frozen(bulk=bulk, reason="rebuild")
+
+    def flush(self, reason: str = "flush") -> EngineVersion:
+        """Fold everything buffered; returns the resulting clean version.
+
+        Waits for any in-flight background merge, then merges until the
+        overlay is empty (a concurrent writer can dirty the new version
+        again immediately — callers get *a* clean version, not an
+        exclusive one).
+        """
+        while True:
+            with self._merge_lock:
+                with self._mutex:
+                    if self._active.depth == 0:
+                        return self._current
+                    self._frozen = self._active
+                    self._active = WriteBuffer()
+                self._fold_frozen(reason=reason)
+
+    # -- Merge internals --------------------------------------------------------
+
+    def _maybe_schedule_merge(self) -> None:
+        if self.merge_threshold is None:
+            return
+        with self._mutex:
+            if self._merge_pending or self._active.depth < self.merge_threshold:
+                return
+            self._merge_pending = True
+        thread = threading.Thread(
+            target=self._background_merge, name="repro-merge", daemon=True
+        )
+        self._merge_thread = thread
+        thread.start()
+
+    def _background_merge(self) -> None:
+        try:
+            with self._merge_lock:
+                with self._mutex:
+                    if self._active.depth == 0:
+                        return
+                    self._frozen = self._active
+                    self._active = WriteBuffer()
+                self._fold_frozen(reason="threshold")
+        except Exception:
+            # Failure already accounted by _fold_frozen; a background
+            # merge has no caller to re-raise to.
+            pass
+        finally:
+            with self._mutex:
+                self._merge_pending = False
+
+    def _fold_frozen(
+        self, bulk: bool = True, reason: str = "threshold"
+    ) -> None:
+        """Fold the frozen epoch into a fresh base and publish it.
+
+        Caller holds ``_merge_lock`` and has moved the active buffer
+        into ``_frozen``.  The old base is never touched: the new base
+        is a :meth:`clone_empty` rebuilt from the old base's live
+        objects plus the frozen overlay, then swapped in atomically.
+        On failure the frozen epoch is recomposed under the (newer)
+        active buffer so no buffered write is ever lost.
+        """
+        frozen = self._frozen
+        assert frozen is not None
+        started = time.perf_counter()
+        trace = (
+            self.tracer.begin("merge", start=started)
+            if self.tracer is not None
+            else None
+        )
+        root = trace.root if trace is not None else None
+        if root is not None:
+            root.category = "maintenance"
+        try:
+            masked = set(frozen.deleted) | set(frozen.inserts)
+            rebuilt = self._base.clone_empty()
+            rebuilt.add_all(
+                obj for obj in self._base.objects() if obj.oid not in masked
+            )
+            rebuilt.add_all(frozen.inserts.values())
+            rebuilt.build(bulk=bulk)
+            if self.merge_hook is not None:
+                self.merge_hook()
+        except Exception:
+            with self._mutex:
+                self._active = frozen.composed_with(self._active)
+                self._frozen = None
+                version = self._publish_locked()
+            self.merge_failures += 1
+            self.metrics.counter("maintenance.merge_failures").inc()
+            self._publish_gauges(version)
+            if root is not None:
+                root.annotate(reason=reason, failed=True)
+                root.finish()
+                self.tracer.commit(
+                    trace, (time.perf_counter() - started) * 1000.0
+                )
+            raise
+        with self._mutex:
+            self._base = rebuilt
+            self._frozen = None
+            version = self._publish_locked()
+        self.merges += 1
+        duration_ms = (time.perf_counter() - started) * 1000.0
+        self.metrics.counter("maintenance.merges").inc()
+        self.metrics.histogram("maintenance.merge_ms").observe(duration_ms)
+        self._publish_gauges(version)
+        if self.on_base_swap is not None:
+            self.on_base_swap(rebuilt)
+        if root is not None:
+            root.annotate(
+                reason=reason,
+                folded_inserts=len(frozen.inserts),
+                folded_deletes=len(frozen.deleted),
+                version=version.version,
+            )
+            root.finish()
+            self.tracer.commit(trace, duration_ms)

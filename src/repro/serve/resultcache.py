@@ -2,17 +2,27 @@
 
 A production deployment sees heavily repeated queries (the same hot spots,
 the same keyword combinations), and a distance-first top-k answer is a
-pure function of the built index — so identical queries can be answered
-from memory without touching a single block.  :class:`QueryResultCache`
-memoizes :class:`~repro.core.query.QueryExecution` objects keyed on the
-query's *semantic identity*: spatial target (point or area), keyword
-tuple, ``k``, and the ranking function (if any).
+pure function of the engine state it ran against — so identical queries
+can be answered from memory without touching a single block.
+:class:`QueryResultCache` memoizes :class:`~repro.core.query.QueryExecution`
+objects keyed on the query's *semantic identity*: spatial target (point or
+area), keyword tuple, ``k``, and the ranking function (if any).
 
-Correctness requires **explicit invalidation**: any mutation of the
-underlying engine (insert, delete, rebuild) may change answers, so
-:class:`repro.serve.QueryService` calls :meth:`QueryResultCache.invalidate`
-on every write.  A generation counter is exposed so tests can assert the
-flush happened.
+Correctness has two layers:
+
+* **Explicit invalidation** — any effective mutation of the underlying
+  engine may change answers, so :class:`repro.serve.QueryService` calls
+  :meth:`QueryResultCache.invalidate` on every write that actually
+  changed something.  A generation counter is exposed so tests can
+  assert the flush happened.
+* **Per-version stamping** — under snapshot maintenance every entry is
+  stamped with the :class:`~repro.serve.maintenance.EngineVersion`
+  number that produced it, and :meth:`get` drops entries whose stamp
+  differs from the reader's pinned version.  This closes the race
+  invalidation alone cannot: an execution pinned to version *V* may
+  finish (and :meth:`put` its answer) *after* a writer published *V+1*
+  and invalidated — the stale stamp keeps that late write from ever
+  answering a *V+1* reader.
 """
 
 from __future__ import annotations
@@ -40,7 +50,10 @@ class QueryResultCache:
             raise ValueError("result cache capacity must be at least 1")
         self.capacity = capacity
         self._lock = threading.Lock()
-        self._entries: OrderedDict[CacheKey, QueryExecution] = OrderedDict()
+        # key -> (execution, engine-version stamp or None)
+        self._entries: OrderedDict[
+            CacheKey, tuple[QueryExecution, int | None]
+        ] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.generation = 0
@@ -50,26 +63,50 @@ class QueryResultCache:
         """The semantic identity of a query (its answer's determinants)."""
         return (query.point, query.area, query.keywords, query.k, query.ranking)
 
-    def get(self, query: SpatialKeywordQuery) -> QueryExecution | None:
+    def get(
+        self, query: SpatialKeywordQuery, version: int | None = None
+    ) -> QueryExecution | None:
         """Return the cached execution for ``query``, if any.
+
+        Args:
+            query: the lookup key.
+            version: the reader's pinned engine version; an entry
+                stamped with a *different* version is stale (the engine
+                moved underneath it) and is dropped on sight.  ``None``
+                (the lock-based maintenance mode) skips the check.
 
         Bumps the hit or miss counter and refreshes LRU recency.
         """
         key = self.key_of(query)
         with self._lock:
-            cached = self._entries.get(key)
-            if cached is None:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            cached, stamp = entry
+            if version is not None and stamp != version:
+                del self._entries[key]
                 self.misses += 1
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
             return cached
 
-    def put(self, query: SpatialKeywordQuery, execution: QueryExecution) -> None:
-        """Memoize a completed execution (evicting the LRU entry if full)."""
+    def put(
+        self,
+        query: SpatialKeywordQuery,
+        execution: QueryExecution,
+        version: int | None = None,
+    ) -> None:
+        """Memoize a completed execution (evicting the LRU entry if full).
+
+        ``version`` stamps the entry with the engine version that
+        answered it; later :meth:`get` calls pinned to another version
+        will refuse it.
+        """
         key = self.key_of(query)
         with self._lock:
-            self._entries[key] = execution
+            self._entries[key] = (execution, version)
             self._entries.move_to_end(key)
             if len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
@@ -77,9 +114,10 @@ class QueryResultCache:
     def invalidate(self) -> int:
         """Drop every cached answer; returns the number of entries dropped.
 
-        Called by the service on any engine mutation.  Hit/miss counters
-        survive (they describe service history, not current contents);
-        the generation counter increments so staleness is observable.
+        Called by the service on any effective engine mutation.  Hit and
+        miss counters survive (they describe service history, not current
+        contents); the generation counter increments so staleness is
+        observable.
         """
         with self._lock:
             dropped = len(self._entries)

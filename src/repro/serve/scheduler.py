@@ -91,13 +91,21 @@ class BatchMember:
 
 
 class BatchGroup:
-    """A flushed set of members executed together under one session."""
+    """A flushed set of members executed together under one session.
 
-    __slots__ = ("batch_id", "members")
+    Under snapshot maintenance the executing service pins the whole
+    group to one published engine version (recorded here as
+    ``engine_version``): every member of the group answers from the same
+    immutable snapshot even while writers publish newer versions
+    mid-batch.
+    """
+
+    __slots__ = ("batch_id", "members", "engine_version")
 
     def __init__(self, batch_id: int, members: list[BatchMember]) -> None:
         self.batch_id = batch_id
         self.members = members
+        self.engine_version: int | None = None
 
     def __len__(self) -> int:
         """Total submissions in the group, followers included."""

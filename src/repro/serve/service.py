@@ -12,13 +12,21 @@ while staying byte-for-byte faithful to them:
   execution collects its own delta in a thread-local collector
   (:func:`repro.storage.iostats.collecting_io`) instead of diffing the
   shared device counters;
-* a readers-writer lock lets any number of queries run together while
-  mutations (insert / delete / rebuild) get exclusive access;
+* mutations never stall the reader pool: in the default ``"snapshot"``
+  maintenance mode every query pins an immutable published
+  :class:`~repro.serve.maintenance.EngineVersion` with one lock-free
+  attribute read, while ``add``/``delete``/``build`` append to a
+  write buffer that a background merge folds into a copy-on-write
+  replacement engine (see :mod:`repro.serve.maintenance`); the legacy
+  ``"rwlock"`` mode keeps the original readers-writer lock, where a
+  writer drains and blocks all readers;
 * an LRU result cache (:class:`~repro.serve.resultcache.QueryResultCache`)
-  answers repeated queries from memory and is invalidated on every
-  mutation; both cache hits and cached entries carry *copies* of the
-  result objects, so a caller mutating a returned result can never
-  corrupt later answers;
+  answers repeated queries from memory, is invalidated on every
+  *effective* mutation, and stamps every entry with the engine version
+  that produced it so a reader pinned to one version can never be
+  answered from another; both cache hits and cached entries carry
+  *copies* of the result objects, so a caller mutating a returned
+  result can never corrupt later answers;
 * every execution carries a :class:`~repro.serve.tracing.TraceSpan`
   (queue wait, search time, I/O counts, cache disposition), aggregated
   into a :class:`ServiceStats` summary;
@@ -54,6 +62,7 @@ from repro.obs import COUNT_BUCKETS, MetricsRegistry, SlowQueryLog, export_engin
 from repro.obs import trace as qtrace
 from repro.obs.trace import QueryTracer
 from repro.plan import attach_planner_metrics
+from repro.serve.maintenance import EngineVersion, SnapshotMaintainer
 from repro.serve.resultcache import QueryResultCache
 from repro.serve.scheduler import (
     BatchConfig,
@@ -72,6 +81,11 @@ from repro.serve.tracing import (
 from repro.storage.faults import retry_transient
 from repro.storage.iostats import IOStats
 from repro.storage.sharedread import SharedReadSession, activate_session
+
+#: Maintenance modes (see :class:`QueryService`).
+SNAPSHOT = "snapshot"
+RWLOCK = "rwlock"
+_MAINTENANCE_MODES = frozenset({SNAPSHOT, RWLOCK})
 
 
 def _resolve_result(future: Future, result) -> None:
@@ -284,6 +298,19 @@ class QueryService:
             the whole group), and — when ``max_pending`` is set — excess
             submissions shed with
             :class:`~repro.errors.ServiceOverloadError`.
+        maintenance: how mutations coexist with the reader pool.
+            ``"snapshot"`` (the default) publishes immutable engine
+            versions that queries pin with one lock-free read; writes
+            buffer into an overlay and a background merge folds them
+            into a copy-on-write replacement engine
+            (:mod:`repro.serve.maintenance`) — readers never block on
+            writers.  ``"rwlock"`` keeps the original readers-writer
+            lock: mutations drain and exclude every reader (retained as
+            the measured baseline and for callers that want strict
+            read-your-writes without versioning).
+        merge_threshold: buffered writes that trigger a background merge
+            in snapshot mode (``None`` disables automatic merging;
+            :meth:`build` and ranked queries still fold the buffer).
 
     Submission surface: :meth:`submit` (one query → ``Future``),
     :meth:`submit_many` (a batch → list of ``Future``\\ s, the batch
@@ -311,23 +338,37 @@ class QueryService:
         slow_log_capacity: int = 32,
         tracer: QueryTracer | None = None,
         batching: BatchConfig | bool | None = None,
+        maintenance: str = SNAPSHOT,
+        merge_threshold: int | None = 64,
     ) -> None:
         if workers < 1:
             raise ServiceError("a query service needs at least one worker")
+        if maintenance not in _MAINTENANCE_MODES:
+            raise ServiceError(
+                f"maintenance must be one of {sorted(_MAINTENANCE_MODES)}, "
+                f"got {maintenance!r}"
+            )
         self.tracer = tracer
         if tracer is not None and tracer.slow_query_ms is None:
             tracer.slow_query_ms = slow_query_ms
-        self.engine = engine
+        self._engine = engine
         self.workers = workers
         self.retries = retries
         self.retry_backoff_s = retry_backoff_s
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        if getattr(engine, "metrics", False) is None:
-            # A sharded engine built without a registry inherits ours.
-            engine.metrics = self.metrics
-        # Adaptive ("auto") indexes get their planner counters
-        # (planner.chosen.* / planner.won.*) recorded here too.
-        attach_planner_metrics(engine, self.metrics)
+        self.maintenance = maintenance
+        self._maintainer: SnapshotMaintainer | None = None
+        if maintenance == SNAPSHOT:
+            self._maintainer = SnapshotMaintainer(
+                engine,
+                merge_threshold=merge_threshold,
+                metrics=self.metrics,
+                tracer=tracer,
+            )
+            # Copy-on-write merges swap fresh engines in; each one gets
+            # wired into the service's observability like the first.
+            self._maintainer.on_base_swap = self._adopt_engine
+        self._adopt_engine(engine)
         self.slow_log = SlowQueryLog(
             threshold_ms=slow_query_ms, capacity=slow_log_capacity
         )
@@ -366,6 +407,59 @@ class QueryService:
         self._io = IOStats()
         self._queue_ms = 0.0
         self._search_ms = 0.0
+
+    @property
+    def engine(self):
+        """The current base engine (snapshot merges swap in fresh ones)."""
+        if self._maintainer is not None:
+            return self._maintainer.base
+        return self._engine
+
+    @property
+    def engine_version(self) -> int | None:
+        """The currently published snapshot version (None in rwlock mode)."""
+        if self._maintainer is None:
+            return None
+        return self._maintainer.current.version
+
+    @property
+    def buffer_depth(self) -> int:
+        """Buffered writes not yet merged (always 0 in rwlock mode)."""
+        if self._maintainer is None:
+            return 0
+        return self._maintainer.current.buffer_depth
+
+    @property
+    def maintainer(self) -> SnapshotMaintainer | None:
+        """The snapshot maintainer (None in rwlock mode)."""
+        return self._maintainer
+
+    def _adopt_engine(self, engine) -> None:
+        """Wire an engine (initial or freshly merged) into observability."""
+        if getattr(engine, "metrics", False) is None:
+            # A sharded engine built without a registry inherits ours.
+            engine.metrics = self.metrics
+        # Adaptive ("auto") indexes get their planner counters
+        # (planner.chosen.* / planner.won.*) recorded here too.
+        attach_planner_metrics(engine, self.metrics)
+
+    @contextmanager
+    def _pinned_version(self) -> Iterator[EngineVersion | None]:
+        """Pin the engine state one execution (or batch group) reads.
+
+        Snapshot mode yields the current published version — a single
+        lock-free attribute read, so a concurrent writer or merge can
+        never block this reader.  Lock mode runs the block under the
+        readers-writer lock via :meth:`ReadWriteLock.read_locked` (the
+        context manager, never a manual acquire/release pair, so a
+        failed acquire cannot underflow the reader count) and yields
+        None.
+        """
+        if self._maintainer is not None:
+            yield self._maintainer.current
+        else:
+            with self._rw.read_locked():
+                yield None
 
     # -- Query dispatch ---------------------------------------------------------
 
@@ -573,12 +667,11 @@ class QueryService:
         )
         try:
             with qtrace.activate(trace.root if trace is not None else None):
-                self._rw.acquire_read()
-                span.lock_acquired_at = time.perf_counter()
-                try:
-                    execution = self._answer(query, span)
-                finally:
-                    self._rw.release_read()
+                with self._pinned_version() as version:
+                    span.lock_acquired_at = time.perf_counter()
+                    if version is not None:
+                        span.engine_version = version.version
+                    execution = self._answer(query, span, version)
         except Exception as exc:
             span.finished_at = time.perf_counter()
             span.error = f"{type(exc).__name__}: {exc}"
@@ -667,11 +760,32 @@ class QueryService:
         ).observe(execution.io.random_reads + execution.io.sequential_reads)
 
     def _answer(
-        self, query: SpatialKeywordQuery, span: TraceSpan
+        self,
+        query: SpatialKeywordQuery,
+        span: TraceSpan,
+        version: EngineVersion | None = None,
     ) -> QueryExecution:
-        """Resolve one query under the read lock: cache first, then search."""
+        """Resolve one query against a pinned engine state: cache, search.
+
+        ``version`` is the snapshot the caller pinned (None in rwlock
+        mode, where the read lock is already held).  Cache lookups and
+        stores carry the version stamp, so an answer computed against
+        one version can never serve a reader pinned to another.
+        """
+        if (
+            version is not None
+            and query.ranking is not None
+            and version.dirty
+        ):
+            # Overlay objects have no principled IR score against the
+            # base vocabulary, so ranked queries fold the buffer first
+            # and run on a clean snapshot (re-pinning the flushed
+            # version).
+            version = self._maintainer.flush(reason="ranked-query")
+            span.engine_version = version.version
+        stamp = version.version if version is not None else None
         if self.cache is not None:
-            cached = self.cache.get(query)
+            cached = self.cache.get(query, version=stamp)
             if cached is not None:
                 span.cache = CACHE_HIT
                 span.search_done_at = time.perf_counter()
@@ -688,6 +802,7 @@ class QueryService:
                     nodes_visited=0,
                     algorithm=cached.algorithm,
                     plan=dict(cached.plan) if cached.plan is not None else None,
+                    engine_version=stamp,
                 )
             span.cache = CACHE_MISS
         else:
@@ -696,11 +811,13 @@ class QueryService:
         def count_retry(attempt: int, exc: Exception) -> None:
             span.retries += 1
 
+        target = version if version is not None else self.engine
         execution = retry_transient(
-            lambda: self.engine.search(query),
+            lambda: target.search(query),
             self.retries, self.retry_backoff_s,
             on_retry=count_retry,
         )
+        execution.engine_version = stamp
         span.search_done_at = time.perf_counter()
         if self.cache is not None and not execution.degraded:
             # A degraded (partial) answer must not outlive the fault that
@@ -708,7 +825,7 @@ class QueryService:
             # run fully, not replay the partial result from cache.
             # The cached entry gets its own result copies so the caller
             # of *this* (miss) execution cannot mutate them afterwards.
-            self.cache.put(query, execution.with_result_copies())
+            self.cache.put(query, execution.with_result_copies(), version=stamp)
         return execution
 
     # -- Batched group execution ------------------------------------------------
@@ -716,11 +833,13 @@ class QueryService:
     def _execute_group(self, group: BatchGroup) -> None:
         """Worker body for one flushed batch group.
 
-        One read-lock acquisition and one shared-read session cover the
-        whole group; members execute sequentially (answers are
-        byte-identical to serial execution), each with its own flat span
-        and per-query I/O delta.  The hierarchical trace gets a "batch"
-        root with one "query" child per executed member.
+        One pinned engine state (a published snapshot version, or one
+        read-lock acquisition in rwlock mode) and one shared-read
+        session cover the whole group; members execute sequentially
+        (answers are byte-identical to serial execution on the pinned
+        state), each with its own flat span and per-query I/O delta.
+        The hierarchical trace gets a "batch" root with one "query"
+        child per executed member.
         """
         group_started = time.perf_counter()
         trace = (
@@ -733,9 +852,10 @@ class QueryService:
             batch_root.category = "batch"
         session = SharedReadSession()
         spans: list[TraceSpan] = []
-        self._rw.acquire_read()
-        lock_acquired = time.perf_counter()
-        try:
+        with self._pinned_version() as version:
+            lock_acquired = time.perf_counter()
+            if version is not None:
+                group.engine_version = version.version
             with qtrace.activate(batch_root), activate_session(session):
                 first = True
                 for member in group.members:
@@ -745,11 +865,9 @@ class QueryService:
                     spans.extend(
                         self._run_member(
                             member, group.batch_id, trace, batch_root,
-                            started, locked,
+                            started, locked, version,
                         )
                     )
-        finally:
-            self._rw.release_read()
         group_end = time.perf_counter()
         total = len(group)
         if trace is not None:
@@ -765,6 +883,8 @@ class QueryService:
                     coalesced=total - len(group.members),
                     shared_reads=session.hits,
                 )
+                if group.engine_version is not None:
+                    batch_root.annotate(engine_version=group.engine_version)
                 batch_root.finish(group_end)
             if self.tracer.commit(trace, (group_end - group_started) * 1000.0):
                 for span in spans:
@@ -787,15 +907,16 @@ class QueryService:
         batch_root,
         started: float,
         lock_acquired: float,
+        version: EngineVersion | None = None,
     ) -> list[TraceSpan]:
         """Execute one member (plus its coalesced followers) of a group.
 
-        Runs under the group's read lock and shared-read session.
-        Returns the flat spans produced (leader first), already folded
-        into the aggregates; the caller appends them to the trace and
-        slow-query logs once the batch's ``trace_id`` is known.  A
-        member failure resolves its own futures and never aborts the
-        rest of the group.
+        Runs against the group's pinned engine state (snapshot version
+        or held read lock) and shared-read session.  Returns the flat
+        spans produced (leader first), already folded into the
+        aggregates; the caller appends them to the trace and slow-query
+        logs once the batch's ``trace_id`` is known.  A member failure
+        resolves its own futures and never aborts the rest of the group.
         """
         query = member.query
         span = TraceSpan(
@@ -808,6 +929,8 @@ class QueryService:
             batch_id=batch_id,
         )
         span.lock_acquired_at = lock_acquired
+        if version is not None:
+            span.engine_version = version.version
         alive = member.future.set_running_or_notify_cancel()
         followers = [
             follower
@@ -824,7 +947,7 @@ class QueryService:
         )
         try:
             with qtrace.activate(qspan):
-                execution = self._answer(query, span)
+                execution = self._answer(query, span, version)
         except Exception as exc:
             span.finished_at = time.perf_counter()
             span.error = f"{type(exc).__name__}: {exc}"
@@ -896,6 +1019,7 @@ class QueryService:
             worker=leader_span.worker,
             batch_id=batch_id,
             error=error,
+            engine_version=leader_span.engine_version,
         )
         span.lock_acquired_at = finished
         span.search_done_at = finished
@@ -930,32 +1054,85 @@ class QueryService:
             ),
         )
 
-    # -- Mutations (exclusive against the reader pool) --------------------------
+    # -- Mutations (buffered in snapshot mode; exclusive in rwlock mode) --------
 
     def add_object(self, oid: int, point: Sequence[float], text: str) -> None:
         """Insert one object; invalidates the result cache."""
-        with self._rw.write_locked():
-            self.engine.add_object(oid, point, text)
-            self._invalidate()
+        self.add(SpatialObject(oid, tuple(float(c) for c in point), text))
 
     def add(self, obj: SpatialObject) -> None:
-        """Insert one :class:`SpatialObject`; invalidates the result cache."""
+        """Insert one :class:`SpatialObject`; invalidates the result cache.
+
+        Snapshot mode buffers the insert and publishes a new version
+        without ever blocking a reader; rwlock mode takes the write lock
+        and mutates the engine in place.
+        """
+        if self._maintainer is not None:
+            self._maintainer.add(obj)
+            self._invalidate()
+            return
         with self._rw.write_locked():
             self.engine.add(obj)
             self._invalidate()
 
     def delete(self, oid: int) -> bool:
-        """Delete one object; invalidates the result cache."""
-        with self._rw.write_locked():
-            removed = self.engine.delete(oid)
+        """Delete one object; invalidates the result cache *if effective*.
+
+        A delete of an oid that is not live is a no-op and must leave
+        the service untouched: no cold-started result cache, no planner
+        statistics bump, no plan-cache flush.
+        """
+        if self._maintainer is not None:
+            removed = self._maintainer.delete(oid) is not None
+        else:
+            with self._rw.write_locked():
+                removed = self.engine.delete(oid)
+        if removed:
             self._invalidate()
-            return removed
+        return removed
 
     def build(self, bulk: bool = True) -> None:
-        """(Re)build the engine's index; invalidates the result cache."""
+        """(Re)build the engine's index; invalidates the result cache.
+
+        Snapshot mode folds the write buffer and rebuilds copy-on-write
+        (in-flight readers keep their pinned version); rwlock mode
+        rebuilds in place under the write lock.
+        """
+        if self._maintainer is not None:
+            self._maintainer.rebuild(bulk=bulk)
+            self._invalidate()
+            return
         with self._rw.write_locked():
             self.engine.build(bulk=bulk)
             self._invalidate()
+
+    def flush(self) -> int:
+        """Fold every buffered write into the base engine (snapshot mode).
+
+        Returns the resulting published version (the current version
+        in rwlock mode, where there is nothing to fold: 0).
+        """
+        if self._maintainer is None:
+            return 0
+        return self._maintainer.flush().version
+
+    def save(self, directory: str) -> str:
+        """Persist a consistent engine snapshot; returns the manifest path.
+
+        Safe against concurrent writers and merges: snapshot mode first
+        folds the write buffer (waiting out any in-flight merge) and
+        saves the resulting clean version's base — a save issued
+        mid-merge captures a consistent published version, never a torn
+        half-mutation.  Rwlock mode saves under the read lock, excluding
+        writers for the duration.
+        """
+        from repro.persist import save_engine
+
+        if self._maintainer is not None:
+            version = self._maintainer.flush(reason="save")
+            return save_engine(version.base, directory)
+        with self._rw.read_locked():
+            return save_engine(self.engine, directory)
 
     def _invalidate(self) -> None:
         if self.cache is not None:

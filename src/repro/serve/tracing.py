@@ -70,6 +70,12 @@ class TraceSpan:
             unbatched execution).  The ``cache`` disposition
             ``"coalesced"`` marks members answered by another in-flight
             duplicate of the same batch.
+        engine_version: the published engine snapshot this query was
+            pinned to (snapshot maintenance mode); None under the
+            lock-based mode.  In snapshot mode :attr:`lock_acquired_at`
+            records the instant the version was pinned, so
+            :attr:`lock_wait_ms` measures (near-zero) pin time instead
+            of read-lock wait.
     """
 
     query_id: int
@@ -93,6 +99,7 @@ class TraceSpan:
     error: str | None = None
     trace_id: str | None = None
     batch_id: int | None = None
+    engine_version: int | None = None
 
     @property
     def queue_wait_ms(self) -> float:
@@ -172,6 +179,7 @@ class TraceSpan:
             "error": self.error,
             "trace_id": self.trace_id,
             "batch_id": self.batch_id,
+            "engine_version": self.engine_version,
         }
 
     def emit_phases(self, trace: Trace, parent=None) -> None:
@@ -207,6 +215,8 @@ class TraceSpan:
         )
         if self.strategy is not None:
             root.annotate(strategy=self.strategy)
+        if self.engine_version is not None:
+            root.annotate(engine_version=self.engine_version)
         if self.error is not None:
             root.annotate(error=self.error)
         if self.lock_acquired_at and self.started_at:

@@ -232,6 +232,40 @@ class ShardedEngine:
         if not self.built:
             raise IndexError_("sharded engine has not been built yet")
 
+    def contains(self, oid: int) -> bool:
+        """Whether ``oid`` is currently live (staged or sharded)."""
+        return oid in self._shard_of
+
+    def clone_empty(self) -> "ShardedEngine":
+        """A fresh, empty sharded engine with this engine's configuration.
+
+        The snapshot maintainer's copy-on-write merges rebuild into the
+        clone (restaging every live object, refitting the partitioner)
+        and swap it in, leaving this engine untouched for in-flight
+        readers.  Engines reassembled by :meth:`from_parts` (the
+        persistence load path) derive per-shard construction kwargs from
+        their first shard's stored config.
+        """
+        kwargs = dict(self._engine_kwargs)
+        if not kwargs and self.shards:
+            kwargs = {
+                key: value
+                for key, value in self.shards[0]._init_config.items()
+                if key != "index"
+            }
+            kwargs["analyzer"] = self.shards[0].analyzer
+        return ShardedEngine(
+            n_shards=self.n_shards,
+            partitioner=make_partitioner(self.partitioner.kind, self.n_shards),
+            index=self._index_kind,
+            workers=self._workers,
+            failure_policy=self.failure_policy,
+            retries=self.retries,
+            retry_backoff_s=self.retry_backoff_s,
+            metrics=self.metrics,
+            **kwargs,
+        )
+
     def _grow_mbb(self, shard_id: int, point: Sequence[float]) -> None:
         rect = Rect.from_point(point)
         mbb = self._mbbs[shard_id]

@@ -127,18 +127,31 @@ class InvertedIndex:
                 postings.sort()
             self._replace_postings(term, postings)
 
-    def remove(self, pointer: int, text: str) -> None:
-        """Remove one document's pointer from its terms' posting lists."""
+    def remove(self, pointer: int, text: str) -> bool:
+        """Remove one document's pointer from its terms' posting lists.
+
+        Returns whether the pointer was actually present in (and removed
+        from) at least one list — callers use this to distinguish an
+        effective delete from a no-op, so it must not report True merely
+        because other documents share the terms.  Lists the pointer was
+        never in are left untouched (no rewrite I/O).
+        """
+        removed = False
         for term in self.analyzer.terms(text):
             entry = self._lexicon.get(term)
             if entry is None:
                 continue
-            postings = [p for p in self._read_postings(term) if p != pointer]
-            if postings:
-                self._replace_postings(term, postings)
+            postings = self._read_postings(term)
+            kept = [p for p in postings if p != pointer]
+            if len(kept) == len(postings):
+                continue
+            removed = True
+            if kept:
+                self._replace_postings(term, kept)
             else:
                 self._lexicon.pop(term)
                 self._live_bytes -= entry[1]
+        return removed
 
     def compact(self) -> None:
         """Rewrite every live list densely, reclaiming dead log space."""

@@ -173,6 +173,7 @@ class TestExecutionPayload:
         "algorithm", "query", "results", "oids", "io",
         "objects_inspected", "false_positive_candidates",
         "nodes_visited", "simulated_ms", "degraded", "failed_shards",
+        "engine_version",
     }
 
     def test_to_dict_is_json_clean(self, engine):
