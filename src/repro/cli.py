@@ -114,8 +114,10 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--shards", type=int, default=1,
                        help="partition the dataset across N engines "
                             "(1 = a plain single engine)")
-    build.add_argument("--partitioner", choices=("kd", "grid"), default="kd",
-                       help="spatial partitioning strategy for --shards > 1")
+    build.add_argument("--partitioner", choices=("kd", "grid", "keyword"),
+                       default="kd",
+                       help="partitioning strategy for --shards > 1: spatial "
+                            "kd/grid, or keyword-aware term clustering")
 
     query = commands.add_parser(
         "query", help="run a top-k spatial keyword query"

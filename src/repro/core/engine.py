@@ -154,6 +154,13 @@ class SpatialKeywordEngine:
         """Whether ``oid`` is currently live (staged or indexed)."""
         return oid in self._pointers
 
+    def get_object(self, oid: int) -> SpatialObject | None:
+        """Load one live object by id (None when absent)."""
+        pointer = self._pointers.get(oid)
+        if pointer is None:
+            return None
+        return self.corpus.store.load(pointer)
+
     def clone_empty(self) -> "SpatialKeywordEngine":
         """A fresh, empty engine with this engine's construction config.
 
@@ -168,7 +175,9 @@ class SpatialKeywordEngine:
 
     # -- Queries ------------------------------------------------------------------
 
-    def search(self, query: SpatialKeywordQuery) -> QueryExecution:
+    def search(
+        self, query: SpatialKeywordQuery, *, vocabulary=None
+    ) -> QueryExecution:
         """Unified entry point: execute any :class:`SpatialKeywordQuery`.
 
         Dispatches on the query itself — a ``ranking`` function selects
@@ -177,9 +186,14 @@ class SpatialKeywordEngine:
         point query runs the paper's default distance-first algorithm.
         :meth:`query`, :meth:`query_area`, and :meth:`query_ranked` are
         thin conveniences that construct a query and call this method.
+
+        ``vocabulary`` overrides the corpus statistics ranked scoring
+        uses (the snapshot layer passes a version-wide vocabulary so
+        buffered overlays score exactly); ignored by distance-first
+        queries, which never consult idf values.
         """
         if query.ranking is not None:
-            return self._search_ranked(query)
+            return self._search_ranked(query, vocabulary=vocabulary)
         return self.index.execute(query)
 
     def search_many(
@@ -300,7 +314,10 @@ class SpatialKeywordEngine:
         return self._search_ranked(query, prune_zero_ir=prune_zero_ir)
 
     def _search_ranked(
-        self, query: SpatialKeywordQuery, prune_zero_ir: bool = True
+        self,
+        query: SpatialKeywordQuery,
+        prune_zero_ir: bool = True,
+        vocabulary=None,
     ) -> QueryExecution:
         """Ranked dispatch shared by :meth:`search` and :meth:`query_ranked`."""
         execute_ranked = getattr(self.index, "execute_ranked", None)
@@ -314,7 +331,9 @@ class SpatialKeywordEngine:
             query = query.with_ranking(ranking)
         elif not isinstance(ranking, (DistanceDecayRanking, LinearRanking)):
             validate_monotonicity(ranking)
-        return execute_ranked(query, ranking, prune_zero_ir=prune_zero_ir)
+        return execute_ranked(
+            query, ranking, prune_zero_ir=prune_zero_ir, vocabulary=vocabulary
+        )
 
     def _default_half_distance(self) -> float:
         """A data-independent but sane decay scale: 10% of the data extent."""

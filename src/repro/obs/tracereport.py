@@ -27,8 +27,8 @@ _HEADER_ATTRS = ("algorithm", "strategy", "keywords", "k", "cache", "worker")
 
 #: Span annotations surfaced inline on tree rows, in display order.
 _ROW_ATTRS = (
-    "algorithm", "strategy", "shard", "cache", "pruned", "failed", "degraded",
-    "retries", "results_offered", "num_results", "error",
+    "algorithm", "strategy", "shard", "cache", "pruned", "pruned_by_keywords",
+    "failed", "degraded", "retries", "results_offered", "num_results", "error",
 )
 
 

@@ -91,6 +91,7 @@ from repro.core.indexes import (
 from repro.errors import DatasetError, PersistError, ReproError
 from repro.shard.engine import ShardedEngine
 from repro.shard.partitioner import partitioner_from_dict
+from repro.shard.summary import KeywordSummary
 from repro.spatial.geometry import Rect
 from repro.storage.block import BlockDevice, InMemoryBlockDevice
 
@@ -452,6 +453,12 @@ def _save_sharded(engine: ShardedEngine, directory: str) -> str:
             for mbb in engine.shard_mbbs
         ],
         "shards": shard_dirs,
+        # Routing-table keyword summaries (added after manifest v3 shipped;
+        # optional, so older manifests — and older readers — stay valid).
+        "summaries": [
+            summary.to_dict() if summary is not None else None
+            for summary in engine.summaries
+        ],
         "files": files,
     }
     path = _write_manifest(directory, manifest)
@@ -468,6 +475,14 @@ def _load_sharded(manifest: dict, directory: str) -> ShardedEngine:
         if shard_manifest.get("sharded"):
             raise DatasetError(f"nested sharded layout at {shard_dir}")
         shards.append(_load_single(shard_manifest, shard_dir))
+    # Manifests written before keyword routing carry no "summaries" field;
+    # from_parts(summaries=None) rebuilds them from the loaded corpora.
+    summaries = None
+    if manifest.get("summaries") is not None:
+        summaries = [
+            KeywordSummary.from_dict(state) if state is not None else None
+            for state in manifest["summaries"]
+        ]
     return ShardedEngine.from_parts(
         shards=shards,
         partitioner=partitioner_from_dict(manifest["partitioner"]),
@@ -479,6 +494,7 @@ def _load_sharded(manifest: dict, directory: str) -> ShardedEngine:
             Rect.from_coords(coords) if coords is not None else None
             for coords in manifest["mbbs"]
         ],
+        summaries=summaries,
     )
 
 
@@ -603,6 +619,106 @@ def _dump_device(device: BlockDevice, path: str) -> dict:
             size += len(block)
         _fsync_file(handle)
     return {"sha256": digest.hexdigest(), "bytes": size}
+
+
+def copy_built_engine(engine):
+    """A deep structural copy of a *built* in-memory engine, or ``None``.
+
+    The snapshot maintainer's incremental merges fold a small write
+    buffer into a copy of the serving base instead of rebuilding it from
+    scratch.  The copy reuses the same state the disk round-trip
+    serializes — device block images plus the per-structure bookkeeping
+    of :func:`_index_state` — so it is exactly the engine a save/load
+    cycle would produce, without touching the filesystem and without
+    re-deriving the vocabulary.
+
+    Returns ``None`` when the engine cannot be copied this way (not yet
+    built, non-memory block devices, an index kind without persistence
+    support); callers fall back to a full rebuild.
+    """
+    if isinstance(engine, ShardedEngine):
+        if not engine.built:
+            return None
+        shards = []
+        for shard in engine.shards:
+            duplicate = copy_built_engine(shard)
+            if duplicate is None:
+                return None
+            shards.append(duplicate)
+        clone = ShardedEngine.from_parts(
+            shards=shards,
+            partitioner=partitioner_from_dict(engine.partitioner.to_dict()),
+            shard_of={
+                oid: shard_id
+                for oid, shard_id in engine._shard_of.items()
+                if shard_id >= 0
+            },
+            mbbs=list(engine.shard_mbbs),
+            failure_policy=engine.failure_policy,
+            retries=engine.retries,
+            retry_backoff_s=engine.retry_backoff_s,
+            summaries=[
+                summary.copy() if summary is not None else None
+                for summary in engine.summaries
+            ],
+        )
+        clone.metrics = engine.metrics
+        return clone
+    if not engine.index.built:
+        return None
+    try:
+        state = _index_state(engine.index)
+    except DatasetError:
+        return None
+    clone = engine.clone_empty()
+    if not _copy_device_blocks(engine.corpus.device, clone.corpus.device):
+        return None
+    src_store, dst_store = engine.corpus.store, clone.corpus.store
+    dst_store._end = src_store._end
+    dst_store._count = src_store._count
+    dst_store._pointers = dict(src_store._pointers)
+    clone._pointers = dict(engine._pointers)
+    clone.corpus._dims = engine.corpus._dims
+    src_vocab, dst_vocab = engine.corpus.vocabulary, clone.corpus.vocabulary
+    dst_vocab._df = dict(src_vocab._df)
+    dst_vocab.document_count = src_vocab.document_count
+    dst_vocab._distinct_terms_total = src_vocab._distinct_terms_total
+    if isinstance(engine.index, AutoIndex):
+        for kind, child in engine.index.children.items():
+            target = clone.index.children[kind]
+            if not _copy_index_structure(child, state["children"][kind], target):
+                return None
+        clone.index.stats.rebuild()
+        clone.index.built = True
+    else:
+        if not _copy_index_structure(engine.index, state, clone.index):
+            return None
+    return clone
+
+
+def _copy_index_structure(src_index, state: dict, dst_index) -> bool:
+    """In-memory twin of :func:`_load_index_structure`."""
+    if not isinstance(dst_index, (IIOIndex, SignatureFileIndex)):
+        if isinstance(dst_index, MIR2Index):
+            dst_index.level_lengths = [int(v) for v in state["level_lengths"]]
+        dst_index.capacity = state["capacity"]
+        # The fresh tree writes a bootstrap root; the wholesale block
+        # copy below replaces it with the source image.
+        dst_index.tree = dst_index._make_tree()
+    if not _copy_device_blocks(src_index.device, dst_index.device):
+        return False
+    _restore_index_state(dst_index, state)
+    dst_index.built = True
+    return True
+
+
+def _copy_device_blocks(src, dst) -> bool:
+    if not isinstance(src, InMemoryBlockDevice) or not isinstance(
+        dst, InMemoryBlockDevice
+    ):
+        return False
+    dst._blocks = [bytearray(block) for block in src._blocks]
+    return True
 
 
 def _load_device(device: InMemoryBlockDevice, path: str, block_size: int) -> None:

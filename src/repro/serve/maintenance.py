@@ -44,6 +44,15 @@ from repro.errors import QueryError
 from repro.model import SearchResult, SpatialObject, result_sort_key
 from repro.obs import MetricsRegistry
 from repro.spatial.geometry import target_point_distance
+from repro.text.irmodel import ir_score
+
+
+#: A frozen buffer at most this fraction of the base's live objects is
+#: folded *incrementally* — live inserts/deletes applied to a structural
+#: copy of the base — instead of a full clone_empty()+add_all+build
+#: rebuild.  Above the ratio a bulk rebuild is cheaper (and produces the
+#: better-packed bulk-loaded tree).
+INCREMENTAL_MERGE_MAX_RATIO = 0.25
 
 
 def engine_is_built(engine) -> bool:
@@ -113,7 +122,7 @@ class EngineVersion:
         deleted: buffered deletions (oids masked out of ``base``).
     """
 
-    __slots__ = ("version", "base", "inserts", "deleted")
+    __slots__ = ("version", "base", "inserts", "deleted", "_vocabulary")
 
     def __init__(
         self,
@@ -126,6 +135,10 @@ class EngineVersion:
         self.base = base
         self.inserts = inserts
         self.deleted = deleted
+        # Lazily computed effective vocabulary for ranked queries on a
+        # dirty snapshot; the computation is deterministic, so the
+        # benign unlocked double-compute race is safe.
+        self._vocabulary = None
 
     @property
     def buffer_depth(self) -> int:
@@ -180,13 +193,7 @@ class EngineVersion:
         if not self.dirty:
             return self.base.search(query)
         if query.ranking is not None:
-            # Overlay objects have no principled IR score against the
-            # base vocabulary; the service flushes before ranked
-            # queries so they always run on a clean snapshot.
-            raise QueryError(
-                "ranked queries cannot run on a dirty snapshot; "
-                "flush the write buffer first"
-            )
+            return self._search_ranked(query)
         masked = self.masked
         base_execution = self.base.search(replace(query, k=query.k + len(masked)))
         results = [
@@ -207,6 +214,77 @@ class EngineVersion:
         return replace(
             base_execution, query=query, results=results[: query.k]
         )
+
+    def _search_ranked(self, query: SpatialKeywordQuery) -> QueryExecution:
+        """Ranked query on a dirty snapshot, without forcing a flush.
+
+        The base search runs with this version's *effective* vocabulary
+        (base statistics minus masked documents plus buffered inserts) so
+        every base survivor's idf — and therefore its score — is exactly
+        what a flushed engine would compute.  Buffered inserts are scored
+        through the same :func:`~repro.text.irmodel.ir_score` the index
+        scorer uses, zero-IR overlays are dropped (matching the default
+        ``prune_zero_ir`` semantics of the served ranked path), and the
+        merged list is re-cut at ``k`` under the canonical ranked order
+        ``(-score, distance, oid)``.
+        """
+        ranking = query.ranking
+        analyzer = self.base.analyzer
+        terms = analyzer.query_terms(query.keywords)
+        vocabulary = self._effective_vocabulary()
+        masked = self.masked
+        base_execution = self.base.search(
+            replace(query, k=query.k + len(masked)), vocabulary=vocabulary
+        )
+        results = [
+            result
+            for result in base_execution.results
+            if result.obj.oid not in masked
+        ]
+        for oid in sorted(self.inserts):
+            obj = self.inserts[oid]
+            relevance = ir_score(obj.text, terms, vocabulary, analyzer)
+            if relevance == 0.0:
+                continue
+            distance = target_point_distance(obj.point, query.target)
+            results.append(
+                SearchResult(
+                    obj,
+                    distance,
+                    score=ranking(distance, relevance),
+                    ir_score=relevance,
+                )
+            )
+        results.sort(key=lambda r: (-r.score, r.distance, r.obj.oid))
+        return replace(
+            base_execution, query=query, results=results[: query.k]
+        )
+
+    def _effective_vocabulary(self):
+        """This version's corpus statistics: base ⊖ masked ⊕ inserts.
+
+        Exactly the vocabulary the base would hold after folding the
+        overlay, so dirty-snapshot ranked scores are byte-identical to
+        post-flush scores.  Computed once per version and memoized.
+        """
+        vocabulary = self._vocabulary
+        if vocabulary is None:
+            analyzer = self.base.analyzer
+            base_vocab = getattr(self.base, "_global_vocabulary", None)
+            vocabulary = (
+                base_vocab() if base_vocab is not None
+                else self.base.corpus.vocabulary
+            ).copy()
+            for oid in sorted(self.masked):
+                obj = self.base.get_object(oid)
+                if obj is not None:
+                    vocabulary.remove_document(analyzer.terms(obj.text))
+            for oid in sorted(self.inserts):
+                vocabulary.add_document(
+                    analyzer.terms(self.inserts[oid].text)
+                )
+            self._vocabulary = vocabulary
+        return vocabulary
 
 
 class SnapshotMaintainer:
@@ -259,7 +337,12 @@ class SnapshotMaintainer:
         self._merge_thread: threading.Thread | None = None
         self._current = EngineVersion(0, engine, {}, frozenset())
         self.merges = 0
+        self.incremental_merges = 0
         self.merge_failures = 0
+        #: Buffer-to-base size ratio below which merges fold into a copy
+        #: of the base instead of rebuilding; set to 0.0 to always
+        #: rebuild (e.g. to force bulk-packed trees).
+        self.incremental_ratio = INCREMENTAL_MERGE_MAX_RATIO
         self._publish_gauges(self._current)
 
     # -- Read side --------------------------------------------------------------
@@ -415,8 +498,12 @@ class SnapshotMaintainer:
 
         Caller holds ``_merge_lock`` and has moved the active buffer
         into ``_frozen``.  The old base is never touched: the new base
-        is a :meth:`clone_empty` rebuilt from the old base's live
-        objects plus the frozen overlay, then swapped in atomically.
+        is either a structural *copy* of the old base with the frozen
+        overlay applied through live ``insert_object``/``delete`` calls
+        (when the buffer is small relative to the base — see
+        :data:`INCREMENTAL_MERGE_MAX_RATIO`) or a :meth:`clone_empty`
+        rebuilt from the old base's live objects plus the frozen
+        overlay.  Either way the replacement is swapped in atomically.
         On failure the frozen epoch is recomposed under the (newer)
         active buffer so no buffered write is ever lost.
         """
@@ -431,14 +518,31 @@ class SnapshotMaintainer:
         root = trace.root if trace is not None else None
         if root is not None:
             root.category = "maintenance"
+        mode = "rebuild"
         try:
             masked = set(frozen.deleted) | set(frozen.inserts)
-            rebuilt = self._base.clone_empty()
-            rebuilt.add_all(
-                obj for obj in self._base.objects() if obj.oid not in masked
-            )
-            rebuilt.add_all(frozen.inserts.values())
-            rebuilt.build(bulk=bulk)
+            rebuilt = None
+            base_live = len(self._base)
+            if self.incremental_ratio > 0.0 and frozen.depth <= max(
+                1, int(base_live * self.incremental_ratio)
+            ):
+                from repro.persist import copy_built_engine
+
+                rebuilt = copy_built_engine(self._base)
+            if rebuilt is not None:
+                mode = "incremental"
+                for oid in sorted(masked):
+                    if rebuilt.contains(oid):
+                        rebuilt.delete(oid)
+                for oid in sorted(frozen.inserts):
+                    rebuilt.add(frozen.inserts[oid])
+            else:
+                rebuilt = self._base.clone_empty()
+                rebuilt.add_all(
+                    obj for obj in self._base.objects() if obj.oid not in masked
+                )
+                rebuilt.add_all(frozen.inserts.values())
+                rebuilt.build(bulk=bulk)
             if self.merge_hook is not None:
                 self.merge_hook()
         except Exception:
@@ -463,6 +567,9 @@ class SnapshotMaintainer:
         self.merges += 1
         duration_ms = (time.perf_counter() - started) * 1000.0
         self.metrics.counter("maintenance.merges").inc()
+        if mode == "incremental":
+            self.incremental_merges += 1
+            self.metrics.counter("maintenance.incremental_merges").inc()
         self.metrics.histogram("maintenance.merge_ms").observe(duration_ms)
         self._publish_gauges(version)
         if self.on_base_swap is not None:
@@ -470,6 +577,7 @@ class SnapshotMaintainer:
         if root is not None:
             root.annotate(
                 reason=reason,
+                mode=mode,
                 folded_inserts=len(frozen.inserts),
                 folded_deletes=len(frozen.deleted),
                 version=version.version,

@@ -772,17 +772,6 @@ class QueryService:
         stores carry the version stamp, so an answer computed against
         one version can never serve a reader pinned to another.
         """
-        if (
-            version is not None
-            and query.ranking is not None
-            and version.dirty
-        ):
-            # Overlay objects have no principled IR score against the
-            # base vocabulary, so ranked queries fold the buffer first
-            # and run on a clean snapshot (re-pinning the flushed
-            # version).
-            version = self._maintainer.flush(reason="ranked-query")
-            span.engine_version = version.version
         stamp = version.version if version is not None else None
         if self.cache is not None:
             cached = self.cache.get(query, version=stamp)

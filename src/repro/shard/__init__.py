@@ -7,6 +7,8 @@ Public surface:
 * :class:`KDPartitioner` / :class:`GridPartitioner` /
   :func:`make_partitioner` / :func:`partitioner_from_dict` — spatial
   partitioning strategies and their (de)serialization.
+* :class:`KeywordSummary` — the per-shard Bloom-filter keyword summary
+  the routing table consults to skip shards before any I/O.
 * :class:`TopKMerger` — the thread-safe tie-aware top-k accumulator.
 """
 
@@ -15,10 +17,12 @@ from repro.shard.merge import OPEN, TopKMerger
 from repro.shard.partitioner import (
     GridPartitioner,
     KDPartitioner,
+    KeywordAwarePartitioner,
     SpatialPartitioner,
     make_partitioner,
     partitioner_from_dict,
 )
+from repro.shard.summary import KeywordSummary
 
 __all__ = [
     "FAIL_FAST",
@@ -27,6 +31,8 @@ __all__ = [
     "SpatialPartitioner",
     "KDPartitioner",
     "GridPartitioner",
+    "KeywordAwarePartitioner",
+    "KeywordSummary",
     "make_partitioner",
     "partitioner_from_dict",
     "TopKMerger",

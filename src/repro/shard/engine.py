@@ -14,6 +14,12 @@ by tie-aware scatter-gather:
   top-k and merge;
 * shards whose lower bound already exceeds the global k-th distance are
   pruned without any I/O;
+* the routing table additionally keeps one :class:`~repro.shard.summary
+  .KeywordSummary` (Bloom filter over the shard's distinct terms) per
+  shard, so keyword-selective queries skip shards that provably cannot
+  contain a query term before paying any I/O — recorded as the
+  ``pruned_by_keywords`` outcome in the per-shard reports and fan-out
+  counters;
 * per-shard I/O, node, and object counters are aggregated into one
   :class:`~repro.core.query.QueryExecution` with a per-shard breakdown
   in :attr:`~repro.core.query.QueryExecution.shards`.
@@ -45,6 +51,7 @@ from repro.storage.sharedread import activate_session, current_session
 from repro.model import SearchResult, SpatialObject
 from repro.shard.merge import TopKMerger
 from repro.shard.partitioner import SpatialPartitioner, make_partitioner
+from repro.shard.summary import DEFAULT_SUMMARY_BYTES, KeywordSummary
 from repro.spatial.geometry import Rect, target_min_distance
 from repro.storage.iostats import IOStats, collecting_io
 
@@ -52,6 +59,14 @@ from repro.storage.iostats import IOStats, collecting_io
 FAIL_FAST = "fail-fast"
 PARTIAL = "partial"
 _FAILURE_POLICIES = frozenset({FAIL_FAST, PARTIAL})
+
+#: Keyword summaries are rebuilt from a shard's live corpus once deletes
+#: accumulate past ``max(SUMMARY_STALE_MIN, live * SUMMARY_STALE_RATIO)``
+#: — Bloom bits cannot be cleared per-document, so without a rebuild a
+#: shard whose last holder of a term was deleted keeps attracting that
+#: term's queries forever.
+SUMMARY_STALE_MIN = 8
+SUMMARY_STALE_RATIO = 0.25
 
 
 class ShardedEngine:
@@ -96,6 +111,7 @@ class ShardedEngine:
         retries: int = 2,
         retry_backoff_s: float = 0.005,
         metrics: MetricsRegistry | None = None,
+        summary_bytes: int = DEFAULT_SUMMARY_BYTES,
         **engine_kwargs,
     ) -> None:
         if n_shards < 1:
@@ -129,6 +145,8 @@ class ShardedEngine:
         self._staged: list[SpatialObject] = []
         self._shard_of: dict[int, int] = {}
         self._mbbs: list[Rect | None] = [None] * n_shards
+        self._summary_bytes = summary_bytes
+        self._summaries: list[KeywordSummary | None] = [None] * n_shards
         self.built = False
         self._workers = min(workers or n_shards, 16)
         self._pool: ThreadPoolExecutor | None = None
@@ -144,8 +162,14 @@ class ShardedEngine:
         failure_policy: str = FAIL_FAST,
         retries: int = 2,
         retry_backoff_s: float = 0.005,
+        summaries: Sequence[KeywordSummary | None] | None = None,
     ) -> "ShardedEngine":
-        """Reassemble a built sharded engine (the persistence load path)."""
+        """Reassemble a built sharded engine (the persistence load path).
+
+        ``summaries`` restores persisted keyword summaries; when ``None``
+        (e.g. a manifest written before summaries existed) they are
+        rebuilt from the shard corpora so routing stays keyword-aware.
+        """
         partitioner.require_fitted()
         self = cls.__new__(cls)
         self.failure_policy = failure_policy
@@ -160,10 +184,18 @@ class ShardedEngine:
         self._staged = []
         self._shard_of = dict(shard_of)
         self._mbbs = list(mbbs)
+        self._summary_bytes = DEFAULT_SUMMARY_BYTES
         self.built = all(shard.index.built for shard in shards)
         self._workers = min(len(shards), 16)
         self._pool = None
         self._pool_finalizer = None
+        if summaries is not None:
+            self._summaries = list(summaries)
+            if self._summaries and self._summaries[0] is not None:
+                self._summary_bytes = self._summaries[0].factory.length_bytes
+        else:
+            self._summaries = [None] * self.n_shards
+            self._rebuild_summaries()
         return self
 
     # -- Population -------------------------------------------------------------
@@ -182,10 +214,13 @@ class ShardedEngine:
             self._staged.append(obj)
             self._shard_of[obj.oid] = -1
             return
-        shard_id = self.partitioner.assign(obj.point)
+        shard_id = self.partitioner.assign_object(obj, analyzer=self.analyzer)
         self.shards[shard_id].add(obj)
         self._shard_of[obj.oid] = shard_id
         self._grow_mbb(shard_id, obj.point)
+        summary = self._summaries[shard_id]
+        if summary is not None:
+            summary.add_terms(self.analyzer.terms(obj.text))
 
     def add_all(self, objects: Iterable[SpatialObject]) -> None:
         """Stage or live-insert many objects."""
@@ -200,15 +235,18 @@ class ShardedEngine:
         current corpus; objects are not re-partitioned.
         """
         if not self.built:
-            self.partitioner.fit([obj.point for obj in self._staged])
+            self.partitioner.fit_objects(self._staged, analyzer=self.analyzer)
             for obj in self._staged:
-                shard_id = self.partitioner.assign(obj.point)
+                shard_id = self.partitioner.assign_object(
+                    obj, analyzer=self.analyzer
+                )
                 self.shards[shard_id].add(obj)
                 self._shard_of[obj.oid] = shard_id
             self._staged = []
         for shard in self.shards:
             shard.build(bulk=bulk)
         self._recompute_mbbs()
+        self._rebuild_summaries()
         self.built = True
 
     def delete(self, oid: int) -> bool:
@@ -225,6 +263,7 @@ class ShardedEngine:
         removed = self.shards[shard_id].delete(oid)
         if removed:
             del self._shard_of[oid]
+            self._note_summary_delete(shard_id)
         return removed
 
     def require_built(self) -> None:
@@ -263,6 +302,7 @@ class ShardedEngine:
             retries=self.retries,
             retry_backoff_s=self.retry_backoff_s,
             metrics=self.metrics,
+            summary_bytes=self._summary_bytes,
             **kwargs,
         )
 
@@ -280,18 +320,88 @@ class ShardedEngine:
                     Rect.from_point(p) for p in points
                 )
 
+    # -- Keyword summaries -------------------------------------------------------
+
+    @property
+    def summaries(self) -> list[KeywordSummary | None]:
+        """The routing table's per-shard keyword summaries (live view)."""
+        return list(self._summaries)
+
+    def _rebuild_summaries(self) -> None:
+        """Refill every shard's summary from its live corpus (tight fit)."""
+        self._summaries = [
+            KeywordSummary(length_bytes=self._summary_bytes)
+            for _ in range(self.n_shards)
+        ]
+        analyzer = self.analyzer
+        for shard_id, shard in enumerate(self.shards):
+            self._summaries[shard_id].rebuild(
+                analyzer.terms(obj.text) for obj in shard.corpus.objects()
+            )
+
+    def _rebuild_summary(self, shard_id: int) -> None:
+        analyzer = self.analyzer
+        summary = self._summaries[shard_id]
+        if summary is None:
+            summary = KeywordSummary(length_bytes=self._summary_bytes)
+            self._summaries[shard_id] = summary
+        summary.rebuild(
+            analyzer.terms(obj.text)
+            for obj in self.shards[shard_id].corpus.objects()
+        )
+
+    def _note_summary_delete(self, shard_id: int) -> None:
+        """Track summary staleness; rebuild once deletes loosen it too far."""
+        summary = self._summaries[shard_id]
+        if summary is None:
+            return
+        summary.note_delete()
+        live = len(self.shards[shard_id])
+        threshold = max(SUMMARY_STALE_MIN, int(live * SUMMARY_STALE_RATIO))
+        if summary.stale_deletes >= threshold:
+            self._rebuild_summary(shard_id)
+
+    def _keyword_pruned(self, shard_id: int, terms: Sequence[str]) -> bool:
+        """Conjunctive routing test: can this shard hold *all* query terms?
+
+        Distance-first semantics require every keyword in every answer,
+        so one provably absent term rules the whole shard out.  False
+        positives in the Bloom filter only cost a wasted probe.
+        """
+        if not terms:
+            return False
+        summary = self._summaries[shard_id]
+        return summary is not None and not summary.may_contain_all(terms)
+
+    def _keyword_pruned_ranked(self, shard_id: int, terms: Sequence[str]) -> bool:
+        """Disjunctive routing test for ranked queries under zero-IR pruning.
+
+        Ranked scoring admits partial matches, so a shard is skippable
+        only when *every* query term is provably absent (all its results
+        would score zero IR and be dropped anyway).
+        """
+        if not terms:
+            return False
+        summary = self._summaries[shard_id]
+        return summary is not None and not summary.may_contain_any(terms)
+
     # -- Queries ------------------------------------------------------------------
 
-    def search(self, query: SpatialKeywordQuery) -> QueryExecution:
+    def search(
+        self, query: SpatialKeywordQuery, *, vocabulary=None
+    ) -> QueryExecution:
         """Unified entry point; same contract as the single engine's.
 
         Distance-first queries (point or area) run the scatter-gather
         fan-out; ranked queries execute on every shard with one shared
-        ranking function and merge by score.
+        ranking function and merge by score.  ``vocabulary`` overrides
+        the corpus statistics ranked scoring uses (the snapshot layer
+        passes a version-wide vocabulary so dirty overlays score
+        exactly); ``None`` uses the merged per-shard statistics.
         """
         self.require_built()
         if query.ranking is not None:
-            return self._search_ranked(query)
+            return self._search_ranked(query, vocabulary=vocabulary)
         return self._scatter_gather(query)
 
     def search_many(
@@ -383,8 +493,11 @@ class ShardedEngine:
         sequence = itertools.count()
         heap: list[tuple[float, int, str, int, SearchResult | None]] = []
         streams: dict[int, Iterator[SearchResult]] = {}
+        terms = self.analyzer.query_terms(query.keywords)
         for shard_id, mbb in enumerate(self._mbbs):
             if mbb is None:
+                continue
+            if self._keyword_pruned(shard_id, terms):
                 continue
             bound = target_min_distance(mbb, query.target)
             heapq.heappush(heap, (bound, next(sequence), "bound", shard_id, None))
@@ -430,6 +543,7 @@ class ShardedEngine:
             target_min_distance(mbb, query.target) if mbb is not None else None
             for mbb in self._mbbs
         ]
+        terms = self.analyzer.query_terms(query.keywords)
         merger = TopKMerger(query.k)
         incremental = self._supports_incremental()
         reports: list[dict | None] = [None] * self.n_shards
@@ -449,6 +563,7 @@ class ShardedEngine:
                 "shard": shard_id,
                 "lower_bound": bounds[shard_id],
                 "pruned": False,
+                "pruned_by_keywords": False,
                 "failed": False,
                 "error": None,
                 "strategy": None,
@@ -479,6 +594,7 @@ class ShardedEngine:
                     span.annotate(
                         lower_bound=report["lower_bound"],
                         pruned=report["pruned"],
+                        pruned_by_keywords=report["pruned_by_keywords"],
                         failed=report["failed"],
                         retries=report["retries"],
                         results_offered=report["results_offered"],
@@ -494,6 +610,13 @@ class ShardedEngine:
             bound = bounds[shard_id]
             if bound is None:  # empty shard
                 report["pruned"] = True
+                return
+            # Keyword routing first: it is deterministic (unlike the
+            # threshold check, which depends on sibling-shard progress),
+            # so fan-out counters for selective workloads are exact.
+            if self._keyword_pruned(shard_id, terms):
+                report["pruned"] = True
+                report["pruned_by_keywords"] = True
                 return
             if bound > merger.threshold():
                 report["pruned"] = True
@@ -617,7 +740,10 @@ class ShardedEngine:
         return {"io": io, "counters": counters, "offered": offered}
 
     def _search_ranked(
-        self, query: SpatialKeywordQuery, prune_zero_ir: bool = True
+        self,
+        query: SpatialKeywordQuery,
+        prune_zero_ir: bool = True,
+        vocabulary=None,
     ) -> QueryExecution:
         ranking = query.ranking
         if ranking is None:
@@ -632,11 +758,21 @@ class ShardedEngine:
         # Per-shard idf values would skew scores toward whatever terms are
         # locally rare; every shard scores against the merged corpus-wide
         # vocabulary so sharded scores equal single-engine scores.
-        vocabulary = self._global_vocabulary()
+        if vocabulary is None:
+            vocabulary = self._global_vocabulary()
+        terms = self.analyzer.query_terms(query.keywords)
         executions: list[QueryExecution | None] = [None] * self.n_shards
         errors: list[StorageError | None] = [None] * self.n_shards
         retries_taken = [0] * self.n_shards
         nonempty = [i for i, mbb in enumerate(self._mbbs) if mbb is not None]
+        # Under zero-IR pruning a shard provably holding none of the query
+        # terms can only contribute zero-scored results the scorer drops
+        # anyway — skip it before paying any I/O.
+        kw_pruned = {
+            i
+            for i in nonempty
+            if prune_zero_ir and self._keyword_pruned_ranked(i, terms)
+        }
         parent = qtrace.current_span()
         session = current_session()
         shard_spans: list = [None] * self.n_shards
@@ -671,7 +807,9 @@ class ShardedEngine:
                     span.finish()
 
         pool = self._executor()
-        for future in [pool.submit(run_shard, i) for i in nonempty]:
+        for future in [
+            pool.submit(run_shard, i) for i in nonempty if i not in kw_pruned
+        ]:
             future.result()
 
         failed = [i for i, exc in enumerate(errors) if exc is not None]
@@ -684,6 +822,31 @@ class ShardedEngine:
         objects = false_pos = nodes = 0
         reports = []
         for shard_id in nonempty:
+            if shard_id in kw_pruned:
+                report = {
+                    "shard": shard_id,
+                    "lower_bound": None,
+                    "pruned": True,
+                    "pruned_by_keywords": True,
+                    "failed": False,
+                    "error": None,
+                    "strategy": None,
+                    "results_offered": 0,
+                    "objects_inspected": 0,
+                    "nodes_visited": 0,
+                    "random_reads": 0,
+                    "sequential_reads": 0,
+                    "retries": 0,
+                }
+                reports.append(report)
+                if parent is not None:
+                    span = parent.trace.new_span(
+                        f"shard-{shard_id}", category="shard",
+                        parent=parent, shard=shard_id,
+                    )
+                    span.finish()
+                    span.annotate(pruned=True, pruned_by_keywords=True)
+                continue
             execution = executions[shard_id]
             if execution is None:  # failed shard under the partial policy
                 exc = errors[shard_id]
@@ -691,6 +854,7 @@ class ShardedEngine:
                     "shard": shard_id,
                     "lower_bound": None,
                     "pruned": False,
+                    "pruned_by_keywords": False,
                     "failed": True,
                     "error": f"{type(exc).__name__}: {exc}",
                     "strategy": None,
@@ -718,6 +882,7 @@ class ShardedEngine:
                 "shard": shard_id,
                 "lower_bound": None,
                 "pruned": False,
+                "pruned_by_keywords": False,
                 "failed": False,
                 "error": None,
                 "strategy": strategy,
@@ -829,6 +994,9 @@ class ShardedEngine:
             if report["pruned"]:
                 m.counter("shard.fanout.pruned").inc()
                 m.counter(f"shard.{shard_id}.pruned").inc()
+                if report.get("pruned_by_keywords"):
+                    m.counter("shard.fanout.pruned_by_keywords").inc()
+                    m.counter(f"shard.{shard_id}.pruned_by_keywords").inc()
                 continue
             m.counter("shard.fanout.searched").inc()
             m.counter(f"shard.{shard_id}.searched").inc()
@@ -873,6 +1041,13 @@ class ShardedEngine:
         """Shard id currently holding ``oid`` (None when absent/staged)."""
         shard_id = self._shard_of.get(oid)
         return shard_id if shard_id is not None and shard_id >= 0 else None
+
+    def get_object(self, oid: int) -> SpatialObject | None:
+        """Load one live object by id (None when absent or only staged)."""
+        shard_id = self.shard_of(oid)
+        if shard_id is None:
+            return None
+        return self.shards[shard_id].get_object(oid)
 
     def objects(self) -> Iterator[SpatialObject]:
         """Yield every live object across all shards (plus staged ones)."""

@@ -88,6 +88,14 @@ class Vocabulary:
         """Iterate over every known term."""
         return self._df.keys()
 
+    def copy(self) -> "Vocabulary":
+        """An independent snapshot of the current statistics."""
+        dup = Vocabulary()
+        dup._df = dict(self._df)
+        dup.document_count = self.document_count
+        dup._distinct_terms_total = self._distinct_terms_total
+        return dup
+
     def merged_with(self, other: "Vocabulary") -> "Vocabulary":
         """A new vocabulary with both corpora's statistics summed.
 

@@ -157,20 +157,57 @@ class TestEngineVersionSearch:
 
 
 class TestEngineVersionRanked:
-    def test_dirty_ranked_query_is_rejected(self):
+    def test_dirty_ranked_query_matches_flushed_scores(self):
+        """Ranked queries run on dirty snapshots without forcing a flush.
+
+        The overlay rescoring must be byte-identical to what the same
+        query returns after the buffer is folded into the base index.
+        """
         from repro.core.ranking import LinearRanking
 
         engine = built_engine("ir2")
         maintainer = SnapshotMaintainer(engine, merge_threshold=None)
         maintainer.add(SpatialObject(200, (0.5, 0.5), "cafe wifi"))
+        maintainer.delete(0)
+        # A wide distance ramp keeps every score distinct, so the
+        # comparison below is order-exact, not merely tie-equivalent.
+        query = SpatialKeywordQuery.of(
+            (0.0, 0.0), ["cafe"], 3, ranking=LinearRanking(max_distance=20.0)
+        )
+        dirty = maintainer.current.search(query)
+        assert maintainer.current.buffer_depth == 2  # no implicit flush
+        maintainer.flush()
+        clean = maintainer.current.search(query)
+        assert [r.obj.oid for r in dirty.results] == \
+            [r.obj.oid for r in clean.results]
+        assert [(r.score, r.distance, r.ir_score) for r in dirty.results] == \
+            [(r.score, r.distance, r.ir_score) for r in clean.results]
+
+    def test_dirty_ranked_overlay_insert_can_win(self):
+        from repro.core.ranking import LinearRanking
+
+        maintainer = SnapshotMaintainer(built_engine("ir2"),
+                                        merge_threshold=None)
+        maintainer.add(SpatialObject(201, (0.0, 0.0), "cafe cafe cafe"))
         query = SpatialKeywordQuery.of(
             (0.0, 0.0), ["cafe"], 3, ranking=LinearRanking()
         )
-        with pytest.raises(QueryError, match="ranked"):
-            maintainer.current.search(query)
-        # After folding the buffer the same query runs fine.
-        maintainer.flush()
-        assert maintainer.current.search(query).results
+        results = maintainer.current.search(query).results
+        assert 201 in [r.obj.oid for r in results]
+
+    def test_dirty_ranked_excludes_masked_docs(self):
+        from repro.core.ranking import LinearRanking
+
+        engine = built_engine("ir2")
+        maintainer = SnapshotMaintainer(engine, merge_threshold=None)
+        query = SpatialKeywordQuery.of(
+            (0.0, 0.0), ["cafe"], 3, ranking=LinearRanking()
+        )
+        before = [r.obj.oid for r in maintainer.current.search(query).results]
+        maintainer.delete(before[0])
+        after = maintainer.current.search(query).results
+        assert len(after) == 3  # masked doc replaced, k not shrunk
+        assert before[0] not in [r.obj.oid for r in after]
 
 
 class TestSnapshotMaintainer:
@@ -273,6 +310,100 @@ class TestSnapshotMaintainer:
         assert maintainer.merges == 1
 
 
+class TestIncrementalMerge:
+    """Small frozen buffers fold into a copy of the base, not a rebuild."""
+
+    def test_small_buffer_merges_incrementally(self):
+        engine = built_engine()  # 24 objects; ratio 0.25 -> threshold 6
+        maintainer = SnapshotMaintainer(engine, merge_threshold=None)
+        maintainer.add(SpatialObject(500, (3.0, 3.0), "cafe garden"))
+        maintainer.delete(2)
+        clean = maintainer.flush()
+        assert maintainer.incremental_merges == 1
+        assert maintainer.metrics.counter(
+            "maintenance.incremental_merges").value == 1
+        assert maintainer.base is not engine  # still copy-on-write
+        assert maintainer.base.contains(500)
+        assert not maintainer.base.contains(2)
+        # The old base is untouched by the fold.
+        assert engine.contains(2) and not engine.contains(500)
+        query = SpatialKeywordQuery.of((3.0, 3.0), ["cafe"], 4)
+        expected = [r.obj.oid for r in
+                    oracle_search(clean, engine, query)]
+        assert [r.obj.oid for r in clean.search(query).results] == expected
+
+    def test_large_buffer_takes_the_rebuild_path(self):
+        maintainer = SnapshotMaintainer(built_engine(), merge_threshold=None)
+        for obj in make_objects(8, start=510):  # 8 > 24 * 0.25
+            maintainer.add(obj)
+        maintainer.flush()
+        assert maintainer.merges == 1
+        assert maintainer.incremental_merges == 0
+        assert all(maintainer.base.contains(o) for o in range(510, 518))
+
+    def test_zero_ratio_disables_incremental_merges(self):
+        maintainer = SnapshotMaintainer(built_engine(), merge_threshold=None)
+        maintainer.incremental_ratio = 0.0
+        maintainer.add(SpatialObject(520, (1.0, 1.0), "pool"))
+        maintainer.flush()
+        assert maintainer.merges == 1
+        assert maintainer.incremental_merges == 0
+        assert maintainer.base.contains(520)
+
+    @pytest.mark.parametrize("kind", ("ir2", "mir2", "rtree", "iio", "sig"))
+    def test_incremental_answers_match_oracle(self, kind):
+        engine = built_engine(kind)
+        maintainer = SnapshotMaintainer(engine, merge_threshold=None)
+        maintainer.add(SpatialObject(530, (2.0, 2.0), "museum wifi"))
+        maintainer.add(SpatialObject(531, (2.5, 2.5), "cafe wifi"))
+        maintainer.delete(4)
+        clean = maintainer.flush()
+        assert maintainer.incremental_merges == 1
+        for keywords in (["wifi"], ["cafe", "wifi"], ["museum"]):
+            query = SpatialKeywordQuery.of((2.0, 2.0), keywords, 5)
+            expected = [r.obj.oid for r in
+                        oracle_search(clean, engine, query)]
+            assert [r.obj.oid for r in clean.search(query).results] \
+                == expected
+
+    def test_incremental_merge_failure_loses_no_writes(self):
+        maintainer = SnapshotMaintainer(built_engine(), merge_threshold=None)
+        maintainer.add(SpatialObject(540, (6.0, 6.0), "garden"))
+
+        def boom():
+            raise RuntimeError("mid-merge crash")
+
+        maintainer.merge_hook = boom
+        with pytest.raises(RuntimeError, match="mid-merge"):
+            maintainer.flush()
+        assert maintainer.merge_failures == 1
+        assert maintainer.current.contains(540)
+        maintainer.merge_hook = None
+        maintainer.flush()
+        assert maintainer.incremental_merges == 1
+        assert maintainer.base.contains(540)
+
+    def test_sharded_base_merges_incrementally(self):
+        from repro.shard import ShardedEngine
+
+        engine = ShardedEngine(n_shards=3, partitioner="keyword",
+                               index="ir2", signature_bytes=4)
+        engine.add_all(make_objects(24))
+        engine.build()
+        maintainer = SnapshotMaintainer(engine, merge_threshold=None)
+        maintainer.add(SpatialObject(550, (4.0, 4.0), "pool wifi"))
+        maintainer.delete(3)
+        clean = maintainer.flush()
+        assert maintainer.incremental_merges == 1
+        base = maintainer.base
+        assert base is not engine
+        assert base.contains(550) and not base.contains(3)
+        query = SpatialKeywordQuery.of((4.0, 4.0), ["wifi"], 4)
+        expected = [r.obj.oid for r in brute_force_top_k(
+            list(clean.objects()), engine.analyzer, query)]
+        assert [r.obj.oid for r in clean.search(query).results] == expected
+
+
 class TestServiceSnapshotMode:
     QUERY = SpatialKeywordQuery.of((0.0, 0.0), ("cafe",), 3)
 
@@ -329,7 +460,8 @@ class TestServiceSnapshotMode:
             # version the group pinned.
             assert len(versions) == 1
 
-    def test_ranked_query_flushes_dirty_overlay(self):
+    def test_ranked_query_leaves_dirty_overlay_in_place(self):
+        """Ranked queries answer from the overlay instead of flushing."""
         from repro.core.ranking import LinearRanking
 
         with QueryService(built_engine("ir2"), workers=2,
@@ -341,7 +473,8 @@ class TestServiceSnapshotMode:
             )
             execution = service.search(query)
             assert 420 in execution.oids
-            assert service.buffer_depth == 0
+            # The buffer stays dirty: no flush stall on the read path.
+            assert service.buffer_depth == 1
 
     def test_mid_merge_save_is_consistent(self, tmp_path):
         with QueryService(built_engine(), workers=2,

@@ -314,7 +314,10 @@ class TestPersistence:
         engine = ShardedEngine(n_shards=3, index="auto", signature_bytes=8)
         engine.add_all(objects)
         engine.build()
-        query = SpatialKeywordQuery.of((50.0, 50.0), ["cafe"], 8)
+        # A term that actually occurs: a zero-match keyword would now be
+        # pruned by the routing summaries before any shard plans at all.
+        term = sorted(engine._global_vocabulary().terms())[0]
+        query = SpatialKeywordQuery.of((50.0, 50.0), [term], 8)
         before = [(r.distance, r.obj.oid) for r in engine.search(query).results]
         target = str(tmp_path / "auto-sharded")
         save_engine(engine, target)
