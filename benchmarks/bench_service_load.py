@@ -3,7 +3,7 @@
 Drives seeded workloads through the full serving stack for several
 index kinds — including the cost-based adaptive planner (``auto``) —
 and shard counts, and writes a machine-readable baseline
-(``BENCH_PR7.json`` at the repo root) from the service's own metrics
+(``BENCH_PR10.json`` at the repo root) from the service's own metrics
 snapshot:
 
 * ``p50_ms`` / ``p95_ms`` — end-to-end latency quantiles from the
@@ -23,7 +23,15 @@ snapshot:
   replayed through the batch front-end (``submit_many`` grouping,
   duplicate coalescing, one shared-read session per group): device
   reads per query from a deterministic single-worker metered pass, and
-  wall-clock QPS from a concurrent timed pass.
+  wall-clock QPS from a concurrent timed pass;
+* ``capture_replay`` — the query-log subsystem measured end to end: a
+  serial pass captures a mixed point/area/ranked workload to a
+  structured log, the identical uncaptured pass proves capture costs
+  zero device reads, the log replays against several engine
+  configurations (every result digest must reproduce exactly — the
+  engine's canonical tie-breaks make digests config-independent), and
+  timed passes with/without a sampled log record the capture overhead
+  on QPS (wall-clock, informational).
 
 Every kind answers **identical batches**: the headline mix varies each
 query's keyword count over 1-3 (single common keywords favor the trees,
@@ -40,9 +48,13 @@ total reads per query regressed by more than ``--tolerance`` (default
 per-class I/O at no worse than the best fixed kind (times
 ``--planner-tolerance``) within the same run; ``--check-batching``
 gates the batch front-end at no more device reads per query than
-unbatched execution on the mixed workload, within the same run.
-Wall-clock fields (latency, QPS) are machine-dependent and are never
-compared — only the deterministic I/O counts gate CI.
+unbatched execution on the mixed workload, within the same run;
+``--check-replay`` gates the query-log subsystem — zero dropped
+records, zero extra metered device reads from capture, and every
+replay reproducing every recorded digest with replayed I/O inside the
+threshold.  Wall-clock fields (latency, QPS) are machine-dependent and
+are never compared — only the deterministic I/O counts and digest
+diffs gate CI.
 """
 
 from __future__ import annotations
@@ -50,7 +62,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
 import sys
+import tempfile
 import time
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -60,10 +74,12 @@ from repro.bench.workloads import ConcurrentLoadGenerator  # noqa: E402
 from repro.core.engine import SpatialKeywordEngine  # noqa: E402
 from repro.core.ranking import DistanceDecayRanking  # noqa: E402
 from repro.datasets import DatasetConfig, SpatialTextDatasetGenerator  # noqa: E402
+from repro.obs.querylog import read_query_log  # noqa: E402
+from repro.obs.replay import replay_query_log  # noqa: E402
 from repro.serve import BatchConfig, QueryService  # noqa: E402
 from repro.shard import ShardedEngine  # noqa: E402
 
-DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR7.json")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR10.json")
 
 #: Batch front-end configuration the batched passes use.  ``submit_many``
 #: flushes deterministically, so the window never fires in the bench.
@@ -83,8 +99,10 @@ QUICK_CONFIGS = [
 ]
 RANKED_KINDS = frozenset({"ir2", "mir2", "auto"})
 
-FULL_SCALE = dict(n_objects=1_200, n_queries=48, timed_workers=4)
-QUICK_SCALE = dict(n_objects=300, n_queries=16, timed_workers=2)
+FULL_SCALE = dict(n_objects=1_200, n_queries=48, timed_workers=4,
+                  replay_queries=520)
+QUICK_SCALE = dict(n_objects=300, n_queries=16, timed_workers=2,
+                   replay_queries=160)
 
 #: Keyword counts sampled per query: 1-keyword queries hit the Zipf head
 #: (common terms, tree-friendly), 3-keyword conjunctions are selective
@@ -98,6 +116,31 @@ WORKLOAD_MIX = dict(
     area_fraction=0.2, ranked_fraction=0.0,
 )
 SEED = 1234
+
+#: The capture/replay section's workload *does* include ranked queries:
+#: the log has to exercise every query shape the record schema carries.
+REPLAY_MIX = dict(
+    keyword_counts=KEYWORD_COUNTS, k=10, hot_fraction=0.3, hot_pool=6,
+    area_fraction=0.2, ranked_fraction=0.2,
+)
+
+#: The configuration the query log is captured on, and the
+#: configurations it replays against.  Digests are config-independent
+#: (canonical ``(distance, oid)`` tie-breaks survive any shard layout),
+#: so a log captured on two shards must reproduce exactly on one shard
+#: and through the batch front-end alike.
+CAPTURE_CONFIG = ("ir2", 2)
+REPLAY_CONFIGS = [
+    ("ir2", 1, False),
+    ("ir2", 2, False),
+    ("ir2", 2, True),
+]
+
+#: Sampling rate the timed capture-overhead pass uses (1-in-N).
+CAPTURE_SAMPLE = 4
+
+#: Repetitions per timed capture-overhead variant (best run kept).
+TIMED_REPS = 3
 
 
 def _corpus(n_objects: int):
@@ -262,6 +305,138 @@ def run_config(objects, index: str, shards: int, scale: dict) -> dict:
     }
 
 
+def _replay_batch(objects, analyzer, n_queries: int):
+    workload = ConcurrentLoadGenerator(objects, analyzer, seed=SEED + 7)
+    ranking = DistanceDecayRanking(half_distance=_half_distance(objects))
+    return workload.mixed_batch(n_queries, ranking=ranking, **REPLAY_MIX)
+
+
+def _total_reads(stats) -> int:
+    return stats.io.random_reads + stats.io.sequential_reads
+
+
+def run_capture_replay(objects, scale: dict) -> dict:
+    """Measure the query-log subsystem: capture cost, then replay fidelity.
+
+    Four passes over the same seeded point/area/ranked mix:
+
+    1. serial metered, uncaptured — the device-read baseline;
+    2. serial metered with an unsampled query log — writes the log the
+       replays consume; its metered reads must equal pass 1's exactly
+       (capture happens after the answer and touches no device);
+    3. replays of the captured log against every ``REPLAY_CONFIGS``
+       entry — every recorded digest must reproduce exactly, and the
+       replayed device reads per query must stay inside the replay
+       module's I/O threshold;
+    4. timed concurrent passes with and without a 1-in-N sampled log —
+       the wall-clock capture overhead on QPS (informational; only the
+       deterministic pieces above gate CI).
+    """
+    n_queries = scale["replay_queries"]
+    index, shards = CAPTURE_CONFIG
+    log_dir = tempfile.mkdtemp(prefix="bench-querylog-")
+    log_path = os.path.join(log_dir, "queries.jsonl")
+    try:
+        # Pass 1 (metered, uncaptured).
+        engine = _build_engine(objects, index, shards, shard_workers=1)
+        batch = _replay_batch(objects, engine.analyzer, n_queries)
+        with QueryService(engine, workers=1) as service:
+            service.run_batch(batch)
+            plain = service.stats()
+        if shards > 1:
+            engine.close()
+
+        # Pass 2 (metered, captured, sample_every=1).
+        engine = _build_engine(objects, index, shards, shard_workers=1)
+        batch = _replay_batch(objects, engine.analyzer, n_queries)
+        with QueryService(engine, workers=1, query_log=log_path) as service:
+            service.run_batch(batch)
+            captured = service.stats()
+            writer = service.query_log
+        if shards > 1:
+            engine.close()
+        capture = {
+            "seen": writer.seen,
+            "sampled": writer.sampled,
+            "dropped": writer.dropped,
+            "written": writer.written,
+            "rotations": writer.rotations,
+            "metered_reads_uncaptured": _total_reads(plain),
+            "metered_reads_captured": _total_reads(captured),
+            "reads_delta": _total_reads(captured) - _total_reads(plain),
+        }
+
+        # Pass 3: replay the log against every target configuration.
+        records = read_query_log(log_path)
+        capture["records"] = len(records)
+        replays = []
+        for r_index, r_shards, r_batched in REPLAY_CONFIGS:
+            engine = _build_engine(objects, r_index, r_shards,
+                                   shard_workers=1)
+            report = replay_query_log(records, engine, workers=1,
+                                      batched=r_batched)
+            if r_shards > 1:
+                engine.close()
+            replays.append({
+                "index": r_index,
+                "shards": r_shards,
+                "batched": r_batched,
+                "replayed": report["replayed"],
+                "skipped": report["skipped"],
+                "mismatch_count": report["mismatch_count"],
+                "io_ratio": report["io"]["ratio"],
+                "io_threshold": report["io"]["threshold"],
+                "ok": report["ok"],
+            })
+
+        # Pass 4 (timed): capture overhead on QPS under a sampled log.
+        # Wall clock is noisy at bench scale, so each variant runs
+        # ``TIMED_REPS`` times on a fresh engine and keeps its best run.
+        def timed_qps(**service_kwargs) -> float:
+            best = 0.0
+            for _ in range(TIMED_REPS):
+                rep_engine = _build_engine(objects, index, shards,
+                                           shard_workers=None)
+                rep_batch = _replay_batch(objects, rep_engine.analyzer,
+                                          n_queries)
+                with QueryService(
+                    rep_engine, workers=scale["timed_workers"],
+                    **service_kwargs,
+                ) as service:
+                    t0 = time.perf_counter()
+                    service.run_batch(rep_batch)
+                    elapsed = time.perf_counter() - t0
+                if shards > 1:
+                    rep_engine.close()
+                if elapsed > 0:
+                    best = max(best, n_queries / elapsed)
+            return best
+
+        sampled_path = os.path.join(log_dir, "sampled.jsonl")
+        base_qps = timed_qps()
+        cap_qps = timed_qps(query_log=sampled_path,
+                            query_log_sample=CAPTURE_SAMPLE)
+        overhead_pct = (
+            (base_qps - cap_qps) / base_qps * 100.0 if base_qps > 0 else 0.0
+        )
+    finally:
+        shutil.rmtree(log_dir, ignore_errors=True)
+
+    return {
+        "config": {"index": index, "shards": shards},
+        "queries": n_queries,
+        "workload": dict(REPLAY_MIX, seed=SEED + 7, ranking="distance_decay"),
+        "capture": capture,
+        "replays": replays,
+        "overhead": {
+            "sample_every": CAPTURE_SAMPLE,
+            "uncaptured_qps": base_qps,
+            "captured_qps": cap_qps,
+            "qps_overhead_pct": overhead_pct,
+        },
+    }
+
+
 def run_mode(configs, scale: dict) -> dict:
     objects = _corpus(scale["n_objects"])
     results = []
@@ -278,12 +453,24 @@ def run_mode(configs, scale: dict) -> dict:
             f"[{time.perf_counter() - t0:.1f}s]"
         )
         results.append(cell)
+    t0 = time.perf_counter()
+    capture_replay = run_capture_replay(objects, scale)
+    mismatches = sum(r["mismatch_count"] for r in capture_replay["replays"])
+    print(
+        f"  capture/replay: {capture_replay['capture']['records']} records, "
+        f"reads_delta={capture_replay['capture']['reads_delta']}, "
+        f"{len(capture_replay['replays'])} replays, "
+        f"mismatches={mismatches}, "
+        f"qps_overhead={capture_replay['overhead']['qps_overhead_pct']:.1f}%  "
+        f"[{time.perf_counter() - t0:.1f}s]"
+    )
     return {
         "n_objects": scale["n_objects"],
         "n_queries": scale["n_queries"],
         "timed_workers": scale["timed_workers"],
         "workload": dict(WORKLOAD_MIX, seed=SEED),
         "configs": results,
+        "capture_replay": capture_replay,
     }
 
 
@@ -415,6 +602,58 @@ def check_batching(current: dict, tolerance: float) -> int:
     return 0
 
 
+def check_replay(current: dict) -> int:
+    """Gate the query-log subsystem's deterministic invariants.
+
+    All three comparisons happen within this run, so the gate is
+    machine-independent:
+
+    * capture lost no records (bounded queue never overflowed) and
+      added zero metered device reads over the uncaptured pass;
+    * every replay configuration reproduced every recorded result
+      digest exactly (answers are config-independent by construction);
+    * every replay's device reads per query stayed inside the replay
+      module's I/O threshold relative to the recorded cost.
+
+    Returns 0 when everything holds, 2 otherwise.
+    """
+    section = current.get("capture_replay")
+    if section is None:
+        print("no capture_replay section in this run", file=sys.stderr)
+        return 1
+    failures = []
+    capture = section["capture"]
+    cap_ok = capture["dropped"] == 0 and capture["reads_delta"] == 0
+    print(
+        f"  capture: {capture['records']} records "
+        f"({capture['dropped']} dropped), "
+        f"reads {capture['metered_reads_captured']} captured vs "
+        f"{capture['metered_reads_uncaptured']} uncaptured "
+        f"({'ok' if cap_ok else 'CAPTURE REGRESSION'})"
+    )
+    if not cap_ok:
+        failures.append("capture")
+    for rep in section["replays"]:
+        label = (
+            f"{rep['index']} x{rep['shards']}"
+            + (" batched" if rep["batched"] else "")
+        )
+        ok = rep["ok"] and rep["mismatch_count"] == 0
+        print(
+            f"  replay {label}: {rep['replayed']} replayed, "
+            f"{rep['mismatch_count']} mismatches, "
+            f"io ratio {rep['io_ratio']:.3f} "
+            f"({'ok' if ok else 'REPLAY REGRESSION'})"
+        )
+        if not ok:
+            failures.append(label)
+    if failures:
+        print(f"query-log capture/replay gate failed: {failures}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -440,6 +679,10 @@ def main(argv=None) -> int:
     parser.add_argument("--batching-tolerance", type=float, default=1.0,
                         help="allowed batched-vs-unbatched I/O factor for "
                              "--check-batching")
+    parser.add_argument("--check-replay", action="store_true",
+                        help="gate query-log capture at zero dropped records "
+                             "and zero extra device reads, and every replay "
+                             "at zero digest mismatches in this run")
     args = parser.parse_args(argv)
 
     payload = {
@@ -476,6 +719,9 @@ def main(argv=None) -> int:
     if args.check_batching:
         section = payload["quick"] if "quick" in payload else payload
         code = max(code, check_batching(section, args.batching_tolerance))
+    if args.check_replay:
+        section = payload["quick"] if "quick" in payload else payload
+        code = max(code, check_replay(section))
     return code
 
 

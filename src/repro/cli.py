@@ -31,6 +31,23 @@ Five subcommands cover the typical lifecycle:
     Probe a saved engine with a small seeded workload and print the
     resulting metrics snapshot as JSON — the quickest way to see which
     metric names and histogram buckets a deployment exports.
+    ``--prometheus`` prints the snapshot in the Prometheus text
+    exposition format instead.
+
+``workload``
+    Analyze a captured query log (``serve --query-log``): term
+    frequency and co-occurrence, selectivity bands, spatial hot-spot
+    histogram, planner won/lost aggregates, I/O and latency
+    distributions.  ``--json`` exports the machine-readable report
+    that query-log-driven repartitioning and learned cost models
+    consume.
+
+``replay``
+    Deterministically re-execute a captured query log against a saved
+    engine — optionally repartitioned (``--shards``/``--partitioner``)
+    or batched — and diff every answer against its recorded digest.
+    Exits non-zero on any mismatch or an I/O-per-query regression
+    beyond ``--io-threshold``: the workload regression gate.
 
 ``trace``
     Run one query under the hierarchical tracer and print its span tree
@@ -201,6 +218,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-pending", type=int, default=0,
                        help="admission bound: shed submissions beyond this "
                             "many in flight (0 = never shed)")
+    serve.add_argument("--query-log", metavar="PATH",
+                       help="capture every answered query as one JSON-lines "
+                            "record at PATH (shape, plan, fan-out, I/O, "
+                            "latency, result digest) for later 'workload' "
+                            "analysis and 'replay' regression gating")
+    serve.add_argument("--query-log-sample", type=int, default=1,
+                       metavar="N",
+                       help="capture every Nth query (bounds logging "
+                            "overhead on hot services; default 1 = all)")
 
     metrics = commands.add_parser(
         "metrics", help="probe a saved engine and print its metrics snapshot"
@@ -214,6 +240,52 @@ def build_parser() -> argparse.ArgumentParser:
                          help="probe workload RNG seed")
     metrics.add_argument("--out", metavar="PATH",
                          help="also write the snapshot JSON to PATH")
+    metrics.add_argument("--prometheus", action="store_true",
+                         help="print the metrics snapshot in the Prometheus "
+                              "text exposition format instead of JSON")
+
+    workload = commands.add_parser(
+        "workload", help="analyze a captured query log"
+    )
+    workload.add_argument("log", help="query log path (serve --query-log)")
+    workload.add_argument("--json", metavar="PATH",
+                          help="also write the machine-readable report to "
+                               "PATH ('-' prints JSON to stdout)")
+    workload.add_argument("--top", type=int, default=32,
+                          help="terms / co-occurring pairs to keep")
+    workload.add_argument("--cells", type=int, default=8,
+                          help="hot-spot histogram cells per dimension")
+
+    replay = commands.add_parser(
+        "replay", help="re-execute a captured query log and diff the answers"
+    )
+    replay.add_argument("log", help="query log path (serve --query-log)")
+    replay.add_argument("engine", help="engine directory to replay against")
+    replay.add_argument("--shards", type=int, default=0,
+                        help="re-partition the loaded engine across N shards "
+                             "before replaying (0 = keep the saved layout)")
+    replay.add_argument("--partitioner", choices=("kd", "grid", "keyword"),
+                        default="kd",
+                        help="partitioning strategy for --shards > 1")
+    replay.add_argument("--workers", type=int, default=1,
+                        help="query worker threads (1 = deterministic "
+                             "serial replay)")
+    replay.add_argument("--batched", action="store_true",
+                        help="replay through the batch front-end in "
+                             "--max-batch groups")
+    replay.add_argument("--max-batch", type=int, default=16)
+    replay.add_argument("--maintenance", choices=("snapshot", "rwlock"),
+                        default="snapshot")
+    replay.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache during replay")
+    replay.add_argument("--io-threshold", type=float, default=1.5,
+                        help="maximum allowed replayed/recorded total-reads "
+                             "ratio (0 disables the cost gate)")
+    replay.add_argument("--limit", type=int, default=0,
+                        help="replay only the first N records (0 = all)")
+    replay.add_argument("--json", metavar="PATH",
+                        help="also write the replay report to PATH "
+                             "('-' prints JSON to stdout)")
 
     trace = commands.add_parser(
         "trace", help="explain one query's cost as a span tree"
@@ -281,6 +353,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "metrics":
             return _cmd_metrics(args)
+        if args.command == "workload":
+            return _cmd_workload(args)
+        if args.command == "replay":
+            return _cmd_replay(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "verify":
@@ -397,6 +473,7 @@ def _cmd_serve(args) -> int:
         engine, workers=args.workers, cache=not args.no_cache,
         slow_query_ms=args.slow_query_ms, tracer=tracer, batching=batching,
         maintenance=args.maintenance, merge_threshold=args.merge_threshold,
+        query_log=args.query_log, query_log_sample=args.query_log_sample,
     ) as service:
         if args.writes > 0:
             # Dispatch the queries asynchronously and stream writes
@@ -428,6 +505,7 @@ def _cmd_serve(args) -> int:
             service.export_metrics(args.serve_metrics)
         if args.trace_export:
             service.export_chrome_trace(args.trace_export)
+        query_log = service.query_log
     print(f"served {stats.queries} queries with {args.workers} workers "
           f"over {_engine_label(engine)}")
     print(stats.summary())
@@ -440,6 +518,11 @@ def _cmd_serve(args) -> int:
         print(f"trace spans written to {args.serve_trace}")
     if args.serve_metrics:
         print(f"metrics snapshot written to {args.serve_metrics}")
+    if args.query_log:
+        print(f"query log: {query_log.written} records written to "
+              f"{args.query_log} ({query_log.seen} queries seen, "
+              f"{query_log.sampled} sampled, {query_log.dropped} dropped, "
+              f"{query_log.rotations} rotations)")
     if args.trace_export:
         retained = len(tracer.traces())
         print(f"{retained} span trees ({tracer.seen} queries seen) "
@@ -457,6 +540,13 @@ def _cmd_metrics(args) -> int:
     batch = workload.batch(args.queries, num_keywords=2, k=10, hot_fraction=0.5)
     with QueryService(engine, workers=args.workers) as service:
         service.run_batch(batch)
+        if args.prometheus:
+            rendered = service.export_metrics(fmt="prometheus")
+            print(rendered, end="")
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as fh:
+                    fh.write(rendered)
+            return 0
         stats = service.stats()
         payload = {
             "engine": _engine_label(engine),
@@ -470,6 +560,64 @@ def _cmd_metrics(args) -> int:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
     return 0
+
+
+def _cmd_workload(args) -> int:
+    from repro.obs.querylog import read_query_log
+    from repro.obs.workload import (
+        analyze_query_log,
+        render_workload_report,
+        validate_workload_report,
+    )
+
+    records = read_query_log(args.log)
+    report = analyze_query_log(
+        records,
+        cells_per_dim=args.cells,
+        top_terms=args.top,
+        top_pairs=args.top,
+    )
+    validate_workload_report(report)
+    if args.json == "-":
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(render_workload_report(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"report written to {args.json}")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.obs.querylog import read_query_log
+    from repro.obs.replay import render_replay_report, replay_query_log
+
+    engine = load_engine(args.engine)
+    if args.shards > 1 and not isinstance(engine, ShardedEngine):
+        engine = _repartition(engine, args.shards, args.partitioner)
+    records = read_query_log(args.log)
+    report = replay_query_log(
+        records,
+        engine,
+        workers=args.workers,
+        batched=args.batched,
+        max_batch=args.max_batch,
+        cache=not args.no_cache,
+        maintenance=args.maintenance,
+        io_threshold=args.io_threshold or None,
+        limit=args.limit or None,
+    )
+    if args.json == "-":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"replaying against {_engine_label(engine)}")
+        print(render_replay_report(report))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+            print(f"report written to {args.json}")
+    return 0 if report["ok"] else 1
 
 
 def _cmd_trace(args) -> int:
@@ -583,9 +731,13 @@ def _print_plan_report(report: dict) -> None:
           f"stats_version={stats['version']}")
 
 
-def _repartition(engine: SpatialKeywordEngine, n_shards: int) -> ShardedEngine:
+def _repartition(
+    engine: SpatialKeywordEngine, n_shards: int, partitioner: str = "kd"
+) -> ShardedEngine:
     """Spread a loaded single engine's corpus across a fresh sharded one."""
-    sharded = ShardedEngine(n_shards=n_shards, index=engine.index_kind)
+    sharded = ShardedEngine(
+        n_shards=n_shards, partitioner=partitioner, index=engine.index_kind
+    )
     sharded.add_all(engine.objects())
     sharded.build()
     return sharded

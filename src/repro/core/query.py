@@ -207,6 +207,7 @@ class QueryExecution:
             "io": {
                 "random_reads": self.io.random_reads,
                 "sequential_reads": self.io.sequential_reads,
+                "shared_reads": self.io.shared_reads,
                 "random_writes": self.io.random_writes,
                 "sequential_writes": self.io.sequential_writes,
                 "objects_loaded": self.io.objects_loaded,

@@ -144,3 +144,28 @@ class ServiceOverloadError(ServiceError):
         )
         self.pending = pending
         self.max_pending = max_pending
+
+
+class VersionRetiredError(ServiceError):
+    """An answer-at-version read asked for a version no longer retained.
+
+    Raised by :meth:`repro.serve.QueryService.search` (``at_version=``)
+    when the requested snapshot version has aged out of the
+    maintainer's bounded retention window — or never existed.  Carries
+    the requested version and the retained range so callers can fall
+    back to the current version explicitly.
+    """
+
+    def __init__(
+        self, requested: int, oldest: int | None, newest: int | None
+    ) -> None:
+        if oldest is None or newest is None:
+            detail = "no versions are retained"
+        else:
+            detail = f"retained versions are {oldest}..{newest}"
+        super().__init__(
+            f"engine version {requested} is retired: {detail}"
+        )
+        self.requested = requested
+        self.oldest = oldest
+        self.newest = newest

@@ -29,6 +29,68 @@ def metric_token(name: str) -> str:
     return token or "device"
 
 
+def _prometheus_name(raw: str, prefix: str) -> str:
+    """A registry metric name as a Prometheus identifier.
+
+    Dots (the registry's namespacing) and any other non-identifier
+    characters become underscores; the shared prefix namespaces the
+    whole exposition (``service.total_ms`` → ``repro_service_total_ms``).
+    """
+    name = _SANITIZE.sub("_", raw).strip("_")
+    return f"{prefix}_{name}" if name else prefix
+
+
+def _prometheus_number(value) -> str:
+    """A sample value in exposition format (integers without ``.0``)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text format.
+
+    Counters and gauges export one sample each; histograms export the
+    standard ``_bucket`` (cumulative counts with an explicit ``+Inf``
+    bucket), ``_sum``, and ``_count`` series.  The output is the
+    text-based exposition format (version 0.0.4), so any Prometheus
+    scraper — or ``promtool check metrics`` — consumes it directly::
+
+        registry = MetricsRegistry()
+        ...
+        print(render_prometheus(registry.snapshot()))
+
+    Metric families are emitted in sorted-name order, so the exposition
+    is deterministic for a given snapshot.
+    """
+    lines: list[str] = []
+    for raw, value in sorted((snapshot.get("counters") or {}).items()):
+        name = _prometheus_name(raw, prefix)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_prometheus_number(value)}")
+    for raw, value in sorted((snapshot.get("gauges") or {}).items()):
+        name = _prometheus_name(raw, prefix)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_prometheus_number(value)}")
+    for raw, hist in sorted((snapshot.get("histograms") or {}).items()):
+        name = _prometheus_name(raw, prefix)
+        lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for bucket in hist.get("buckets", []):
+            cumulative += bucket["count"]
+            le = _prometheus_number(bucket["le"])
+            lines.append(f'{name}_bucket{{le="{le}"}} {cumulative}')
+        cumulative += hist.get("overflow", 0)
+        lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{name}_sum {_prometheus_number(hist.get('sum', 0.0))}")
+        lines.append(f"{name}_count {hist.get('count', 0)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
 def export_iostats(
     registry: MetricsRegistry, prefix: str, io: IOStats
 ) -> None:

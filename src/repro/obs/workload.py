@@ -1,0 +1,429 @@
+"""Workload analysis over a captured query log.
+
+:func:`analyze_query_log` turns the raw per-query record stream of
+:mod:`repro.obs.querylog` into the aggregate signals ROADMAP's two
+log-driven stretch goals consume:
+
+* **term frequency and co-occurrence** — which keywords the workload
+  actually asks for, alone and together: the input signal for
+  query-driven keyword-aware repartitioning (terms that co-occur in
+  queries should co-locate in shards);
+* **selectivity bands** — how often queries come back empty, partial
+  (< k), or full: the label distribution a learned selectivity model
+  trains against;
+* **spatial hot spots** — a :class:`repro.plan.stats.DensityGrid`
+  fitted over the *query* anchors (not the corpus), exposing where the
+  traffic concentrates;
+* **planner won/lost aggregates** — for every adaptive routing
+  decision with recorded alternatives, whether the chosen strategy's
+  actual cost beat the cheapest estimated alternative (the same
+  definition :meth:`repro.plan.QueryPlanner.observe` uses online);
+* **cost and outcome aggregates** — I/O per query, latency quantiles,
+  cache/batch/degradation/fan-out tallies.
+
+The report is one JSON document (stable schema, validated by
+:func:`validate_workload_report`) so downstream tooling — the CI
+schema gate today, repartitioning and learned-cost experiments
+next — consumes it directly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+
+from repro.errors import ReproError
+from repro.plan.stats import DensityGrid
+
+#: Report schema version; bump on breaking layout changes.
+REPORT_SCHEMA = 1
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank quantile over an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, max(0, int(q * len(sorted_values))))
+    return sorted_values[rank]
+
+
+def _distribution(values: list[float]) -> dict:
+    ordered = sorted(values)
+    return {
+        "mean": sum(ordered) / len(ordered) if ordered else 0.0,
+        "p50": _quantile(ordered, 0.50),
+        "p95": _quantile(ordered, 0.95),
+        "max": ordered[-1] if ordered else 0.0,
+    }
+
+
+def _top_cells(grid: DensityGrid, limit: int) -> list[dict]:
+    """The grid's busiest cells with their bounds, deterministic order."""
+    ranked = sorted(
+        (
+            (count, index)
+            for index, count in enumerate(grid.counts)
+            if count > 0
+        ),
+        key=lambda pair: (-pair[0], pair[1]),
+    )[:limit]
+    cells = []
+    for count, index in ranked:
+        axes = []
+        remaining = index
+        for _ in range(grid.dims):
+            axes.append(remaining % grid.cells_per_dim)
+            remaining //= grid.cells_per_dim
+        axes.reverse()  # cell_of composes most-significant dim first
+        lo = [grid.lo[d] + axes[d] * grid.widths[d] for d in range(grid.dims)]
+        hi = [lo[d] + grid.widths[d] for d in range(grid.dims)]
+        cells.append({
+            "cell": axes,
+            "count": count,
+            "fraction": count / grid.total if grid.total else 0.0,
+            "lo": lo,
+            "hi": hi,
+        })
+    return cells
+
+
+def analyze_query_log(
+    records,
+    cells_per_dim: int = 8,
+    top_terms: int = 32,
+    top_pairs: int = 32,
+    top_cells: int = 16,
+) -> dict:
+    """Aggregate a query-log record stream into one workload report."""
+    records = list(records)
+    if not records:
+        raise ReproError("query log holds no records to analyze")
+
+    errors = 0
+    shapes = Counter()
+    k_values: list[int] = []
+    cache = Counter()
+    batch_ids: set = set()
+    batched_records = 0
+    degraded = 0
+    term_counts: Counter = Counter()
+    pair_counts: Counter = Counter()
+    total_terms = 0
+    bands = Counter()
+    reads: list[float] = []
+    latencies: list[float] = []
+    shared_reads = 0
+    objects_loaded = 0
+    points: list[tuple] = []
+    strategies: Counter = Counter()
+    plan_decisions = 0
+    won = 0
+    lost = 0
+    estimate_ratios: list[float] = []
+    fanout_totals = Counter()
+    fanout_queries = 0
+    versions: list[int] = []
+    trace_linked = 0
+
+    for record in records:
+        if record.get("error"):
+            errors += 1
+            continue
+        spec = record.get("query") or {}
+        if spec.get("area") is not None:
+            shapes["area"] += 1
+        elif spec.get("ranking") is not None:
+            shapes["ranked"] += 1
+        else:
+            shapes["point"] += 1
+        k = spec.get("k")
+        if k is not None:
+            k_values.append(int(k))
+        keywords = sorted(set(spec.get("keywords") or ()))
+        term_counts.update(keywords)
+        total_terms += len(keywords)
+        for pair in combinations(keywords, 2):
+            pair_counts[pair] += 1
+        point = spec.get("point")
+        if point:
+            points.append(tuple(point))
+
+        cache[record.get("cache", "unknown")] += 1
+        if record.get("batch_id") is not None:
+            batched_records += 1
+            batch_ids.add(record["batch_id"])
+        if record.get("degraded"):
+            degraded += 1
+        if record.get("trace_id"):
+            trace_linked += 1
+        version = record.get("engine_version")
+        if version is not None:
+            versions.append(version)
+
+        io = record.get("io") or {}
+        reads.append(
+            io.get("random_reads", 0) + io.get("sequential_reads", 0)
+        )
+        shared_reads += io.get("shared_reads", 0)
+        objects_loaded += io.get("objects_loaded", 0)
+        latency = (record.get("latency_ms") or {}).get("total")
+        if latency is not None:
+            latencies.append(latency)
+
+        results = record.get("results") or {}
+        count = results.get("count")
+        if count is not None and k is not None:
+            if count == 0:
+                bands["empty"] += 1
+            elif count < k:
+                bands["partial"] += 1
+            else:
+                bands["full"] += 1
+
+        plan = record.get("plan")
+        if plan and plan.get("strategy"):
+            plan_decisions += 1
+            strategies[plan["strategy"]] += 1
+            estimates = plan.get("estimates") or {}
+            actual = plan.get("actual_cost_ms")
+            estimated = plan.get("estimated_cost_ms")
+            if estimated and actual is not None:
+                estimate_ratios.append(actual / estimated)
+            alternatives = [
+                cost for kind, cost in estimates.items()
+                if kind != plan["strategy"] and cost is not None
+            ]
+            if actual is not None and alternatives:
+                if actual <= min(alternatives) + 1e-9:
+                    won += 1
+                else:
+                    lost += 1
+
+        fanout = record.get("fanout")
+        if fanout:
+            fanout_queries += 1
+            for key in ("shards", "searched", "pruned",
+                        "pruned_by_keywords", "failed"):
+                fanout_totals[key] += fanout.get(key, 0)
+
+    queries = len(records) - errors
+    grid = DensityGrid.fit(points, cells_per_dim) if points else None
+
+    def top(counter: Counter, limit: int) -> list:
+        return sorted(
+            counter.items(), key=lambda item: (-item[1], item[0])
+        )[:limit]
+
+    report = {
+        "schema": REPORT_SCHEMA,
+        "records": len(records),
+        "queries": queries,
+        "errors": errors,
+        "shapes": {
+            "point": shapes["point"],
+            "area": shapes["area"],
+            "ranked": shapes["ranked"],
+            "k": {
+                "min": min(k_values) if k_values else 0,
+                "max": max(k_values) if k_values else 0,
+                "mean": (
+                    sum(k_values) / len(k_values) if k_values else 0.0
+                ),
+            },
+        },
+        "cache": dict(cache),
+        "batched": {"records": batched_records, "groups": len(batch_ids)},
+        "degraded": degraded,
+        "trace_linked": trace_linked,
+        "terms": {
+            "unique": len(term_counts),
+            "total": total_terms,
+            "frequency": [
+                {"term": term, "count": count}
+                for term, count in top(term_counts, top_terms)
+            ],
+        },
+        "cooccurrence": [
+            {"terms": list(pair), "count": count}
+            for pair, count in top(pair_counts, top_pairs)
+        ],
+        "selectivity": {
+            "bands": {
+                "empty": bands["empty"],
+                "partial": bands["partial"],
+                "full": bands["full"],
+            },
+        },
+        "io": {
+            "total_reads": int(sum(reads)),
+            "shared_reads": int(shared_reads),
+            "objects_loaded": int(objects_loaded),
+            "reads_per_query": _distribution(reads) if reads else None,
+        },
+        "latency_ms": _distribution(latencies) if latencies else None,
+        "hotspots": (
+            {
+                "grid": grid.as_dict(),
+                "top_cells": _top_cells(grid, top_cells),
+            }
+            if grid is not None else None
+        ),
+        "planner": {
+            "decisions": plan_decisions,
+            "strategies": dict(strategies),
+            "won": won,
+            "lost": lost,
+            "estimate_error": (
+                _distribution(estimate_ratios) if estimate_ratios else None
+            ),
+        },
+        "fanout": (
+            {
+                "queries": fanout_queries,
+                "avg_searched": fanout_totals["searched"] / fanout_queries,
+                "avg_shards": fanout_totals["shards"] / fanout_queries,
+                "pruned": fanout_totals["pruned"],
+                "pruned_by_keywords": fanout_totals["pruned_by_keywords"],
+                "failed": fanout_totals["failed"],
+            }
+            if fanout_queries else None
+        ),
+        "engine_versions": (
+            {"min": min(versions), "max": max(versions)}
+            if versions else None
+        ),
+    }
+    return report
+
+
+#: Required report keys and the types their values must satisfy — the
+#: contract CI's schema gate and downstream consumers rely on.
+_REQUIRED_KEYS = {
+    "schema": int,
+    "records": int,
+    "queries": int,
+    "errors": int,
+    "shapes": dict,
+    "cache": dict,
+    "batched": dict,
+    "terms": dict,
+    "cooccurrence": list,
+    "selectivity": dict,
+    "io": dict,
+    "planner": dict,
+}
+
+
+def validate_workload_report(report: dict) -> None:
+    """Raise :class:`ReproError` unless ``report`` matches the schema."""
+    for key, expected in _REQUIRED_KEYS.items():
+        if key not in report:
+            raise ReproError(f"workload report is missing {key!r}")
+        if not isinstance(report[key], expected):
+            raise ReproError(
+                f"workload report key {key!r} should be "
+                f"{expected.__name__}, got {type(report[key]).__name__}"
+            )
+    if report["schema"] != REPORT_SCHEMA:
+        raise ReproError(
+            f"workload report schema {report['schema']} != {REPORT_SCHEMA}"
+        )
+    shapes = report["shapes"]
+    for key in ("point", "area", "ranked", "k"):
+        if key not in shapes:
+            raise ReproError(f"workload report shapes is missing {key!r}")
+    counted = (
+        shapes["point"] + shapes["area"] + shapes["ranked"]
+    )
+    if counted != report["queries"]:
+        raise ReproError(
+            f"workload report shape counts ({counted}) != queries "
+            f"({report['queries']})"
+        )
+    for key in ("unique", "total", "frequency"):
+        if key not in report["terms"]:
+            raise ReproError(f"workload report terms is missing {key!r}")
+    bands = report["selectivity"].get("bands")
+    if not isinstance(bands, dict):
+        raise ReproError("workload report selectivity.bands must be a dict")
+    for key in ("decisions", "strategies", "won", "lost"):
+        if key not in report["planner"]:
+            raise ReproError(f"workload report planner is missing {key!r}")
+
+
+def render_workload_report(report: dict) -> str:
+    """Human-readable multi-line summary of one workload report."""
+    shapes = report["shapes"]
+    lines = [
+        f"{report['records']} records: {report['queries']} queries, "
+        f"{report['errors']} errors",
+        f"shapes: {shapes['point']} point, {shapes['area']} area, "
+        f"{shapes['ranked']} ranked "
+        f"(k {shapes['k']['min']}-{shapes['k']['max']}, "
+        f"mean {shapes['k']['mean']:.1f})",
+        "cache: " + ", ".join(
+            f"{name}={count}" for name, count in sorted(report["cache"].items())
+        ),
+    ]
+    bands = report["selectivity"]["bands"]
+    lines.append(
+        f"selectivity bands: {bands['empty']} empty, "
+        f"{bands['partial']} partial, {bands['full']} full"
+    )
+    io = report["io"]
+    if io["reads_per_query"] is not None:
+        rpq = io["reads_per_query"]
+        lines.append(
+            f"io: {io['total_reads']} total reads "
+            f"({rpq['mean']:.1f}/query mean, p95 {rpq['p95']:.0f}), "
+            f"{io['shared_reads']} shared"
+        )
+    if report["latency_ms"] is not None:
+        lat = report["latency_ms"]
+        lines.append(
+            f"latency: mean {lat['mean']:.2f} ms, p50 {lat['p50']:.2f}, "
+            f"p95 {lat['p95']:.2f}"
+        )
+    terms = report["terms"]
+    head = ", ".join(
+        f"{row['term']}({row['count']})"
+        for row in terms["frequency"][:8]
+    )
+    lines.append(f"terms: {terms['unique']} unique; top: {head}")
+    if report["cooccurrence"]:
+        pairs = ", ".join(
+            f"{'+'.join(row['terms'])}({row['count']})"
+            for row in report["cooccurrence"][:5]
+        )
+        lines.append(f"co-occurring: {pairs}")
+    planner = report["planner"]
+    if planner["decisions"]:
+        lines.append(
+            f"planner: {planner['decisions']} decisions "
+            f"({planner['won']} won, {planner['lost']} lost) across "
+            + ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(planner["strategies"].items())
+            )
+        )
+    if report["fanout"]:
+        fanout = report["fanout"]
+        lines.append(
+            f"fan-out: {fanout['avg_searched']:.2f}/"
+            f"{fanout['avg_shards']:.0f} shards searched on average, "
+            f"{fanout['pruned_by_keywords']} keyword-pruned"
+        )
+    if report["hotspots"]:
+        top = report["hotspots"]["top_cells"]
+        if top:
+            hottest = top[0]
+            lines.append(
+                f"hot spots: busiest cell {hottest['cell']} holds "
+                f"{hottest['fraction']:.0%} of query anchors"
+            )
+    if report["batched"]["records"]:
+        lines.append(
+            f"batched: {report['batched']['records']} records in "
+            f"{report['batched']['groups']} groups"
+        )
+    return "\n".join(lines)

@@ -36,11 +36,12 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import replace
 from typing import Callable, Iterator
 
 from repro.core.query import QueryExecution, SpatialKeywordQuery
-from repro.errors import QueryError
+from repro.errors import QueryError, VersionRetiredError
 from repro.model import SearchResult, SpatialObject, result_sort_key
 from repro.obs import MetricsRegistry
 from repro.spatial.geometry import target_point_distance
@@ -306,6 +307,11 @@ class SnapshotMaintainer:
             ``maintenance.*`` gauges/counters/histograms.
         tracer: optional :class:`repro.obs.trace.QueryTracer`; merges
             emit a ``merge`` span tree with fold counts and duration.
+        version_window: published versions retained for answer-at-version
+            reads (:meth:`version_at`), the current one included.  Every
+            retained version stays fully readable — its base engine is
+            copy-on-write and its overlay immutable — so the window
+            bounds the extra memory old bases can pin after merges.
     """
 
     def __init__(
@@ -314,10 +320,15 @@ class SnapshotMaintainer:
         merge_threshold: int | None = 64,
         metrics: MetricsRegistry | None = None,
         tracer=None,
+        version_window: int = 8,
     ) -> None:
         if merge_threshold is not None and merge_threshold < 1:
             raise QueryError(
                 f"merge_threshold must be >= 1 or None, got {merge_threshold}"
+            )
+        if version_window < 1:
+            raise QueryError(
+                f"version_window must be >= 1, got {version_window}"
             )
         self.merge_threshold = merge_threshold
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -336,6 +347,12 @@ class SnapshotMaintainer:
         self._merge_pending = False
         self._merge_thread: threading.Thread | None = None
         self._current = EngineVersion(0, engine, {}, frozenset())
+        self.version_window = version_window
+        # Recently published versions, newest last (answer-at-version
+        # window).  Appends happen under ``_mutex``; readers copy under
+        # it too, so iteration never races an eviction.
+        self._retained: deque[EngineVersion] = deque(maxlen=version_window)
+        self._retained.append(self._current)
         self.merges = 0
         self.incremental_merges = 0
         self.merge_failures = 0
@@ -357,6 +374,28 @@ class SnapshotMaintainer:
         """The current base engine (changes only at merge publication)."""
         return self._base
 
+    def retained_versions(self) -> list[int]:
+        """Version numbers answerable via :meth:`version_at`, oldest first."""
+        with self._mutex:
+            return [version.version for version in self._retained]
+
+    def version_at(self, version: int) -> EngineVersion:
+        """The retained :class:`EngineVersion` numbered ``version``.
+
+        Raises :class:`~repro.errors.VersionRetiredError` when the
+        requested version has aged out of the retention window (or was
+        never published).  Retained versions are immutable and their
+        bases copy-on-write, so the returned version answers queries
+        exactly as it did when it was current.
+        """
+        with self._mutex:
+            for retained in reversed(self._retained):
+                if retained.version == version:
+                    return retained
+            oldest = self._retained[0].version if self._retained else None
+            newest = self._retained[-1].version if self._retained else None
+        raise VersionRetiredError(version, oldest, newest)
+
     # -- Publication ------------------------------------------------------------
 
     def _publish_locked(self) -> EngineVersion:
@@ -372,6 +411,7 @@ class SnapshotMaintainer:
             frozenset(overlay.deleted),
         )
         self._current = version
+        self._retained.append(version)
         return version
 
     def _publish_gauges(self, version: EngineVersion) -> None:

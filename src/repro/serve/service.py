@@ -50,7 +50,7 @@ import threading
 import time
 import warnings
 from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, Sequence
 
@@ -60,6 +60,8 @@ from repro.errors import ServiceError, ServiceOverloadError
 from repro.model import SpatialObject
 from repro.obs import COUNT_BUCKETS, MetricsRegistry, SlowQueryLog, export_engine
 from repro.obs import trace as qtrace
+from repro.obs.export import render_prometheus
+from repro.obs.querylog import QueryLogWriter
 from repro.obs.trace import QueryTracer
 from repro.plan import attach_planner_metrics
 from repro.serve.maintenance import EngineVersion, SnapshotMaintainer
@@ -311,6 +313,18 @@ class QueryService:
         merge_threshold: buffered writes that trigger a background merge
             in snapshot mode (``None`` disables automatic merging;
             :meth:`build` and ranked queries still fold the buffer).
+        query_log: workload capture — a
+            :class:`repro.obs.querylog.QueryLogWriter` or a path string.
+            Every answered query (both submission paths, batched or
+            not, including failures) appends one JSON-lines record with
+            its shape, plan, fan-out, I/O, latency stages, and result
+            digest; see :mod:`repro.obs.querylog`.  A path constructs a
+            writer owned (and closed) by the service, recording into the
+            service's metrics registry; a writer instance is shared and
+            left open on :meth:`close`.
+        query_log_sample: capture every Nth query (applies only when
+            ``query_log`` is a path; a passed writer keeps its own
+            sampling).  Unsampled queries pay one counter increment.
 
     Submission surface: :meth:`submit` (one query → ``Future``),
     :meth:`submit_many` (a batch → list of ``Future``\\ s, the batch
@@ -340,6 +354,8 @@ class QueryService:
         batching: BatchConfig | bool | None = None,
         maintenance: str = SNAPSHOT,
         merge_threshold: int | None = 64,
+        query_log: QueryLogWriter | str | None = None,
+        query_log_sample: int = 1,
     ) -> None:
         if workers < 1:
             raise ServiceError("a query service needs at least one worker")
@@ -356,6 +372,14 @@ class QueryService:
         self.retries = retries
         self.retry_backoff_s = retry_backoff_s
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._owns_query_log = isinstance(query_log, str)
+        if isinstance(query_log, str):
+            query_log = QueryLogWriter(
+                query_log,
+                sample_every=query_log_sample,
+                metrics=self.metrics,
+            )
+        self.query_log: QueryLogWriter | None = query_log
         self.maintenance = maintenance
         self._maintainer: SnapshotMaintainer | None = None
         if maintenance == SNAPSHOT:
@@ -518,9 +542,45 @@ class QueryService:
             raise
         return [member.future for member in members]
 
-    def search(self, query: SpatialKeywordQuery) -> QueryExecution:
-        """Synchronously run one query (``submit(query).result()``)."""
-        return self._submit_one(self._require_query(query)).result()
+    def search(
+        self,
+        query: SpatialKeywordQuery,
+        at_version: int | None = None,
+    ) -> QueryExecution:
+        """Synchronously run one query (``submit(query).result()``).
+
+        ``at_version`` answers the query against a specific *retained*
+        published snapshot version instead of the current one — a
+        consistent read-at-timestamp over the maintainer's bounded
+        retention window (``version_window`` versions).  The execution's
+        :attr:`~repro.core.query.QueryExecution.engine_version` echoes
+        the version that answered.  Raises
+        :class:`~repro.errors.VersionRetiredError` when the version has
+        aged out of the window (or never existed), and
+        :class:`~repro.errors.ServiceError` in rwlock mode, which
+        publishes no versions.  Versioned reads bypass the batch
+        scheduler (they must not coalesce with current-version traffic)
+        but are captured, traced, and counted like any other query.
+        """
+        query = self._require_query(query)
+        if at_version is None:
+            return self._submit_one(query).result()
+        if self._maintainer is None:
+            raise ServiceError(
+                "answer-at-version requires snapshot maintenance; "
+                "the rwlock mode publishes no versions"
+            )
+        pinned = self._maintainer.version_at(at_version)
+        if self._closed:
+            raise ServiceError("cannot submit to a closed QueryService")
+        try:
+            future = self._pool.submit(
+                self._execute, query, next(self._qid), time.perf_counter(),
+                pinned,
+            )
+        except RuntimeError as exc:
+            raise ServiceError("cannot submit to a closed QueryService") from exc
+        return future.result()
 
     def run_batch(
         self, queries: Iterable[SpatialKeywordQuery]
@@ -646,7 +706,11 @@ class QueryService:
     # -- The worker body --------------------------------------------------------
 
     def _execute(
-        self, query: SpatialKeywordQuery, query_id: int, submitted_at: float
+        self,
+        query: SpatialKeywordQuery,
+        query_id: int,
+        submitted_at: float,
+        pinned: EngineVersion | None = None,
     ) -> QueryExecution:
         span = TraceSpan(
             query_id=query_id,
@@ -665,9 +729,17 @@ class QueryService:
             if self.tracer is not None
             else None
         )
+        # An at_version read carries its own already-resolved pinned
+        # version (a retained snapshot); everything else pins the
+        # current state via _pinned_version().
+        pin_context = (
+            nullcontext(pinned)
+            if pinned is not None
+            else self._pinned_version()
+        )
         try:
             with qtrace.activate(trace.root if trace is not None else None):
-                with self._pinned_version() as version:
+                with pin_context as version:
                     span.lock_acquired_at = time.perf_counter()
                     if version is not None:
                         span.engine_version = version.version
@@ -682,6 +754,8 @@ class QueryService:
                 self._retries_taken += span.retries
             self.metrics.counter("service.errors").inc()
             self.slow_log.offer(span)
+            if self.query_log is not None:
+                self.query_log.offer(span, None, query=query)
             raise
         self._annotate_span(span, execution)
         span.finished_at = time.perf_counter()
@@ -689,6 +763,8 @@ class QueryService:
         self.trace_log.append(span)
         self._note_completed(span, execution)
         self.slow_log.offer(span)
+        if self.query_log is not None:
+            self.query_log.offer(span, execution)
         return execution
 
     @staticmethod
@@ -700,6 +776,11 @@ class QueryService:
         span.sequential_reads = execution.io.sequential_reads
         span.shared_reads = execution.io.shared_reads
         span.objects_loaded = execution.io.objects_loaded
+        if execution.shards is not None:
+            span.pruned_by_keywords = sum(
+                1 for shard in execution.shards
+                if shard.get("pruned_by_keywords")
+            )
         span.num_results = len(execution.results)
         execution.trace = span
 
@@ -840,7 +921,9 @@ class QueryService:
         if batch_root is not None:
             batch_root.category = "batch"
         session = SharedReadSession()
-        spans: list[TraceSpan] = []
+        produced: list[
+            tuple[TraceSpan, QueryExecution | None, SpatialKeywordQuery]
+        ] = []
         with self._pinned_version() as version:
             lock_acquired = time.perf_counter()
             if version is not None:
@@ -851,7 +934,7 @@ class QueryService:
                     started = group_started if first else time.perf_counter()
                     locked = lock_acquired if first else started
                     first = False
-                    spans.extend(
+                    produced.extend(
                         self._run_member(
                             member, group.batch_id, trace, batch_root,
                             started, locked, version,
@@ -876,11 +959,15 @@ class QueryService:
                     batch_root.annotate(engine_version=group.engine_version)
                 batch_root.finish(group_end)
             if self.tracer.commit(trace, (group_end - group_started) * 1000.0):
-                for span in spans:
+                for span, _, _ in produced:
                     span.trace_id = trace.trace_id
-        for span in spans:
+        # Query-log capture runs after the batch's trace_id assignment
+        # so records link to the retained trace like unbatched ones.
+        for span, execution, query in produced:
             self.trace_log.append(span)
             self.slow_log.offer(span)
+            if self.query_log is not None:
+                self.query_log.offer(span, execution, query=query)
         with self._stats_lock:
             self._batches += 1
         self.metrics.counter("service.batches").inc()
@@ -897,13 +984,14 @@ class QueryService:
         started: float,
         lock_acquired: float,
         version: EngineVersion | None = None,
-    ) -> list[TraceSpan]:
+    ) -> list[tuple[TraceSpan, QueryExecution | None, SpatialKeywordQuery]]:
         """Execute one member (plus its coalesced followers) of a group.
 
         Runs against the group's pinned engine state (snapshot version
-        or held read lock) and shared-read session.  Returns the flat
-        spans produced (leader first), already folded into the
-        aggregates; the caller appends them to the trace and slow-query
+        or held read lock) and shared-read session.  Returns
+        ``(span, execution, query)`` triples (leader first; a failed
+        member's execution is None), already folded into the aggregates;
+        the caller appends them to the trace, slow-query, and query
         logs once the batch's ``trace_id`` is known.  A member failure
         resolves its own futures and never aborts the rest of the group.
         """
@@ -951,16 +1039,15 @@ class QueryService:
             self.metrics.counter("service.errors").inc(failures)
             if alive:
                 _resolve_exception(member.future, exc)
-            follower_spans = [
-                self._follower_span(
+            failed = [(span, None, query)]
+            for follower in followers:
+                fspan = self._follower_span(
                     follower, span, batch_id,
                     error=span.error,
                 )
-                for follower in followers
-            ]
-            for follower in followers:
+                failed.append((fspan, None, follower.query))
                 _resolve_exception(follower.future, exc)
-            return [span, *follower_spans]
+            return failed
         finished = time.perf_counter()
         self._annotate_span(span, execution)
         span.finished_at = finished
@@ -971,7 +1058,7 @@ class QueryService:
         self._note_completed(span, execution)
         if alive:
             _resolve_result(member.future, execution)
-        produced = [span]
+        produced = [(span, execution, query)]
         for follower in followers:
             follower_execution = self._follower_execution(
                 follower.query, execution
@@ -983,7 +1070,7 @@ class QueryService:
             follower_execution.trace = fspan
             self._note_completed(fspan, follower_execution)
             _resolve_result(follower.future, follower_execution)
-            produced.append(fspan)
+            produced.append((fspan, follower_execution, follower.query))
         return produced
 
     @staticmethod
@@ -1158,18 +1245,40 @@ class QueryService:
         """The retained slow-query spans, slowest first."""
         return self.slow_log.spans()
 
-    def export_metrics(self, path: str) -> None:
-        """Dump the service summary, metrics snapshot, and slow-query
-        log to ``path`` as one JSON document (the CLI's
-        ``serve --serve-metrics`` output)."""
+    def export_metrics(
+        self, path: str | None = None, fmt: str = "json"
+    ) -> str:
+        """Render the service's metrics; optionally write them to ``path``.
+
+        ``fmt="json"`` (the default, the CLI's ``serve --serve-metrics``
+        output) renders the service summary, metrics snapshot, and
+        slow-query log as one JSON document.  ``fmt="prometheus"``
+        renders the metrics snapshot in the Prometheus text exposition
+        format (:func:`repro.obs.export.render_prometheus`) for
+        scraping.  Returns the rendered payload either way; ``path``
+        being None skips the write (pre-redesign callers that passed a
+        path positionally keep working unchanged).
+        """
         stats = self.stats()
-        payload = {
-            "service": stats.as_dict(),
-            "metrics": stats.metrics,
-            "slow_queries": self.slow_log.as_dicts(),
-        }
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2)
+        if fmt == "prometheus":
+            payload = render_prometheus(stats.metrics)
+        elif fmt == "json":
+            payload = json.dumps(
+                {
+                    "service": stats.as_dict(),
+                    "metrics": stats.metrics,
+                    "slow_queries": self.slow_log.as_dicts(),
+                },
+                indent=2,
+            )
+        else:
+            raise ServiceError(
+                f"unknown metrics format {fmt!r}; use 'json' or 'prometheus'"
+            )
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+        return payload
 
     def trace_spans(self) -> list[TraceSpan]:
         """Snapshot of the retained per-query trace spans."""
@@ -1219,13 +1328,17 @@ class QueryService:
 
         With batching enabled the scheduler's open window group is
         flushed first, so every admitted submission's future completes
-        before the pool drains.
+        before the pool drains.  A service-owned query-log writer (one
+        constructed from a path) is drained and finalized; a caller-
+        provided writer is left open for its owner to close.
         """
         if not self._closed:
             self._closed = True
             if self._scheduler is not None:
                 self._scheduler.close()
             self._pool.shutdown(wait=True)
+            if self.query_log is not None and self._owns_query_log:
+                self.query_log.close()
 
     def __enter__(self) -> "QueryService":
         return self

@@ -60,6 +60,12 @@ class TraceSpan:
         shared_reads: block reads served by the batch's shared-read
             session instead of the device (0 outside batched execution).
         objects_loaded: per-query logical object loads.
+        pruned_by_keywords: shards this query skipped entirely because
+            keyword routing proved they hold no matching term (0 for
+            unsharded executions and coalesced followers, which fanned
+            out to nothing) — mirrors the per-shard
+            ``pruned_by_keywords`` flags on
+            :attr:`repro.core.query.QueryExecution.shards`.
         num_results: number of results returned.
         retries: transient-error retries spent by this execution.
         worker: name of the thread that executed the query.
@@ -93,6 +99,7 @@ class TraceSpan:
     sequential_reads: int = 0
     shared_reads: int = 0
     objects_loaded: int = 0
+    pruned_by_keywords: int = 0
     num_results: int = 0
     retries: int = 0
     worker: str = ""
@@ -173,6 +180,7 @@ class TraceSpan:
             "sequential_reads": self.sequential_reads,
             "shared_reads": self.shared_reads,
             "objects_loaded": self.objects_loaded,
+            "pruned_by_keywords": self.pruned_by_keywords,
             "num_results": self.num_results,
             "retries": self.retries,
             "worker": self.worker,
@@ -215,6 +223,8 @@ class TraceSpan:
         )
         if self.strategy is not None:
             root.annotate(strategy=self.strategy)
+        if self.pruned_by_keywords:
+            root.annotate(pruned_by_keywords=self.pruned_by_keywords)
         if self.engine_version is not None:
             root.annotate(engine_version=self.engine_version)
         if self.error is not None:
